@@ -1,0 +1,22 @@
+// Shared helpers for the per-figure benchmark harnesses: consistent
+// banners and paper-vs-measured reporting so bench output can be pasted
+// straight into EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "pdsi/common/table.h"
+
+namespace pdsi::bench {
+
+inline void Header(const std::string& experiment, const std::string& paper_claim) {
+  std::cout << "==========================================================\n"
+            << experiment << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==========================================================\n";
+}
+
+inline void Note(const std::string& text) { std::cout << "note: " << text << "\n"; }
+
+}  // namespace pdsi::bench

@@ -1,0 +1,155 @@
+// Extension — POSIX HEC extensions (§2.2).
+//
+// The report's standardisation effort proposed HPC-friendly POSIX
+// additions. Two are modelled here:
+//  * layout query (the extension the report says was accepted): an
+//    application that asks for the file's stripe/lock geometry can align
+//    its writes and avoid lock sharing and read-modify-write entirely;
+//  * group open: N ranks opening one shared file cost one metadata
+//    operation instead of N.
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "bench_util.h"
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/pfs/client.h"
+#include "pdsi/pfs/cluster.h"
+
+using namespace pdsi;
+
+namespace {
+
+/// N ranks write a shared file; with layout knowledge each rank rounds
+/// its record up to the lock unit, eliminating neighbour conflicts.
+double RunSharedWrite(bool layout_aware, std::uint32_t ranks) {
+  pfs::PfsConfig cfg = pfs::PfsConfig::GpfsLike(8);
+  cfg.store_data = false;
+  sim::VirtualScheduler sched(ranks);
+  pfs::PfsCluster cluster(cfg, sched);
+  std::vector<std::size_t> all(ranks);
+  for (std::uint32_t i = 0; i < ranks; ++i) all[i] = i;
+  sim::VirtualBarrier barrier(sched, all);
+
+  constexpr std::uint64_t kRecord = 200 * KiB + 77;  // unaligned by nature
+  constexpr int kSteps = 32;
+  std::mutex mu;
+  double finish = 0.0;
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      pfs::PfsClient client(cluster, r);
+      pfs::FileHandle fh;
+      if (r == 0) {
+        fh = *client.create("/shared");
+        barrier.arrive(r);
+      } else {
+        barrier.arrive(r);
+        fh = *client.open("/shared");
+      }
+      std::uint64_t slot = kRecord;  // without layout: natural packing
+      if (layout_aware) {
+        auto info = client.layout("/shared");
+        // Round each rank's slot up to the lock unit so no two ranks
+        // ever share a token.
+        slot = (kRecord + info->lock_unit - 1) / info->lock_unit *
+               info->lock_unit;
+      }
+      Bytes payload(kRecord);
+      for (int k = 0; k < kSteps; ++k) {
+        const std::uint64_t off =
+            (static_cast<std::uint64_t>(k) * ranks + r) * slot;
+        client.write(fh, off, payload);
+      }
+      client.close(fh);
+      std::lock_guard<std::mutex> lk(mu);
+      finish = std::max(finish, client.now());
+      sched.finish(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return finish;
+}
+
+/// N ranks open one file: N opens vs one group open.
+double RunOpenStorm(bool group, std::uint32_t ranks, int files) {
+  pfs::PfsConfig cfg = pfs::PfsConfig::LustreLike(4);
+  cfg.store_data = false;
+  sim::VirtualScheduler sched(ranks);
+  pfs::PfsCluster cluster(cfg, sched);
+  {
+    sim::VirtualScheduler setup(1);
+    // Pre-create the target files through a setup cluster? No — create
+    // them through rank 0's client in virtual time before the storm.
+  }
+  std::vector<std::size_t> all(ranks);
+  for (std::uint32_t i = 0; i < ranks; ++i) all[i] = i;
+  sim::VirtualBarrier barrier(sched, all);
+  std::mutex mu;
+  double finish = 0.0, start = 0.0;
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      pfs::PfsClient client(cluster, r);
+      if (r == 0) {
+        for (int f = 0; f < files; ++f) {
+          auto fh = client.create("/f" + std::to_string(f));
+          client.close(*fh);
+        }
+      }
+      const double t0 = barrier.arrive(r);
+      if (r == 0) start = t0;
+      for (int f = 0; f < files; ++f) {
+        const std::string path = "/f" + std::to_string(f);
+        auto fh = group ? client.open_group(path, ranks) : client.open(path);
+        client.close(*fh);
+      }
+      const double t1 = barrier.arrive(r);
+      if (r == 0) {
+        std::lock_guard<std::mutex> lk(mu);
+        finish = t1;
+      }
+      sched.finish(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return finish - start;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("POSIX HEC extensions: layout query + group open",
+                "layout-aware alignment removes shared-file lock/RMW "
+                "conflicts; group open amortises the metadata storm");
+
+  {
+    PrintBanner(std::cout, "layout-query-driven alignment (64 ranks, gpfs-like)");
+    Table t({"mode", "checkpoint time", "speedup"});
+    const double naive = RunSharedWrite(false, 64);
+    const double aware = RunSharedWrite(true, 64);
+    t.row({"natural (packed, unaligned)", FormatDuration(naive), "1.0x"});
+    t.row({"layout-aligned slots", FormatDuration(aware),
+           FormatDouble(naive / aware, 1) + "x"});
+    t.print(std::cout);
+  }
+
+  {
+    PrintBanner(std::cout, "shared-file open storm (128 ranks x 64 files)");
+    Table t({"mode", "open phase", "speedup"});
+    const double individual = RunOpenStorm(false, 128, 64);
+    const double grouped = RunOpenStorm(true, 128, 64);
+    t.row({"per-rank open()", FormatDuration(individual), "1.0x"});
+    t.row({"group open extension", FormatDuration(grouped),
+           FormatDouble(individual / grouped, 1) + "x"});
+    t.print(std::cout);
+  }
+  bench::Note("shape check: alignment wins a solid factor on lock-heavy "
+              "personalities; group open approaches ranks-fold metadata "
+              "savings (the ANL/SDM POSIX-extension test results the "
+              "report cites).");
+  return 0;
+}

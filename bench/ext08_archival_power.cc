@@ -1,0 +1,86 @@
+// Extension — power-managed disk archives (§4.2.4; Pergamum line).
+//
+// Paper: disk-based archives with aggressive spin-down beat tape on
+// access latency at tape-like power, data placement decides how many
+// spindles each retrieval session wakes, more devices can
+// counterintuitively save power, and at very low rates placement stops
+// mattering because standby power dominates.
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/pergamum/pergamum.h"
+
+using namespace pdsi;
+using namespace pdsi::pergamum;
+
+int main() {
+  bench::Header("Archival storage power management",
+                "semantic grouping lets spindles sleep; more disks can "
+                "save power; placement stops mattering at low rates");
+
+  {
+    PrintBanner(std::cout, "placement x retrieval rate (16 disks, 24 h)");
+    Table t({"bursts/hour", "placement", "energy (Wh)", "avg power (W)",
+             "spin-ups", "mean latency", "disks spinning"});
+    for (double rate : {0.05, 1.0, 6.0, 30.0}) {
+      for (Placement pl : {Placement::grouped, Placement::scattered}) {
+        ArchiveParams p;
+        p.placement = pl;
+        p.burst_rate_per_hour = rate;
+        const auto r = RunArchive(p);
+        t.row({FormatDouble(rate, 2), std::string(PlacementName(pl)),
+               FormatDouble(r.energy_wh, 1),
+               FormatDouble(r.average_power_w(p.duration_hours), 2),
+               std::to_string(r.spinups), FormatDuration(r.mean_latency_s),
+               FormatDouble(r.mean_disks_spinning, 2)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  {
+    PrintBanner(std::cout,
+                "more (smaller) devices at equal capacity, 30 bursts/hour");
+    Table t({"fleet", "energy (Wh)", "avg power (W)", "spin-ups",
+             "mean latency", "disks spinning"});
+    struct Fleet {
+      const char* label;
+      std::uint32_t disks;
+      DiskPower power;
+    };
+    DiskPower big;                      // 3.5" nearline
+    DiskPower small;                    // 2.5" low-power
+    small.active_w = 2.5;
+    small.standby_w = 0.15;
+    small.spinup_j = 35.0;
+    small.spinup_s = 5.0;
+    const Fleet fleets[] = {
+        {"4 x 3.5-inch (8 W)", 4, big},
+        {"8 x 2.5-inch (2.5 W)", 8, small},
+        {"16 x 2.5-inch (2.5 W)", 16, small},
+        {"64 x 2.5-inch (2.5 W)", 64, small},
+    };
+    for (const auto& fl : fleets) {
+      ArchiveParams p;
+      p.placement = Placement::grouped;
+      p.disks = fl.disks;
+      p.power = fl.power;
+      p.burst_rate_per_hour = 30.0;
+      const auto r = RunArchive(p);
+      t.row({fl.label, FormatDouble(r.energy_wh, 1),
+             FormatDouble(r.average_power_w(p.duration_hours), 2),
+             std::to_string(r.spinups), FormatDuration(r.mean_latency_s),
+             FormatDouble(r.mean_disks_spinning, 2)});
+    }
+    t.print(std::cout);
+  }
+  bench::Note("shape check: grouped beats scattered except at the lowest "
+              "rate (rows converge there); quadrupling the device count "
+              "with right-provisioned spindles CUTS energy — the 'more "
+              "devices may save power' finding — until standby floor "
+              "grows back (64-disk row).");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension — scalable security overhead (§4.2.4; Maat, Leung SC'07).
+//
+// Paper: capability-based authentication over object storage costs "at
+// most 6-7% on workloads with shared files and shared disks, with
+// typical overheads averaging 1-2%". Runs checkpoint workloads with
+// per-request capability verification charged at the OSS and reports the
+// slowdown; functional token semantics live in src/pdsi/security.
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/workload/driver.h"
+
+using namespace pdsi;
+
+int main() {
+  bench::Header("Maat security: per-I/O capability verification overhead",
+                "at most 6-7% on shared-file workloads, typically 1-2%");
+
+  // A symmetric-crypto verify on mid-2000s server silicon: ~10-20 us.
+  constexpr double kVerify = 15e-6;
+
+  struct Case {
+    const char* label;
+    workload::CheckpointSpec spec;
+  };
+  const std::vector<Case> cases = {
+      {"shared file, small strided records (worst case)",
+       {workload::Pattern::n1_strided, 32, 16 * KiB, 64}},
+      {"shared file, medium records",
+       {workload::Pattern::n1_strided, 32, 128 * KiB, 32}},
+      {"file per process, large streams (typical)",
+       {workload::Pattern::nn, 32, 1 * MiB, 24}},
+  };
+
+  Table t({"workload", "insecure", "secure", "overhead"});
+  for (const auto& c : cases) {
+    auto cfg = pfs::PfsConfig::PanFsLike(8);
+    const auto base = workload::RunDirectCheckpoint(cfg, c.spec);
+    cfg.security_verify_s = kVerify;
+    const auto secured = workload::RunDirectCheckpoint(cfg, c.spec);
+    t.row({c.label, FormatDuration(base.seconds), FormatDuration(secured.seconds),
+           FormatDouble(100.0 * (secured.seconds / base.seconds - 1.0), 2) + "%"});
+  }
+  t.print(std::cout);
+  bench::Note("shape check: overhead peaks on small shared-file records "
+              "(most requests per byte) and stays within the paper's "
+              "6-7% ceiling; streaming workloads sit at ~1-2%.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 4 — interrupts linear in chip count; MTTI projection to exascale.
+//
+// Paper: best simple model has interrupts linear in the number of
+// processor chips (~0.1/chip/year optimistic); with top500 aggregate
+// speed doubling yearly and per-chip speed doubling every 18-30 months,
+// mean time to interrupt "may drop to as little as a few minutes as we
+// approach the exascale era."
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/failure/model.h"
+#include "pdsi/failure/trace.h"
+
+using namespace pdsi;
+
+int main() {
+  bench::Header("Fig. 4: MTTI vs system growth",
+                "interrupts linear in #chips; MTTI falls to minutes near "
+                "exascale (baseline 1 PF in 2008, 0.1 int/chip/yr)");
+
+  // Part 1: linearity check against generated traces of growing systems.
+  PrintBanner(std::cout, "interrupts vs chips (5-year synthetic traces)");
+  {
+    Table t({"nodes", "chips", "events/5yr", "events per chip-yr"});
+    Rng rng(42);
+    std::vector<double> xs, ys;
+    for (std::uint32_t nodes : {256u, 512u, 1024u, 2048u, 4096u}) {
+      failure::SystemTraceParams p;
+      p.nodes = nodes;
+      p.years = 5.0;
+      p.ageing_per_year = 1.0;
+      p.burst_probability = 0.0;
+      auto trace = failure::GenerateTrace(p, rng);
+      const double chips = nodes * p.chips_per_node;
+      xs.push_back(chips);
+      ys.push_back(static_cast<double>(trace.size()));
+      t.row({std::to_string(nodes), FormatCount(chips),
+             std::to_string(trace.size()),
+             FormatDouble(static_cast<double>(trace.size()) / chips / p.years, 3)});
+    }
+    t.print(std::cout);
+    const auto fit = FitLinear(xs, ys);
+    std::cout << "linear fit: events = " << FormatDouble(fit.intercept, 1)
+              << " + " << FormatDouble(fit.slope, 3) << " * chips,  r^2 = "
+              << FormatDouble(fit.r2, 4) << "\n";
+  }
+
+  // Part 2: the projection grid (per-chip doubling 18/24/30 months).
+  PrintBanner(std::cout, "projected MTTI by year");
+  Table t({"year", "system", "chips(18mo)", "MTTI(18mo)", "MTTI(24mo)",
+           "MTTI(30mo)"});
+  std::vector<failure::MttiModel> models;
+  for (double months : {18.0, 24.0, 30.0}) {
+    failure::MttiModelParams p;
+    p.chip_doubling_months = months;
+    models.emplace_back(p);
+  }
+  for (int year = 2008; year <= 2020; year += 2) {
+    const double y = year;
+    t.row({std::to_string(year),
+           FormatDouble(models[0].system_pflops(y), 0) + " PF",
+           FormatCount(models[0].chips(y)),
+           FormatDuration(models[0].mtti_seconds(y)),
+           FormatDuration(models[1].mtti_seconds(y)),
+           FormatDuration(models[2].mtti_seconds(y))});
+  }
+  t.print(std::cout);
+  bench::Note("shape check: MTTI at ~2018-2020 (exascale) should reach "
+              "minutes for the slower per-chip growth columns.");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fig. 5 — effective application utilisation under checkpoint-restart.
+//
+// Paper: for balanced machines, Young/Daly-optimal checkpointing drives
+// effective utilisation below 50% before ~2014; storage bandwidth that
+// only grows at the per-disk trend (20%/yr) is far worse; yearly 25-50%
+// checkpoint compression "makes the problem go away". Also: the disk
+// count needed for balanced bandwidth grows ~67%/yr (cost blow-up).
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/failure/checkpoint_sim.h"
+#include "pdsi/failure/model.h"
+
+using namespace pdsi;
+using failure::StorageScenario;
+
+int main() {
+  bench::Header("Fig. 5: effective utilisation vs year",
+                "utilisation crosses under 50% before ~2014 (balanced, "
+                "conservative chip growth)");
+
+  failure::UtilizationModelParams params;
+  params.mtti.chip_doubling_months = 30.0;  // paper's concern case
+  failure::UtilizationModel model(params);
+
+  PrintBanner(std::cout, "analytic projection (Young-optimal interval)");
+  Table t({"year", "MTTI", "ckpt(balanced)", "util(balanced)",
+           "util(disk-trend)", "util(compress)"});
+  for (int year = 2008; year <= 2020; ++year) {
+    const double y = year;
+    t.row({std::to_string(year),
+           FormatDuration(model.mtti().mtti_seconds(y)),
+           FormatDuration(model.checkpoint_seconds(y, StorageScenario::balanced)),
+           FormatDouble(100.0 * model.utilization(y, StorageScenario::balanced), 1) + "%",
+           FormatDouble(100.0 * model.utilization(y, StorageScenario::disk_trend), 1) + "%",
+           FormatDouble(100.0 * model.utilization(y, StorageScenario::compression), 1) + "%"});
+  }
+  t.print(std::cout);
+
+  for (auto s : {StorageScenario::balanced, StorageScenario::disk_trend,
+                 StorageScenario::compression}) {
+    const double y = model.year_crossing_below(0.5, s);
+    std::cout << "50% crossing, " << failure::StorageScenarioName(s) << ": "
+              << (y > 2030.0 ? "not before 2030" : FormatDouble(y, 2)) << "\n";
+  }
+
+  // Process pairs: the report's escape hatch once checkpointing drops
+  // under 50%.
+  PrintBanner(std::cout, "process pairs vs checkpoint-restart (balanced storage)");
+  {
+    Table p({"year", "checkpoint-restart", "process pairs", "winner"});
+    for (int year : {2008, 2010, 2012, 2014, 2016}) {
+      const double cr = model.utilization(year, StorageScenario::balanced);
+      const double pp = model.pairs_utilization(year, StorageScenario::balanced);
+      p.row({std::to_string(year), FormatDouble(100.0 * cr, 1) + "%",
+             FormatDouble(100.0 * pp, 1) + "%",
+             cr >= pp ? "checkpointing" : "process pairs"});
+    }
+    p.print(std::cout);
+    std::cout << "pairs overtake checkpointing in "
+              << FormatDouble(model.year_pairs_win(StorageScenario::balanced), 2)
+              << " (paper: once utilisation heads under 50%, running two "
+                 "copies becomes the better deal)\n";
+  }
+
+  // Cross-check the analytic curve with the event-driven simulator.
+  PrintBanner(std::cout, "event-driven validation (selected years)");
+  Table v({"year", "analytic util", "simulated util", "failures"});
+  Rng rng(7);
+  for (int year : {2008, 2012, 2016}) {
+    const double y = year;
+    const double delta =
+        model.checkpoint_seconds(y, StorageScenario::balanced);
+    const double mtti = model.mtti().mtti_seconds(y);
+    failure::CheckpointSimParams sp;
+    sp.checkpoint_seconds = delta;
+    sp.restart_seconds = 2.0 * delta;
+    sp.mtti_seconds = mtti;
+    sp.interval = failure::YoungOptimalInterval(delta, mtti);
+    sp.work_seconds = 2000.0 * sp.interval;
+    const auto sim = failure::SimulateCheckpointing(sp, rng);
+    v.row({std::to_string(year),
+           FormatDouble(100.0 * model.utilization(y, StorageScenario::balanced), 1) + "%",
+           FormatDouble(100.0 * sim.utilization, 1) + "%",
+           std::to_string(sim.failures)});
+  }
+  v.print(std::cout);
+
+  // Cost side: disks needed for balanced bandwidth (+100%/yr) when a
+  // disk's own bandwidth grows 20%/yr => disk count grows ~67%/yr.
+  PrintBanner(std::cout, "disk count for balanced bandwidth");
+  Table d({"year", "relative bw needed", "relative disks", "growth/yr"});
+  double prev = 1.0;
+  for (int year = 2008; year <= 2016; year += 2) {
+    const double years = year - 2008.0;
+    const double bw = std::pow(2.0, years);
+    const double disks = bw / std::pow(1.2, years);
+    d.row({std::to_string(year), FormatDouble(bw, 0) + "x",
+           FormatDouble(disks, 1) + "x",
+           year == 2008 ? "-"
+                        : FormatDouble(100.0 * (std::pow(disks / prev, 0.5) - 1.0), 0) + "%"});
+    prev = disks;
+  }
+  d.print(std::cout);
+  bench::Note("paper: disk count growing ~67%/yr makes balanced storage "
+              "cost untenable; compression column shows the escape hatch.");
+  return 0;
+}

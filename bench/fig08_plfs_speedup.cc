@@ -1,0 +1,75 @@
+// Fig. 8 — PLFS checkpoint speedups on SciDAC applications.
+//
+// Paper: "order of magnitude speedup to the Chombo benchmark and two
+// orders of magnitude to the FLASH benchmark. Moreover, LANL production
+// applications see speedups of 5X to 28X"; demonstrated on PanFS, Lustre
+// and GPFS. Here every paper app model runs on all three file-system
+// personalities, directly vs through PLFS.
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/pfs/config.h"
+#include "pdsi/workload/driver.h"
+
+using namespace pdsi;
+
+int main() {
+  bench::Header("Fig. 8: PLFS vs direct N-1 checkpoint bandwidth",
+                "Chombo ~10x, FLASH ~100x, LANL apps 5-28x; gains on "
+                "PanFS, Lustre and GPFS alike");
+
+  constexpr std::uint32_t kRanks = 64;
+  const std::vector<pfs::PfsConfig> systems = {
+      pfs::PfsConfig::PanFsLike(8),
+      pfs::PfsConfig::LustreLike(8),
+      pfs::PfsConfig::GpfsLike(8),
+  };
+
+  for (const auto& cfg : systems) {
+    PrintBanner(std::cout, cfg.name + " (" + std::to_string(cfg.num_oss) +
+                               " OSS, " + std::to_string(kRanks) + " ranks)");
+    Table t({"app", "pattern", "record", "direct", "plfs", "speedup",
+             "paper"});
+    for (const auto& app : workload::PaperApps(kRanks)) {
+      const auto direct = workload::RunDirectCheckpoint(cfg, app.spec);
+      const auto plfs = workload::RunPlfsCheckpoint(cfg, app.spec);
+      t.row({app.name, std::string(workload::PatternName(app.spec.pattern)),
+             FormatBytes(static_cast<double>(app.spec.record_bytes)),
+             FormatRate(direct.bandwidth()), FormatRate(plfs.bandwidth()),
+             FormatDouble(direct.seconds / plfs.seconds, 1) + "x",
+             "~" + FormatDouble(app.paper_speedup, 0) + "x"});
+    }
+    t.print(std::cout);
+  }
+
+  // Speedup vs scale on one app model: with the server count fixed, both
+  // paths are disk-array-bound and the ratio is roughly scale-invariant;
+  // the absolute time saved per checkpoint grows linearly with ranks.
+  PrintBanner(std::cout, "speedup vs rank count (LANL-app-A on panfs-like)");
+  {
+    Table t({"ranks", "direct", "plfs", "speedup"});
+    for (std::uint32_t ranks : {16u, 32u, 64u, 128u}) {
+      workload::CheckpointSpec spec{workload::Pattern::n1_strided, ranks,
+                                    47 * KiB, 64};
+      const auto cfg = pfs::PfsConfig::PanFsLike(8);
+      const auto direct = workload::RunDirectCheckpoint(cfg, spec);
+      const auto plfs = workload::RunPlfsCheckpoint(cfg, spec);
+      t.row({std::to_string(ranks), FormatRate(direct.bandwidth()),
+             FormatRate(plfs.bandwidth()),
+             FormatDouble(direct.seconds / plfs.seconds, 1) + "x"});
+    }
+    t.print(std::cout);
+  }
+
+  bench::Note(
+      "shape check: FLASH-like tiny records gain the most, larger-record "
+      "apps gain less, N-1 segmented (S3D) gains least; ordering should "
+      "match the paper even though absolute MB/s reflects the simulated "
+      "substrate. Mid-size-record speedups are compressed ~2-4x against the "
+      "paper's production numbers (thousands of ranks, hundreds of OSS); "
+      "see EXPERIMENTS.md.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 12 — Hadoop-on-PVFS vs Hadoop-on-HDFS (grep workload).
+//
+// Paper: the simplest PVFS shim ran a large text search more than twice
+// as slowly as native HDFS; tuning the shim's readahead produced a large
+// improvement; exposing the replica layout to Hadoop's load balancer
+// (PVFS already publishes it via extended attributes) reaches parity.
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/dsfs/dsfs.h"
+
+using namespace pdsi;
+
+int main() {
+  bench::Header("Fig. 12: distributed grep, HDFS vs PVFS-shim variants",
+                "naive shim > 2x slower; readahead tuning recovers most; "
+                "layout exposure reaches parity");
+
+  constexpr std::uint32_t kNodes = 16;
+  struct Config {
+    const char* label;
+    dsfs::GrepJobParams params;
+  };
+  const std::vector<Config> configs = {
+      {"hadoop-on-hdfs (native)", dsfs::NativeHdfs(kNodes)},
+      {"hadoop-on-pvfs, naive shim", dsfs::NaivePvfsShim(kNodes)},
+      {"+ shim readahead", dsfs::ReadaheadPvfsShim(kNodes)},
+      {"+ layout exposure", dsfs::LayoutExposedPvfsShim(kNodes)},
+  };
+
+  Table t({"configuration", "runtime", "vs native", "aggregate bw",
+           "local tasks", "remote tasks"});
+  double native = 0.0;
+  for (const auto& c : configs) {
+    auto p = c.params;
+    p.blocks = 256;
+    const auto r = dsfs::RunGrepJob(p);
+    if (native == 0.0) native = r.runtime_s;
+    t.row({c.label, FormatDuration(r.runtime_s),
+           FormatDouble(r.runtime_s / native, 2) + "x",
+           FormatRate(r.aggregate_bandwidth()),
+           std::to_string(r.local_tasks), std::to_string(r.remote_tasks)});
+  }
+  t.print(std::cout);
+  bench::Note("shape check: 1.0x -> >2x -> intermediate -> ~1.0x, with the "
+              "local-task count explaining the final step.");
+  return 0;
+}

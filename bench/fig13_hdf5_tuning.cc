@@ -1,0 +1,67 @@
+// Fig. 13 — cumulative HDF5 optimisation benefits for Chombo and GCRM.
+//
+// Paper (NERSC + The HDF Group): incremental application of collective
+// buffering, stripe alignment and metadata coalescing raised parallel
+// HDF5 bandwidth by up to 33x, approaching the file system's achievable
+// peak. Bars stack per optimisation; both applications benefit.
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/hdf5lite/hdf5lite.h"
+#include "pdsi/workload/driver.h"
+
+using namespace pdsi;
+using hdf5lite::H5Options;
+
+int main() {
+  bench::Header("Fig. 13: cumulative HDF5 tuning (Chombo & GCRM)",
+                "baseline -> +collective buffering -> +alignment -> "
+                "+metadata coalescing; up to ~33x, nearing fs peak");
+
+  const auto cfg = pfs::PfsConfig::LustreLike(8);
+  constexpr std::uint32_t kRanks = 64;
+
+  struct Level {
+    const char* label;
+    H5Options opt;
+  };
+  std::vector<Level> levels;
+  {
+    H5Options o;
+    levels.push_back({"baseline (independent I/O)", o});
+    o.metadata_coalescing = true;
+    levels.push_back({"+ metadata coalescing", o});
+    o.collective_buffering = true;
+    levels.push_back({"+ collective buffering", o});
+    o.align_to_stripe = true;
+    levels.push_back({"+ stripe alignment", o});
+  }
+
+  // "Peak filesystem bandwidth" in the figure's sense: aggregate media
+  // streaming rate of the server disks.
+  const double peak = cfg.num_oss * cfg.disk.seq_bw_bytes;
+  std::cout << "aggregate media peak on this substrate: " << FormatRate(peak)
+            << "\n";
+
+  for (const auto spec : {hdf5lite::ChomboSpec(kRanks), hdf5lite::GcrmSpec(kRanks)}) {
+    PrintBanner(std::cout, spec.name + " (" + std::to_string(kRanks) + " ranks, " +
+                               FormatBytes(static_cast<double>(spec.total_bytes())) + ")");
+    Table t({"configuration", "bandwidth", "speedup", "% of peak"});
+    double base = 0.0;
+    for (const auto& lvl : levels) {
+      const auto r = hdf5lite::RunDump(cfg, spec, lvl.opt);
+      if (base == 0.0) base = r.bandwidth();
+      t.row({lvl.label, FormatRate(r.bandwidth()),
+             FormatDouble(r.bandwidth() / base, 1) + "x",
+             FormatDouble(100.0 * r.bandwidth() / peak, 1) + "%"});
+    }
+    t.print(std::cout);
+  }
+  bench::Note("shape check: each optimisation adds; the fully-tuned "
+              "configuration approaches the N-N peak; the irregular AMR "
+              "case starts lower and gains more.");
+  return 0;
+}

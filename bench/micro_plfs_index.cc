@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark): PLFS index hot paths — global-index
+// construction, logical-range lookup, pattern compression and record
+// serialisation. The SC09 follow-up work motivates these: index handling
+// dominates PLFS restart at scale.
+#include <benchmark/benchmark.h>
+
+#include "pdsi/plfs/index.h"
+
+using namespace pdsi::plfs;
+
+namespace {
+
+IndexEntry StridedEntry(std::uint64_t k, std::uint32_t ranks, std::uint64_t record,
+                        std::uint32_t rank) {
+  IndexEntry e;
+  e.logical = (k * ranks + rank) * record;
+  e.length = record;
+  e.physical = k * record;
+  e.rank = rank;
+  e.sequence = k * ranks + rank;
+  return e;
+}
+
+void BM_GlobalIndexInsertStrided(benchmark::State& state) {
+  const std::uint64_t entries = state.range(0);
+  for (auto _ : state) {
+    GlobalIndex g;
+    for (std::uint64_t k = 0; k < entries; ++k) {
+      g.add(StridedEntry(k / 8, 8, 47 * 1024, k % 8), k % 8);
+    }
+    benchmark::DoNotOptimize(g.size());
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_GlobalIndexInsertStrided)->Range(1 << 10, 1 << 16);
+
+void BM_GlobalIndexLookup(benchmark::State& state) {
+  GlobalIndex g;
+  const std::uint64_t entries = 1 << 16;
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    g.add(StridedEntry(k / 8, 8, 47 * 1024, k % 8), k % 8);
+  }
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    pos = (pos + 2654435761ULL) % (g.size() - 256 * 1024);
+    benchmark::DoNotOptimize(g.lookup(pos, 256 * 1024));
+  }
+}
+BENCHMARK(BM_GlobalIndexLookup);
+
+void BM_PatternCompressor(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    PatternCompressor c(enabled);
+    for (std::uint64_t k = 0; k < 4096; ++k) {
+      c.add(StridedEntry(k, 8, 47 * 1024, 3));
+    }
+    c.finish();
+    benchmark::DoNotOptimize(c.take());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PatternCompressor)->Arg(0)->Arg(1);
+
+void BM_SerializeEntries(benchmark::State& state) {
+  std::vector<IndexEntry> entries;
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    entries.push_back(StridedEntry(k, 8, 47 * 1024, 1));
+  }
+  for (auto _ : state) {
+    auto raw = SerializeEntries(entries);
+    benchmark::DoNotOptimize(DeserializeEntries(raw));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096 * kRawEntrySize);
+}
+BENCHMARK(BM_SerializeEntries);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Microbenchmarks: the storage service-time models themselves. These sit
+// on the hot path of every simulated I/O, so their cost bounds how large
+// a simulated system the harness can afford.
+#include <benchmark/benchmark.h>
+
+#include "pdsi/common/rng.h"
+#include "pdsi/storage/device_catalog.h"
+
+using namespace pdsi;
+using namespace pdsi::storage;
+
+namespace {
+
+void BM_DiskAccessSequential(benchmark::State& state) {
+  DiskModel d(ReferenceSataDisk());
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.access(1, off, 65536));
+    off += 65536;
+  }
+}
+BENCHMARK(BM_DiskAccessSequential);
+
+void BM_DiskAccessRandom(benchmark::State& state) {
+  DiskModel d(ReferenceSataDisk());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.access(1, rng.below(1ull << 38), 4096));
+  }
+}
+BENCHMARK(BM_DiskAccessRandom);
+
+void BM_SsdSequentialWrite(benchmark::State& state) {
+  SsdParams p = FlashDevice("fusionio-iodrive-duo");
+  p.capacity_bytes = 256ull << 20;
+  SsdModel ssd(p);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssd.write(off % (p.capacity_bytes - 65536), 65536));
+    off += 65536;
+  }
+  state.SetBytesProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_SsdSequentialWrite);
+
+void BM_SsdRandomWriteSteadyState(benchmark::State& state) {
+  SsdParams p = FlashDevice("fusionio-iodrive-duo");
+  p.capacity_bytes = 64ull << 20;
+  SsdModel ssd(p);
+  Rng rng(2);
+  const std::uint64_t pages = p.capacity_bytes / 4096;
+  // Pre-fill so GC is active during measurement.
+  for (std::uint64_t i = 0; i < pages * 2; ++i) {
+    ssd.write(rng.below(pages) * 4096, 4096);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssd.write(rng.below(pages) * 4096, 4096));
+  }
+}
+BENCHMARK(BM_SsdRandomWriteSteadyState);
+
+}  // namespace

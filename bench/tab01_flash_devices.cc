@@ -1,0 +1,97 @@
+// Table 1 — performance characteristics of the five flash devices
+// (NERSC FLASH I/O evaluation).
+//
+// Paper: peak read/write bandwidth and 4K random IOPS for two SATA and
+// three PCIe devices, measured with iozone. This harness runs the same
+// sweeps against the FTL models and prints the same rows.
+#include <iostream>
+
+#include "bench_util.h"
+#include "pdsi/common/rng.h"
+#include "pdsi/common/stats.h"
+#include "pdsi/common/table.h"
+#include "pdsi/common/units.h"
+#include "pdsi/storage/device_catalog.h"
+
+using namespace pdsi;
+using storage::SsdModel;
+using storage::SsdParams;
+
+namespace {
+
+struct Row {
+  double read_bw, write_bw, read_kiops, write_kiops;
+};
+
+Row Measure(const SsdParams& params) {
+  Row row{};
+  Rng rng(42);
+  {
+    SsdModel ssd(params);
+    const std::uint64_t total = params.capacity_bytes / 2;
+    double tw = 0, tr = 0;
+    for (std::uint64_t off = 0; off < total; off += 1 * MiB) tw += ssd.write(off, 1 * MiB);
+    for (std::uint64_t off = 0; off < total; off += 1 * MiB) tr += ssd.read(off, 1 * MiB);
+    row.write_bw = static_cast<double>(total) / tw;
+    row.read_bw = static_cast<double>(total) / tr;
+  }
+  {
+    SsdModel ssd(params);
+    const std::uint64_t pages = params.capacity_bytes / 4096;
+    double tr = 0, tw = 0;
+    constexpr int kOps = 4000;
+    for (int i = 0; i < kOps; ++i) tr += ssd.read(rng.below(pages) * 4096, 4096);
+    for (int i = 0; i < kOps; ++i) tw += ssd.write(rng.below(pages) * 4096, 4096);
+    row.read_kiops = kOps / tr / 1e3;
+    row.write_kiops = kOps / tw / 1e3;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 1: flash device characteristics",
+                "X25-M 200/100 MB/s 19.1/1.49 KIOPS; Colossus 200/200 "
+                "5.21/1.85; ioDrive Duo 800/690 107/111; RamSan-20 "
+                "700/675 143/156; tachION 1200/1200 156/118");
+
+  // Paper numbers for side-by-side comparison, in catalog order.
+  const struct {
+    double rbw, wbw, riops, wiops;
+  } paper[] = {{200, 100, 19.1, 1.49},
+               {200, 200, 5.21, 1.85},
+               {800, 690, 107, 111},
+               {700, 675, 143, 156},
+               {1200, 1200, 156, 118}};
+
+  Table t({"device", "read MB/s", "(paper)", "write MB/s", "(paper)",
+           "4K read KIOPS", "(paper)", "4K write KIOPS", "(paper)"});
+  int i = 0;
+  for (const auto& params : storage::AllFlashDevices()) {
+    const Row r = Measure(params);
+    t.row({params.name, FormatDouble(r.read_bw / 1e6, 0),
+           FormatDouble(paper[i].rbw, 0), FormatDouble(r.write_bw / 1e6, 0),
+           FormatDouble(paper[i].wbw, 0), FormatDouble(r.read_kiops, 1),
+           FormatDouble(paper[i].riops, 1), FormatDouble(r.write_kiops, 2),
+           FormatDouble(paper[i].wiops, 2)});
+    ++i;
+  }
+  t.print(std::cout);
+
+  // The reference spinning disk for contrast (~80 MB/s, ~90 IOPS).
+  storage::DiskModel disk(storage::ReferenceSataDisk());
+  Rng rng(7);
+  double t_seq = 0, t_rand = 0;
+  for (int i2 = 0; i2 < 100; ++i2) t_seq += disk.access(1, i2 * MiB, 1 * MiB);
+  for (int i2 = 0; i2 < 500; ++i2) {
+    t_rand += disk.access(1, rng.below(disk.params().capacity_bytes / 4096) * 4096, 4096);
+  }
+  std::cout << "reference SATA disk: " << FormatRate(100.0 * MiB / t_seq)
+            << " streaming, " << FormatDouble(500 / t_rand, 0)
+            << " random IOPS\n";
+  bench::Note("shape check: model rates within ~15% of the table; flash "
+              "random reads are orders of magnitude above disk; SATA-era "
+              "random writes are far below their reads.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Checkpoint/restart walkthrough on the simulated parallel file system.
+//
+// A 64-rank application alternates compute phases with PLFS checkpoints
+// on a PanFS-like cluster, while a failure process (calibrated to the
+// LANL analysis) interrupts it; after each interrupt the application
+// restarts from the last complete checkpoint. The run prints the
+// timeline and compares the achieved utilisation against the analytic
+// Young/Daly model — the whole Fig. 5 story at application scale.
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/rng.h"
+#include "pdsi/common/units.h"
+#include "pdsi/failure/checkpoint_sim.h"
+#include "pdsi/failure/model.h"
+#include "pdsi/pfs/cluster.h"
+#include "pdsi/plfs/pfs_backend.h"
+#include "pdsi/plfs/plfs.h"
+#include "pdsi/workload/driver.h"
+
+using namespace pdsi;
+
+int main() {
+  constexpr std::uint32_t kRanks = 64;
+  constexpr std::uint64_t kRecord = 47 * KiB;
+  constexpr std::uint32_t kRecords = 64;
+  constexpr double kComputePhase = 60.0;   // seconds between checkpoints
+  constexpr double kMtti = 420.0;          // harsh exascale-ish failure rate
+  constexpr double kWorkGoal = 3600.0;     // one hour of useful compute
+
+  // Measure the checkpoint cost once on the simulated cluster.
+  workload::CheckpointSpec spec{workload::Pattern::n1_strided, kRanks, kRecord,
+                                kRecords};
+  const auto cfg = pfs::PfsConfig::PanFsLike(8);
+  const auto direct = workload::RunDirectCheckpoint(cfg, spec);
+  const auto plfs = workload::RunPlfsCheckpoint(cfg, spec);
+  std::cout << "checkpoint volume "
+            << FormatBytes(static_cast<double>(spec.total_bytes())) << ": direct "
+            << FormatDuration(direct.seconds) << ", PLFS "
+            << FormatDuration(plfs.seconds) << " ("
+            << FormatDouble(direct.seconds / plfs.seconds, 1) << "x)\n\n";
+
+  // Drive the checkpoint-restart loop with each delta.
+  Rng rng(2009);
+  for (const auto& [label, delta] :
+       {std::pair<const char*, double>{"direct N-1", direct.seconds},
+        std::pair<const char*, double>{"PLFS", plfs.seconds}}) {
+    failure::CheckpointSimParams p;
+    p.work_seconds = kWorkGoal;
+    p.interval = kComputePhase;
+    p.checkpoint_seconds = delta;
+    p.restart_seconds = 2.0 * delta;
+    p.mtti_seconds = kMtti;
+    Rng run_rng = rng.fork();
+    const auto sim = failure::SimulateCheckpointing(p, run_rng);
+    const double analytic = failure::EffectiveUtilization(
+        p.interval, delta, kMtti, p.restart_seconds);
+    std::cout << label << ": wall " << FormatDuration(sim.wall_seconds)
+              << " for " << FormatDuration(kWorkGoal) << " of work, "
+              << sim.failures << " failures, " << sim.checkpoints
+              << " checkpoints -> utilisation "
+              << FormatDouble(100.0 * sim.utilization, 1) << "% (model "
+              << FormatDouble(100.0 * analytic, 1) << "%)\n";
+    // The Young-optimal interval for this delta:
+    const double tau = failure::YoungOptimalInterval(delta, kMtti);
+    std::cout << "  young-optimal interval: " << FormatDuration(tau)
+              << " -> utilisation "
+              << FormatDouble(100.0 * failure::OptimalUtilization(
+                                  delta, kMtti, p.restart_seconds), 1)
+              << "%\n";
+  }
+
+  std::cout << "\ntakeaway: the PLFS-accelerated checkpoint turns the same "
+               "failure environment from a utilisation crisis into routine "
+               "overhead — the report's motivation for transparent "
+               "checkpoint acceleration.\n";
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "pdsi/argon/argon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "pdsi/sim/event_queue.h"
+
+namespace pdsi::argon {
+namespace {
+
+struct Request {
+  std::uint32_t job;
+  std::uint64_t object;
+  std::uint64_t offset;
+  std::uint64_t bytes;
+  /// Called when the request's data is on the wire back to the client.
+  std::function<void()> on_complete;
+};
+
+/// One storage server: a disk drained by the configured scheduler.
+class Server {
+ public:
+  Server(const ArgonParams& p, std::uint32_t id, sim::EventQueue& queue)
+      : p_(p), id_(id), queue_(queue), disk_(p.disk),
+        job_queues_(p.jobs.size()) {}
+
+  void submit(Request r) {
+    if (p_.scheduler == Scheduler::fifo) {
+      fifo_queue_.push_back(std::move(r));
+    } else {
+      job_queues_[r.job].push_back(std::move(r));
+    }
+    kick();
+  }
+
+ private:
+  std::uint32_t slice_job(double now) const {
+    const auto jobs = static_cast<std::uint32_t>(job_queues_.size());
+    std::uint64_t idx = static_cast<std::uint64_t>(now / p_.quantum_s);
+    if (!p_.coscheduled) idx += id_ * 7919;  // desynchronised phase
+    return static_cast<std::uint32_t>(idx % jobs);
+  }
+
+  /// Any-job pick: slice owner first, then rotation (work conserving).
+  bool pick_any(Request& out) {
+    const std::uint32_t owner = slice_job(queue_.now());
+    for (std::size_t step = 0; step < job_queues_.size(); ++step) {
+      auto& q = job_queues_[(owner + step) % job_queues_.size()];
+      if (!q.empty()) {
+        out = std::move(q.front());
+        q.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void serve(Request r) {
+    busy_ = true;
+    const double service = disk_.access(r.object, r.offset, r.bytes);
+    auto done = std::move(r.on_complete);
+    queue_.after(service, [this, done = std::move(done)] {
+      busy_ = false;
+      done();
+      kick();
+    });
+  }
+
+  void kick() {
+    if (busy_) return;
+    if (p_.scheduler == Scheduler::fifo) {
+      if (fifo_queue_.empty()) return;
+      Request r = std::move(fifo_queue_.front());
+      fifo_queue_.pop_front();
+      serve(std::move(r));
+      return;
+    }
+    // Time-sliced: the head is dedicated to the slice owner. If the
+    // owner has nothing queued right now, park until either the owner
+    // submits (submit() re-kicks) or the slice boundary passes.
+    const std::uint32_t owner = slice_job(queue_.now());
+    auto& oq = job_queues_[owner];
+    if (!oq.empty()) {
+      Request r = std::move(oq.front());
+      oq.pop_front();
+      serve(std::move(r));
+      return;
+    }
+    bool any_pending = false;
+    for (const auto& q : job_queues_) any_pending |= !q.empty();
+    if (!any_pending || boundary_check_armed_) return;
+    boundary_check_armed_ = true;
+    const double next_boundary =
+        (std::floor(queue_.now() / p_.quantum_s) + 1.0) * p_.quantum_s + 1e-9;
+    queue_.at(next_boundary, [this] {
+      boundary_check_armed_ = false;
+      kick();
+    });
+  }
+
+  const ArgonParams& p_;
+  std::uint32_t id_;
+  sim::EventQueue& queue_;
+  storage::DiskModel disk_;
+  std::vector<std::deque<Request>> job_queues_;
+  std::deque<Request> fifo_queue_;
+  bool busy_ = false;
+  bool boundary_check_armed_ = false;
+};
+
+/// Drives the closed-loop clients and collects per-job byte counts.
+class ArgonSim {
+ public:
+  explicit ArgonSim(const ArgonParams& p) : p_(p) {
+    if (p_.jobs.empty()) throw std::invalid_argument("no jobs");
+    servers_.reserve(p_.servers);
+    for (std::uint32_t s = 0; s < p_.servers; ++s) {
+      servers_.push_back(std::make_unique<Server>(p_, s, queue_));
+    }
+    results_.resize(p_.jobs.size());
+  }
+
+  ArgonResult run() {
+    for (std::uint32_t j = 0; j < p_.jobs.size(); ++j) start_job(j);
+    queue_.run_until(p_.duration_s);
+    ArgonResult out;
+    out.jobs = results_;
+    for (auto& j : out.jobs) j.throughput = static_cast<double>(j.bytes) / p_.duration_s;
+    return out;
+  }
+
+ private:
+  void start_job(std::uint32_t j) {
+    const JobSpec& spec = p_.jobs[j];
+    if (spec.kind == JobKind::streamer) {
+      issue_stream_round(j);
+    } else {
+      for (std::uint32_t s = 0; s < p_.servers; ++s) {
+        for (std::uint32_t o = 0; o < spec.outstanding_per_server; ++o) {
+          issue_scan(j, s);
+        }
+      }
+    }
+  }
+
+  /// Streamer: one chunk per server, synchronised (stripe semantics: the
+  /// client advances when the slowest server finishes).
+  void issue_stream_round(std::uint32_t j) {
+    if (queue_.now() >= p_.duration_s) return;
+    const JobSpec& spec = p_.jobs[j];
+    auto remaining = std::make_shared<std::uint32_t>(p_.servers);
+    for (std::uint32_t s = 0; s < p_.servers; ++s) {
+      Request r;
+      r.job = j;
+      r.object = 1000 + j;  // per-job locality
+      r.offset = stream_pos_[j];
+      r.bytes = spec.chunk_bytes;
+      r.on_complete = [this, j, remaining] {
+        if (queue_.now() <= p_.duration_s) {
+          results_[j].bytes += p_.jobs[j].chunk_bytes;
+          ++results_[j].requests;
+        }
+        if (--*remaining == 0) issue_stream_round(j);
+      };
+      servers_[s]->submit(std::move(r));
+    }
+    stream_pos_[j] += spec.chunk_bytes;
+  }
+
+  void issue_scan(std::uint32_t j, std::uint32_t s) {
+    if (queue_.now() >= p_.duration_s) return;
+    const JobSpec& spec = p_.jobs[j];
+    Request r;
+    r.job = j;
+    r.object = 2000 + j;
+    // Deterministic pseudo-random offsets over a large extent.
+    scan_pos_[j] = scan_pos_[j] * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t span = 64ULL << 30;
+    r.offset = (scan_pos_[j] >> 20) % span / spec.request_bytes * spec.request_bytes;
+    r.bytes = spec.request_bytes;
+    r.on_complete = [this, j, s] {
+      if (queue_.now() <= p_.duration_s) {
+        results_[j].bytes += p_.jobs[j].request_bytes;
+        ++results_[j].requests;
+      }
+      issue_scan(j, s);
+    };
+    servers_[s]->submit(std::move(r));
+  }
+
+  ArgonParams p_;
+  sim::EventQueue queue_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<JobResult> results_;
+  std::unordered_map<std::uint32_t, std::uint64_t> stream_pos_;
+  std::unordered_map<std::uint32_t, std::uint64_t> scan_pos_;
+};
+
+}  // namespace
+
+ArgonResult RunArgon(const ArgonParams& params) { return ArgonSim(params).run(); }
+
+JobResult RunAlone(const ArgonParams& params, const JobSpec& job) {
+  ArgonParams solo = params;
+  solo.jobs = {job};
+  return RunArgon(solo).jobs.front();
+}
+
+}  // namespace pdsi::argon

@@ -1,0 +1,34 @@
+#include "pdsi/common/bytes.h"
+
+namespace pdsi {
+
+void FillPattern(std::uint32_t rank, std::uint64_t start, std::span<std::uint8_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = PatternByte(rank, start + i);
+  }
+}
+
+Bytes MakePattern(std::uint32_t rank, std::uint64_t start, std::size_t len) {
+  Bytes b(len);
+  FillPattern(rank, start, b);
+  return b;
+}
+
+std::size_t FindPatternMismatch(std::uint32_t rank, std::uint64_t start,
+                                std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != PatternByte(rank, start + i)) return i;
+  }
+  return kNoMismatch;
+}
+
+std::uint64_t HashBytes(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace pdsi

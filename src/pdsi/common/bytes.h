@@ -1,0 +1,39 @@
+// Deterministic data patterns for write/read-back verification. PLFS tests
+// must prove bit-exact reconstruction of a logical file from per-rank logs;
+// these helpers generate content that encodes (rank, logical offset) so any
+// index bug shows up as a pattern mismatch at a precise location.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdsi {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Byte at logical offset `off` written by `rank`: a mixed hash so that
+/// both wrong-offset and wrong-writer errors are detected.
+inline std::uint8_t PatternByte(std::uint32_t rank, std::uint64_t off) {
+  std::uint64_t z = off + 0x9e3779b97f4a7c15ULL * (rank + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint8_t>(z >> 56);
+}
+
+/// Fills `out` with the pattern for [start, start + out.size()).
+void FillPattern(std::uint32_t rank, std::uint64_t start, std::span<std::uint8_t> out);
+
+/// Returns a freshly allocated patterned buffer.
+Bytes MakePattern(std::uint32_t rank, std::uint64_t start, std::size_t len);
+
+/// Returns the index of the first mismatching byte, or npos if all match.
+inline constexpr std::size_t kNoMismatch = static_cast<std::size_t>(-1);
+std::size_t FindPatternMismatch(std::uint32_t rank, std::uint64_t start,
+                                std::span<const std::uint8_t> data);
+
+/// FNV-1a content hash, for cheap whole-file equality checks.
+std::uint64_t HashBytes(std::span<const std::uint8_t> data);
+
+}  // namespace pdsi

@@ -1,0 +1,24 @@
+#include "pdsi/common/result.h"
+
+namespace pdsi {
+
+std::string_view ErrcName(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::not_dir: return "not_dir";
+    case Errc::is_dir: return "is_dir";
+    case Errc::not_empty: return "not_empty";
+    case Errc::invalid: return "invalid";
+    case Errc::bad_handle: return "bad_handle";
+    case Errc::no_space: return "no_space";
+    case Errc::io_error: return "io_error";
+    case Errc::not_supported: return "not_supported";
+    case Errc::busy: return "busy";
+    case Errc::stale: return "stale";
+  }
+  return "unknown";
+}
+
+}  // namespace pdsi

@@ -1,0 +1,86 @@
+// POSIX-flavoured error handling for the file-system layers. File-system
+// operations fail for reasons callers must branch on (ENOENT vs EEXIST),
+// so they return Result<T>/Status rather than throwing; exceptions are
+// reserved for programming errors (precondition violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace pdsi {
+
+/// Error codes mirroring the POSIX errors the paper's file systems surface.
+enum class Errc {
+  ok = 0,
+  not_found,        // ENOENT
+  exists,           // EEXIST
+  not_dir,          // ENOTDIR
+  is_dir,           // EISDIR
+  not_empty,        // ENOTEMPTY
+  invalid,          // EINVAL
+  bad_handle,       // EBADF
+  no_space,         // ENOSPC
+  io_error,         // EIO
+  not_supported,    // ENOTSUP
+  busy,             // EBUSY
+  stale,            // ESTALE: client mapping out of date (GIGA+)
+};
+
+std::string_view ErrcName(Errc e);
+
+/// Value-or-error, modelled on std::expected (not in C++20's library).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), errc_(Errc::ok) {}  // NOLINT
+  Result(Errc errc) : errc_(errc) { assert(errc != Errc::ok); }   // NOLINT
+
+  bool ok() const { return errc_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return errc_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Errc errc_;
+};
+
+/// Error-only result for operations without a payload.
+class Status {
+ public:
+  Status() : errc_(Errc::ok) {}
+  Status(Errc errc) : errc_(errc) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return errc_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return errc_; }
+
+ private:
+  Errc errc_;
+};
+
+}  // namespace pdsi

@@ -1,0 +1,54 @@
+#include "pdsi/common/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdsi {
+
+double Rng::gamma(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("Rng::gamma requires positive shape/scale");
+  }
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double skew) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator requires n > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+std::size_t ZipfGenerator::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace pdsi

@@ -1,0 +1,147 @@
+// Deterministic pseudo-random number generation and the distributions used
+// across the PDSI reproduction (failure models, file-size populations,
+// workload jitter). All simulations seed explicitly so every benchmark and
+// test is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace pdsi {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it composes with <random> if
+/// needed, but the member helpers below avoid libstdc++'s distribution
+/// implementations, which are not stable across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises state from a 64-bit seed via SplitMix64, which
+  /// guarantees the four words are well mixed even for tiny seeds.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (inverse-CDF method).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log1p(-u);
+  }
+
+  /// Weibull(shape k, scale lambda) via inverse CDF.
+  double weibull(double shape, double scale) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; cached pair
+  /// deliberately omitted to keep state minimal and replay simple).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal parameterised by the mu/sigma of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Pareto with given minimum and tail index alpha.
+  double pareto(double minimum, double alpha) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return minimum / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang, used by the failure
+  /// module for time-between-failure models.
+  double gamma(double shape, double scale);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream, e.g. one per simulated rank.
+  Rng fork() { return Rng((*this)() ^ 0xda3e39cb94b95bdbULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed integers in [0, n): rank-frequency skew used for
+/// directory hot spots and map-reduce key popularity. Precomputes the
+/// harmonic normaliser once.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double skew);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pdsi

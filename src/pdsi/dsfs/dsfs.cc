@@ -1,0 +1,213 @@
+#include "pdsi/dsfs/dsfs.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "pdsi/common/rng.h"
+#include "pdsi/sim/event_queue.h"
+#include "pdsi/sim/virtual_time.h"
+#include "pdsi/storage/disk_model.h"
+
+namespace pdsi::dsfs {
+
+double GrepJobResult::aggregate_bandwidth() const {
+  return runtime_s > 0 ? static_cast<double>(total_bytes) / runtime_s : 0.0;
+}
+
+namespace {
+
+struct Node {
+  storage::DiskModel disk;
+  sim::SimResource disk_res;
+  sim::SimResource nic_res;
+  std::uint32_t free_slots;
+
+  explicit Node(const storage::DiskParams& d, std::uint32_t slots)
+      : disk(d), free_slots(slots) {}
+};
+
+class GrepSim {
+ public:
+  explicit GrepSim(const GrepJobParams& p) : p_(p), rng_(p.seed) {
+    nodes_.reserve(p_.nodes);
+    for (std::uint32_t n = 0; n < p_.nodes; ++n) {
+      nodes_.emplace_back(p_.disk, p_.map_slots_per_node);
+    }
+    // Replica placement: each block on `replication` distinct nodes.
+    replicas_.resize(p_.blocks);
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+      std::vector<std::uint32_t> nodes(p_.nodes);
+      for (std::uint32_t n = 0; n < p_.nodes; ++n) nodes[n] = n;
+      rng_.shuffle(nodes);
+      replicas_[b].assign(nodes.begin(),
+                          nodes.begin() + std::min<std::size_t>(p_.replication, p_.nodes));
+      pending_.push_back(b);
+    }
+  }
+
+  GrepJobResult run() {
+    for (std::uint32_t n = 0; n < p_.nodes; ++n) schedule_on(n);
+    queue_.run(100'000'000ULL);
+    result_.runtime_s = finish_;
+    result_.total_bytes =
+        static_cast<std::uint64_t>(p_.blocks) * p_.block_bytes;
+    return result_;
+  }
+
+ private:
+  bool is_replica(std::uint32_t block, std::uint32_t node) const {
+    const auto& r = replicas_[block];
+    return std::find(r.begin(), r.end(), node) != r.end();
+  }
+
+  /// Picks the next task for a free slot on `node`; locality preference
+  /// when the scheduler can see the layout.
+  bool pick_task(std::uint32_t node, std::uint32_t& block, bool& local) {
+    if (pending_.empty()) return false;
+    if (p_.locality_aware) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (is_replica(*it, node)) {
+          block = *it;
+          local = true;
+          pending_.erase(it);
+          return true;
+        }
+      }
+    }
+    block = pending_.front();
+    pending_.pop_front();
+    local = is_replica(block, node);
+    return true;
+  }
+
+  void schedule_on(std::uint32_t node) {
+    Node& n = nodes_[node];
+    while (n.free_slots > 0) {
+      std::uint32_t block;
+      bool local;
+      if (!pick_task(node, block, local)) return;
+      --n.free_slots;
+      launch(node, block, local);
+    }
+  }
+
+  void launch(std::uint32_t node, std::uint32_t block, bool local) {
+    Node& n = nodes_[node];
+    const double start = queue_.now() + p_.task_overhead_s;
+
+    // Source node for the data.
+    std::uint32_t src = node;
+    if (!local) {
+      const auto& r = replicas_[block];
+      src = r[rng_.below(r.size())];
+    }
+    Node& s = nodes_[src];
+
+    // Read the block in read_unit chunks from the source disk; remote
+    // reads cross both NICs. Pipelined mode (readahead) keeps all stages
+    // overlapped; synchronous mode serialises RPC + disk + wire per unit.
+    double t = start;
+    const std::uint64_t object = 777000 + block;
+    std::uint64_t off = 0;
+    double issue = start;
+    // The source node's kernel prefetches sequential files in large units
+    // regardless of the client's read size (server-side OS readahead).
+    constexpr std::uint64_t kServerPrefetch = 2 * 1024 * 1024;
+    std::uint64_t prefetched = 0;
+    auto disk_read = [&](std::uint64_t at, std::uint64_t len, double when) {
+      if (at + len <= prefetched) return when;  // served from page cache
+      const std::uint64_t plen =
+          std::min(std::max(len, kServerPrefetch), p_.block_bytes - at);
+      const double service = s.disk.access(object, at, plen);
+      prefetched = at + plen;
+      return s.disk_res.reserve(when, service);
+    };
+    while (off < p_.block_bytes) {
+      const std::uint64_t len = std::min(p_.read_unit, p_.block_bytes - off);
+      const double wire = static_cast<double>(len) / p_.nic_bw_bytes;
+      const double scan = static_cast<double>(len) / p_.scan_bw_bytes;
+      if (p_.pipelined_reads) {
+        // Stages overlap: each chunk queues on the disk as soon as the
+        // previous chunk left it, flows through the NICs, and the task
+        // completes at the latest stage.
+        const double disk_done = disk_read(off, len, issue);
+        issue = disk_done;
+        double ready = disk_done;
+        if (!local) {
+          ready = s.nic_res.reserve(ready, wire);
+          ready = n.nic_res.reserve(ready, wire);
+        }
+        t = std::max(ready, t + scan);
+      } else {
+        // Synchronous read(): RPC round trip, then disk, then wires, then
+        // scan — nothing overlaps.
+        double ready = disk_read(off, len, t + p_.rpc_latency_s);
+        if (!local) {
+          ready = s.nic_res.reserve(ready, wire);
+          ready = n.nic_res.reserve(ready, wire);
+        }
+        t = ready + scan;
+      }
+      off += len;
+    }
+
+    if (local) {
+      ++result_.local_tasks;
+    } else {
+      ++result_.remote_tasks;
+    }
+    queue_.at(t, [this, node] {
+      finish_ = std::max(finish_, queue_.now());
+      ++nodes_[node].free_slots;
+      schedule_on(node);
+    });
+  }
+
+  GrepJobParams p_;
+  Rng rng_;
+  sim::EventQueue queue_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::uint32_t>> replicas_;
+  std::deque<std::uint32_t> pending_;
+  GrepJobResult result_;
+  double finish_ = 0.0;
+};
+
+}  // namespace
+
+GrepJobResult RunGrepJob(const GrepJobParams& params) {
+  return GrepSim(params).run();
+}
+
+GrepJobParams NativeHdfs(std::uint32_t nodes) {
+  GrepJobParams p;
+  p.nodes = nodes;
+  p.read_unit = 4 * 1024 * 1024;  // HDFS streams in large packets
+  p.locality_aware = true;
+  return p;
+}
+
+GrepJobParams NaivePvfsShim(std::uint32_t nodes) {
+  GrepJobParams p;
+  p.nodes = nodes;
+  p.read_unit = 512 * 1024;  // Hadoop-side buffer only, no shim readahead
+  p.pipelined_reads = false; // synchronous read() round trips
+  p.locality_aware = false;  // layout hidden from the scheduler
+  return p;
+}
+
+GrepJobParams ReadaheadPvfsShim(std::uint32_t nodes) {
+  GrepJobParams p = NaivePvfsShim(nodes);
+  p.read_unit = 4 * 1024 * 1024;  // shim readahead like the stdio layers
+  p.pipelined_reads = true;       // buffers ahead of the consumer
+  return p;
+}
+
+GrepJobParams LayoutExposedPvfsShim(std::uint32_t nodes) {
+  GrepJobParams p = ReadaheadPvfsShim(nodes);
+  p.locality_aware = true;  // replica addresses from extended attributes
+  return p;
+}
+
+}  // namespace pdsi::dsfs

@@ -1,0 +1,40 @@
+#include "pdsi/failure/checkpoint_sim.h"
+
+#include <cmath>
+
+namespace pdsi::failure {
+
+CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng) {
+  CheckpointSimResult r;
+  const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
+  const double scale = p.mtti_seconds / gamma_term;
+
+  double done = 0.0;        // committed (checkpointed) work
+  double now = 0.0;
+  double next_failure = rng.weibull(p.weibull_shape, scale);
+
+  while (done < p.work_seconds) {
+    // Attempt one segment: compute `interval` (or the remainder) and then
+    // checkpoint it. Progress only commits when the checkpoint finishes.
+    const double segment = std::min(p.interval, p.work_seconds - done);
+    const double attempt_end = now + segment + p.checkpoint_seconds;
+    if (next_failure >= attempt_end) {
+      now = attempt_end;
+      done += segment;
+      ++r.checkpoints;
+      continue;
+    }
+    // Failure mid-segment (or mid-checkpoint): progress since the last
+    // checkpoint is lost, pay the restart.
+    ++r.failures;
+    now = next_failure + p.restart_seconds;
+    while (next_failure <= now) {
+      next_failure += rng.weibull(p.weibull_shape, scale);
+    }
+  }
+  r.wall_seconds = now;
+  r.utilization = p.work_seconds / now;
+  return r;
+}
+
+}  // namespace pdsi::failure

@@ -1,0 +1,123 @@
+#include "pdsi/failure/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdsi/common/units.h"
+
+namespace pdsi::failure {
+
+double MttiModel::system_pflops(double year) const {
+  return p_.base_system_pflops *
+         std::pow(p_.system_growth_per_year, year - p_.base_year);
+}
+
+double MttiModel::chip_gflops(double year) const {
+  const double doublings = (year - p_.base_year) * 12.0 / p_.chip_doubling_months;
+  return p_.base_chip_gflops * std::pow(2.0, doublings);
+}
+
+double MttiModel::chips(double year) const {
+  return system_pflops(year) * 1e6 / chip_gflops(year);  // PF -> GF
+}
+
+double MttiModel::interrupt_rate(double year) const {
+  return p_.interrupts_per_chip_year * chips(year) / kYear;
+}
+
+double MttiModel::mtti_seconds(double year) const {
+  return 1.0 / interrupt_rate(year);
+}
+
+double YoungOptimalInterval(double delta, double mtti) {
+  return std::sqrt(2.0 * delta * mtti);
+}
+
+double EffectiveUtilization(double interval, double delta, double mtti,
+                            double restart) {
+  // Daly's exact renewal-reward result for Poisson failures at rate
+  // lambda = 1/MTTI: the expected wall time to commit one segment of
+  // `interval` useful seconds (plus its checkpoint) is
+  //   E = e^{lambda*restart} * (e^{lambda*(interval+delta)} - 1) / lambda,
+  // so utilisation = interval / E. Reduces to the familiar first-order
+  // 1 - delta/tau - tau/(2*MTTI) expansion when lambda is small.
+  const double lambda = 1.0 / mtti;
+  const double expo = lambda * (interval + delta);
+  // Guard against overflow for hopeless regimes (tiny MTTI).
+  if (expo > 500.0 || lambda * restart > 500.0) return 0.0;
+  const double expected =
+      std::exp(lambda * restart) * (std::exp(expo) - 1.0) / lambda;
+  return interval / expected;
+}
+
+double OptimalUtilization(double delta, double mtti, double restart) {
+  const double tau = YoungOptimalInterval(delta, mtti);
+  return EffectiveUtilization(tau, delta, mtti, restart);
+}
+
+std::string_view StorageScenarioName(StorageScenario s) {
+  switch (s) {
+    case StorageScenario::balanced: return "balanced(bw +100%/yr)";
+    case StorageScenario::disk_trend: return "disk-trend(bw +20%/yr)";
+    case StorageScenario::compression: return "balanced+compression";
+  }
+  return "?";
+}
+
+UtilizationModel::UtilizationModel(UtilizationModelParams p)
+    : p_(p), mtti_(p.mtti) {}
+
+double UtilizationModel::checkpoint_seconds(double year, StorageScenario s) const {
+  // Checkpoint volume scales with memory, i.e. with machine speed
+  // (balanced memory). Bandwidth scales per scenario.
+  const double years = year - p_.mtti.base_year;
+  const double volume_growth = std::pow(p_.mtti.system_growth_per_year, years);
+  double bw_growth = 1.0;
+  double footprint = 1.0;
+  switch (s) {
+    case StorageScenario::balanced:
+      bw_growth = std::pow(p_.mtti.system_growth_per_year, years);
+      break;
+    case StorageScenario::disk_trend:
+      bw_growth = std::pow(p_.disk_bw_growth, years);
+      break;
+    case StorageScenario::compression:
+      bw_growth = std::pow(p_.mtti.system_growth_per_year, years);
+      footprint = std::pow(p_.compression_gain, -years);
+      break;
+  }
+  return p_.base_checkpoint_seconds * volume_growth * footprint / bw_growth;
+}
+
+double UtilizationModel::utilization(double year, StorageScenario s) const {
+  const double delta = checkpoint_seconds(year, s);
+  const double mtti = mtti_.mtti_seconds(year);
+  return OptimalUtilization(delta, mtti, p_.restart_multiplier * delta);
+}
+
+double UtilizationModel::year_crossing_below(double threshold, StorageScenario s,
+                                             double limit_year) const {
+  for (double y = p_.mtti.base_year; y <= limit_year; y += 0.25) {
+    if (utilization(y, s) < threshold) return y;
+  }
+  return limit_year + 1.0;
+}
+
+double UtilizationModel::pairs_utilization(double year, StorageScenario s,
+                                           double visualization_interval_s) const {
+  // Half the machine computes usefully; the only storage overhead left is
+  // the visualisation/steering checkpoint. Simultaneous-pair loss is rare
+  // enough (quadratically so) to neglect at this fidelity.
+  const double delta = checkpoint_seconds(year, s);
+  return 0.5 * (visualization_interval_s /
+                (visualization_interval_s + delta));
+}
+
+double UtilizationModel::year_pairs_win(StorageScenario s, double limit_year) const {
+  for (double y = p_.mtti.base_year; y <= limit_year; y += 0.25) {
+    if (utilization(y, s) < pairs_utilization(y, s)) return y;
+  }
+  return limit_year + 1.0;
+}
+
+}  // namespace pdsi::failure

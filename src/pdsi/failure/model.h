@@ -1,0 +1,120 @@
+// Failure and checkpoint-overhead models (§3.3.3, Figs. 4 & 5).
+//
+// The report's analysis chain:
+//  1. LANL data: application interrupts are linear in the number of
+//     processor chips, ~0.1 interrupts/chip/year (optimistic).
+//  2. top500 growth: aggregate speed doubles yearly; per-chip speed
+//     doubles every 18-30 months; so chip counts — and interrupt rates —
+//     compound, and MTTI falls toward minutes by exascale.
+//  3. Balanced-machine checkpointing: memory scales with speed, so the
+//     checkpoint volume grows; sustainable storage bandwidth depends on
+//     how many disks you can afford (per-disk bandwidth grows only
+//     ~20%/year). Young/Daly-optimal checkpointing then yields effective
+//     application utilisation, which crosses below 50% before 2014 unless
+//     storage spending grows absurdly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdsi::failure {
+
+struct MttiModelParams {
+  double base_year = 2008.0;
+  double base_system_pflops = 1.0;        ///< 1 PFLOP/s machine in 2008
+  double system_growth_per_year = 2.0;    ///< top500 aggregate speed doubling
+  double chip_doubling_months = 18.0;     ///< per-chip speed (Moore best case)
+  double base_chip_gflops = 10.0;         ///< per-chip speed at base year
+  double interrupts_per_chip_year = 0.1;  ///< optimistic LANL-derived rate
+};
+
+class MttiModel {
+ public:
+  explicit MttiModel(MttiModelParams p = {}) : p_(p) {}
+
+  const MttiModelParams& params() const { return p_; }
+
+  double system_pflops(double year) const;
+  double chip_gflops(double year) const;
+  double chips(double year) const;
+
+  /// Interrupts per second for the machine of `year`.
+  double interrupt_rate(double year) const;
+
+  /// Mean time to interrupt, seconds.
+  double mtti_seconds(double year) const;
+
+ private:
+  MttiModelParams p_;
+};
+
+/// Young/Daly checkpoint-interval optimisation.
+/// delta: time to write one checkpoint; mtti: mean time to interrupt;
+/// restart: time to restart after failure.
+double YoungOptimalInterval(double delta, double mtti);
+
+/// Effective utilisation (useful compute fraction) for an application
+/// checkpointing every `interval` seconds: overhead = checkpoint time +
+/// expected rework + restart, first-order model.
+double EffectiveUtilization(double interval, double delta, double mtti,
+                            double restart);
+
+/// Utilisation at the Young-optimal interval.
+double OptimalUtilization(double delta, double mtti, double restart);
+
+/// Storage-bandwidth growth scenarios for Fig. 5.
+enum class StorageScenario {
+  balanced,       ///< bandwidth grows 100%/yr (disk count +67%/yr): cost blows up
+  disk_trend,     ///< constant disk count: bandwidth grows only 20%/yr
+  compression,    ///< balanced + checkpoint footprint shrinking 30%/yr
+};
+
+std::string_view StorageScenarioName(StorageScenario s);
+
+struct UtilizationModelParams {
+  MttiModelParams mtti;
+  /// 2008 baseline time to write one checkpoint of the full machine
+  /// (memory/storage-bandwidth ratio of a balanced petaflop system).
+  double base_checkpoint_seconds = 60.0;
+  double restart_multiplier = 2.0;          ///< restart reads + requeue
+  double disk_bw_growth = 1.20;             ///< per-disk bandwidth per year
+  double compression_gain = 1.30;           ///< footprint shrink per year
+};
+
+class UtilizationModel {
+ public:
+  explicit UtilizationModel(UtilizationModelParams p = {});
+
+  /// Seconds to write one checkpoint in `year` under the scenario.
+  double checkpoint_seconds(double year, StorageScenario s) const;
+
+  /// Effective utilisation at the Young-optimal interval.
+  double utilization(double year, StorageScenario s) const;
+
+  /// First year (searched in 0.25-year steps from base) where utilisation
+  /// falls below `threshold`, or a large sentinel if it never does before
+  /// `limit_year`.
+  double year_crossing_below(double threshold, StorageScenario s,
+                             double limit_year = 2030.0) const;
+
+  /// Process pairs (the report's alternative once utilisation heads under
+  /// 50%): run two copies of the computation so a failure never loses
+  /// state; checkpoints shrink to the visualisation cadence. Utilisation
+  /// is capped at 50% of the machine but degrades only with the (rare)
+  /// checkpoint-at-visualisation cost, not with MTTI.
+  double pairs_utilization(double year, StorageScenario s,
+                           double visualization_interval_s = 3600.0) const;
+
+  /// First year checkpoint-restart drops below process pairs (the
+  /// decision point the report describes).
+  double year_pairs_win(StorageScenario s, double limit_year = 2030.0) const;
+
+  const MttiModel& mtti() const { return mtti_; }
+
+ private:
+  UtilizationModelParams p_;
+  MttiModel mtti_;
+};
+
+}  // namespace pdsi::failure

@@ -1,0 +1,219 @@
+#include "pdsi/giga/giga.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdsi::giga {
+
+void Bitmap::set(std::uint32_t p) {
+  const std::size_t word = p / 64;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= 1ULL << (p % 64);
+}
+
+bool Bitmap::test(std::uint32_t p) const {
+  const std::size_t word = p / 64;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (p % 64)) & 1;
+}
+
+std::uint32_t Bitmap::highest() const {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return static_cast<std::uint32_t>(w * 64 + 63 -
+                                        __builtin_clzll(words_[w]));
+    }
+  }
+  return 0;
+}
+
+std::uint32_t Bitmap::partition_for(std::uint64_t hash) const {
+  // Start from a radix deep enough to cover the highest partition and
+  // walk shallower until the candidate exists. Partition 0 always does.
+  std::uint32_t d = 1;
+  while ((1u << d) <= highest()) ++d;
+  for (; d > 0; --d) {
+    const std::uint32_t candidate =
+        static_cast<std::uint32_t>(hash & ((1ULL << d) - 1));
+    if (test(candidate)) return candidate;
+  }
+  return 0;
+}
+
+void Bitmap::merge(const Bitmap& other) {
+  if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  const std::size_t n = std::max(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t a = w < words_.size() ? words_[w] : 0;
+    const std::uint64_t b = w < other.words_.size() ? other.words_[w] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::uint64_t HashName(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche so short names spread over low bits.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint32_t PartitionDepth(std::uint32_t p) {
+  if (p == 0) return 0;
+  return 32 - __builtin_clz(p);
+}
+
+std::uint32_t SplitChild(std::uint32_t p, std::uint32_t depth) {
+  return p + (1u << depth);
+}
+
+GigaDirectory::GigaDirectory(const GigaParams& params)
+    : params_(params), servers_(params.num_servers) {
+  depth_[0] = 0;
+  partitions_[0] = {};
+}
+
+GigaDirectory::CreateOutcome GigaDirectory::create(std::uint32_t addressed,
+                                                   std::uint64_t hash,
+                                                   const std::string& name,
+                                                   double now) {
+  CreateOutcome out;
+  sim::SimResource& server = servers_[server_of(addressed)];
+  const double arrived = now + params_.rpc_latency_s;
+  // The addressed server always does the work of looking at the request.
+  double t = server.reserve(arrived, params_.server_op_s);
+
+  const std::uint32_t correct = bitmap_.partition_for(hash);
+  if (correct != addressed) {
+    out.status = Errc::stale;
+    out.complete = t + params_.rpc_latency_s;
+    return out;
+  }
+  auto& part = partitions_[addressed];
+  if (!part.emplace(name, hash).second) {
+    out.status = Errc::exists;
+    out.complete = t + params_.rpc_latency_s;
+    return out;
+  }
+  ++total_entries_;
+  const double split_done = maybe_split(addressed, t);
+  out.status = Status::Ok();
+  out.complete = std::max(t, split_done) + params_.rpc_latency_s;
+  return out;
+}
+
+GigaDirectory::LookupOutcome GigaDirectory::lookup(std::uint32_t addressed,
+                                                   std::uint64_t hash,
+                                                   const std::string& name,
+                                                   double now) {
+  LookupOutcome out;
+  sim::SimResource& server = servers_[server_of(addressed)];
+  const double t =
+      server.reserve(now + params_.rpc_latency_s, params_.server_op_s);
+  const std::uint32_t correct = bitmap_.partition_for(hash);
+  if (correct != addressed) {
+    out.status = Errc::stale;
+  } else {
+    auto it = partitions_.find(addressed);
+    out.status = (it != partitions_.end() && it->second.count(name))
+                     ? Status::Ok()
+                     : Status(Errc::not_found);
+  }
+  out.complete = t + params_.rpc_latency_s;
+  return out;
+}
+
+double GigaDirectory::maybe_split(std::uint32_t p, double now) {
+  auto& part = partitions_[p];
+  if (part.size() < params_.split_threshold) return now;
+
+  const std::uint32_t dp = depth_[p];
+  const std::uint32_t child = SplitChild(p, dp);
+  const std::uint64_t child_mask = (1ULL << (dp + 1)) - 1;
+
+  auto& dest = partitions_[child];
+  std::size_t moved = 0;
+  for (auto it = part.begin(); it != part.end();) {
+    if ((it->second & child_mask) == child) {
+      dest.emplace(it->first, it->second);
+      it = part.erase(it);
+      ++moved;
+    } else {
+      ++it;
+    }
+  }
+  depth_[p] = dp + 1;
+  depth_[child] = dp + 1;
+  bitmap_.set(child);
+  ++splits_;
+
+  // Migration occupies both the source and destination servers; the
+  // triggering create completes only once its partition is split.
+  const double cost = static_cast<double>(moved) * params_.migrate_entry_s;
+  const double a = servers_[server_of(p)].reserve(now, cost);
+  const double b = servers_[server_of(child)].reserve(now, cost);
+  return std::max(a, b);
+}
+
+bool GigaDirectory::check_placement_invariant() const {
+  for (const auto& [p, entries] : partitions_) {
+    for (const auto& [name, hash] : entries) {
+      if (bitmap_.partition_for(hash) != p) return false;
+    }
+  }
+  return true;
+}
+
+Status GigaClient::create(const std::string& name) {
+  const std::uint64_t hash = HashName(name);
+  for (;;) {
+    Status result = Errc::busy;
+    sched_.atomically(actor_, [&](double now) {
+      const std::uint32_t p = cached_.partition_for(hash);
+      auto out = dir_.create(p, hash, name, now);
+      if (!out.status.ok() && out.status.error() == Errc::stale) {
+        cached_.merge(dir_.bitmap());
+        ++stale_retries_;
+        result = Errc::stale;
+      } else {
+        result = out.status;
+      }
+      return out.complete;
+    });
+    if (!(result.ok() == false && result.error() == Errc::stale)) return result;
+  }
+}
+
+Status GigaClient::lookup(const std::string& name) {
+  const std::uint64_t hash = HashName(name);
+  for (;;) {
+    Status result = Errc::busy;
+    sched_.atomically(actor_, [&](double now) {
+      const std::uint32_t p = cached_.partition_for(hash);
+      auto out = dir_.lookup(p, hash, name, now);
+      if (!out.status.ok() && out.status.error() == Errc::stale) {
+        cached_.merge(dir_.bitmap());
+        ++stale_retries_;
+        result = Errc::stale;
+      } else {
+        result = out.status;
+      }
+      return out.complete;
+    });
+    if (!(result.ok() == false && result.error() == Errc::stale)) return result;
+  }
+}
+
+}  // namespace pdsi::giga

@@ -1,0 +1,50 @@
+// Canonical Huffman coding for checkpoint compression.
+//
+// Two report threads meet here: the PLFS extension list item "compress
+// checkpoints on the fly" (§1.1 item 3) and the SNL summer project that
+// ran a block Huffman compressor at ~250 MB/s (GPU) with ~2x faster
+// decompression (§5.6.1). The Fig. 5 analysis also shows ~25-50%/yr
+// better checkpoint compression "makes the problem go away".
+//
+// This is a real, self-contained codec: canonical codes (lengths limited
+// to kMaxCodeBits), a 256-symbol alphabet, block framing with stored
+// fallback for incompressible blocks, and a table-driven decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdsi/common/bytes.h"
+
+namespace pdsi::huffman {
+
+inline constexpr int kMaxCodeBits = 15;
+
+/// Code lengths (0 = symbol absent) for a canonical code over the byte
+/// alphabet, built from frequencies; lengths are limited by iterative
+/// frequency flattening (near-optimal, always <= kMaxCodeBits).
+std::vector<std::uint8_t> BuildCodeLengths(const std::uint64_t (&freq)[256]);
+
+/// Compresses `input` as independent blocks of `block_bytes`. Blocks that
+/// do not shrink are stored raw. Never fails; worst case adds a small
+/// per-block header. `shuffle_stride` > 1 applies a byte-plane transpose
+/// before coding (stride 8 groups the exponent/high-mantissa bytes of
+/// doubles together — the standard trick for floating-point state).
+/// `xor_delta` additionally XORs each stride-sized group with its
+/// predecessor before the shuffle (FPC-style): smooth numeric series
+/// become mostly-zero high planes.
+Bytes Compress(std::span<const std::uint8_t> input, std::size_t block_bytes = 1 << 20,
+               std::uint8_t shuffle_stride = 0, bool xor_delta = false);
+
+/// Decompresses a Compress() stream. Throws std::invalid_argument on a
+/// corrupt stream.
+Bytes Decompress(std::span<const std::uint8_t> compressed);
+
+/// Synthetic checkpoint contents: double-precision state arrays with
+/// spatial smoothness (what makes science checkpoints compressible) plus
+/// an incompressible-fraction knob.
+Bytes SyntheticCheckpoint(std::size_t bytes, double noise_fraction,
+                          std::uint64_t seed);
+
+}  // namespace pdsi::huffman

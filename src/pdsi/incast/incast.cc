@@ -1,0 +1,263 @@
+#include "pdsi/incast/incast.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "pdsi/sim/event_queue.h"
+
+namespace pdsi::incast {
+namespace {
+
+/// One sender's TCP state for the current block (sequence space restarts
+/// each block; SRUs are short, so slow-start behaviour dominates, as in
+/// the papers).
+struct Flow {
+  std::uint32_t total_pkts = 0;    ///< packets in this block's SRU
+  std::uint32_t next_seq = 0;      ///< next new packet to send
+  std::uint32_t cum_acked = 0;     ///< all seq < cum_acked delivered
+  double cwnd = 3.0;
+  double ssthresh = 1e9;
+  std::uint32_t dupacks = 0;
+  std::uint32_t rto_backoff = 1;
+  double srtt = 0.0;
+  bool in_recovery = false;        ///< NewReno fast recovery
+  std::uint32_t recover_seq = 0;   ///< highest seq outstanding at loss
+  sim::EventQueue::EventId rto_timer = 0;
+  std::vector<bool> received;      ///< client-side out-of-order buffer
+  std::uint32_t expected = 0;      ///< client's next in-order seq
+  bool done = false;
+};
+
+class IncastSim {
+ public:
+  explicit IncastSim(const IncastParams& p) : p_(p), rng_(p.seed) {
+    pkt_time_ = static_cast<double>(p_.mss_bytes) / p_.link_bw_bytes;
+  }
+
+  IncastResult run() {
+    blocks_left_ = p_.blocks;
+    flows_.assign(p_.senders, Flow{});
+    for (auto& fl : flows_) {
+      fl.cwnd = p_.initial_cwnd;
+      // Established connections carry a sane slow-start threshold: exit
+      // exponential growth before blowing far past the port buffer.
+      fl.ssthresh = p_.buffer_packets;
+    }
+    start_block();
+    queue_.run(500'000'000ULL);
+    IncastResult r = result_;
+    r.duration_s = finish_time_;
+    const double total_bytes = static_cast<double>(p_.senders) * p_.sru_bytes *
+                               p_.blocks;
+    r.goodput_bytes = total_bytes / finish_time_;
+    return r;
+  }
+
+ private:
+  void start_block() {
+    const std::uint32_t pkts = static_cast<std::uint32_t>(
+        (p_.sru_bytes + p_.mss_bytes - 1) / p_.mss_bytes);
+    flows_done_ = 0;
+    ++epoch_;
+    for (std::uint32_t f = 0; f < p_.senders; ++f) {
+      Flow& fl = flows_[f];
+      // The connection persists across blocks (cwnd/ssthresh/srtt carry
+      // over); the sequence space restarts for the new SRU.
+      if (fl.rto_timer) queue_.cancel(fl.rto_timer);
+      fl.rto_timer = 0;
+      fl.total_pkts = pkts;
+      fl.next_seq = 0;
+      fl.cum_acked = 0;
+      fl.dupacks = 0;
+      fl.rto_backoff = 1;
+      fl.received.assign(pkts, false);
+      fl.expected = 0;
+      fl.done = false;
+      try_send(f);
+    }
+  }
+
+  double rto_for(Flow& fl) {
+    const double base = std::max(p_.min_rto_s, 3.0 * fl.srtt);
+    double jitter = 1.0;
+    if (p_.rto_jitter > 0.0) {
+      jitter += p_.rto_jitter * (rng_.uniform() - 0.5) * 2.0;
+    }
+    return base * jitter * fl.rto_backoff;
+  }
+
+  void arm_rto(std::uint32_t f) {
+    Flow& fl = flows_[f];
+    if (fl.rto_timer) queue_.cancel(fl.rto_timer);
+    fl.rto_timer = queue_.after(rto_for(fl), [this, f] { on_timeout(f); });
+  }
+
+  void disarm_rto(std::uint32_t f) {
+    Flow& fl = flows_[f];
+    if (fl.rto_timer) {
+      queue_.cancel(fl.rto_timer);
+      fl.rto_timer = 0;
+    }
+  }
+
+  std::uint32_t inflight(const Flow& fl) const {
+    return fl.next_seq - fl.cum_acked;
+  }
+
+  void try_send(std::uint32_t f) {
+    Flow& fl = flows_[f];
+    if (fl.done) return;
+    bool sent = false;
+    while (fl.next_seq < fl.total_pkts &&
+           inflight(fl) < static_cast<std::uint32_t>(fl.cwnd)) {
+      transmit(f, fl.next_seq++);
+      sent = true;
+    }
+    if ((sent || inflight(fl) > 0) && !fl.rto_timer) arm_rto(f);
+  }
+
+  void transmit(std::uint32_t f, std::uint32_t seq) {
+    // Server uplinks are uncongested; contention is the client port.
+    if (switch_q_ >= p_.buffer_packets) {
+      ++result_.drops;
+      return;
+    }
+    ++switch_q_;
+    const double arrival = queue_.now() + p_.link_delay_s;
+    // FIFO service at the bottleneck port.
+    port_free_at_ = std::max(port_free_at_, arrival) + pkt_time_;
+    const std::uint64_t epoch = epoch_;
+    queue_.at(port_free_at_, [this, f, seq, epoch] {
+      --switch_q_;
+      deliver(f, seq, epoch);
+    });
+  }
+
+  void deliver(std::uint32_t f, std::uint32_t seq, std::uint64_t epoch) {
+    queue_.after(p_.link_delay_s, [this, f, seq, epoch] {
+      if (epoch != epoch_) return;  // stale packet from a finished block
+      Flow& fl = flows_[f];
+      if (seq < fl.received.size() && !fl.received[seq]) {
+        fl.received[seq] = true;
+        ++result_.packets_delivered;
+      }
+      while (fl.expected < fl.total_pkts && fl.received[fl.expected]) {
+        ++fl.expected;
+      }
+      const std::uint32_t cum = fl.expected;
+      // ACK returns across the (uncongested) reverse path.
+      queue_.after(p_.link_delay_s, [this, f, cum, epoch] {
+        if (epoch == epoch_) on_ack(f, cum);
+      });
+    });
+  }
+
+  void on_ack(std::uint32_t f, std::uint32_t cum) {
+    Flow& fl = flows_[f];
+    if (fl.done) return;
+    // Crude SRTT from the bottleneck rate (per-packet timing not tracked).
+    const double sample = 4.0 * p_.link_delay_s + pkt_time_;
+    fl.srtt = fl.srtt == 0.0 ? sample : 0.875 * fl.srtt + 0.125 * sample;
+
+    if (cum > fl.cum_acked) {
+      const std::uint32_t newly = cum - fl.cum_acked;
+      fl.cum_acked = cum;
+      fl.dupacks = 0;
+      fl.rto_backoff = 1;
+      if (fl.in_recovery) {
+        if (cum >= fl.recover_seq) {
+          // Full recovery: deflate to ssthresh and resume normally.
+          fl.in_recovery = false;
+          fl.cwnd = fl.ssthresh;
+        } else {
+          // Partial ack: more holes remain — keep blasting the window
+          // (SACK-style multi-loss recovery; duplicates dedupe at the
+          // receiver).
+          retransmit_window(f);
+        }
+      } else if (fl.cwnd < fl.ssthresh) {
+        fl.cwnd += newly;  // slow start
+      } else {
+        fl.cwnd += newly / fl.cwnd;  // congestion avoidance
+      }
+      if (fl.cum_acked >= fl.total_pkts) {
+        fl.done = true;
+        disarm_rto(f);
+        if (++flows_done_ == p_.senders) complete_block();
+        return;
+      }
+      arm_rto(f);
+      try_send(f);
+    } else if (cum == fl.cum_acked) {
+      ++fl.dupacks;
+      if (!fl.in_recovery && fl.dupacks == 3) {
+        // Fast retransmit: resend the outstanding window (models SACK
+        // recovering all holes within ~1 RTT).
+        fl.ssthresh = std::max(2.0, fl.cwnd / 2.0);
+        fl.cwnd = fl.ssthresh;
+        fl.in_recovery = true;
+        fl.recover_seq = fl.next_seq;
+        fl.dupacks = 0;
+        retransmit_window(f);
+        arm_rto(f);
+      } else if (fl.in_recovery) {
+        // Each further dupack keeps the pipe full during recovery.
+        fl.cwnd += 0.5;
+        try_send(f);
+      }
+    }
+  }
+
+  void retransmit_window(std::uint32_t f) {
+    Flow& fl = flows_[f];
+    const std::uint32_t limit = std::min(
+        fl.recover_seq,
+        fl.cum_acked + static_cast<std::uint32_t>(fl.cwnd) + 3);
+    for (std::uint32_t seq = fl.cum_acked; seq < limit; ++seq) {
+      ++result_.fast_retransmits;
+      transmit(f, seq);
+    }
+  }
+
+  void on_timeout(std::uint32_t f) {
+    Flow& fl = flows_[f];
+    fl.rto_timer = 0;
+    if (fl.done) return;
+    ++result_.timeouts;
+    fl.ssthresh = std::max(2.0, fl.cwnd / 2.0);
+    fl.cwnd = 1.0;
+    fl.dupacks = 0;
+    fl.in_recovery = false;
+    fl.rto_backoff = std::min(fl.rto_backoff * 2, 64u);
+    // Go-back-N from the last cumulative ack.
+    fl.next_seq = fl.cum_acked;
+    try_send(f);
+    if (!fl.rto_timer) arm_rto(f);
+  }
+
+  void complete_block() {
+    finish_time_ = queue_.now();
+    if (--blocks_left_ > 0) start_block();
+  }
+
+  IncastParams p_;
+  Rng rng_;
+  sim::EventQueue queue_;
+  std::vector<Flow> flows_;
+  double pkt_time_;
+  std::uint32_t switch_q_ = 0;
+  double port_free_at_ = 0.0;
+  std::uint32_t flows_done_ = 0;
+  std::uint32_t blocks_left_ = 0;
+  std::uint64_t epoch_ = 0;
+  double finish_time_ = 0.0;
+  IncastResult result_;
+};
+
+}  // namespace
+
+IncastResult SimulateIncast(const IncastParams& params) {
+  return IncastSim(params).run();
+}
+
+}  // namespace pdsi::incast

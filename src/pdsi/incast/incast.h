@@ -1,0 +1,48 @@
+// TCP incast collapse (§4.2.3 "Storage Area Networking", Fig. 9;
+// Phanishayee FAST'08, Vasudevan SIGCOMM'09).
+//
+// Synchronised reads: a client requests one "server request unit" (SRU)
+// from each of N servers and cannot proceed to the next data block until
+// every SRU arrives. All N responses funnel into one switch output port
+// with a small buffer; beyond a modest N the concurrent windows overflow
+// the buffer, whole windows are lost, and the affected flows stall for a
+// full retransmission timeout (conventionally >= 200 ms) while the link
+// sits idle — goodput collapses by an order of magnitude. Reducing the
+// minimum RTO to ~1 ms (high-resolution timers), plus randomising it so
+// retransmissions desynchronise, restores goodput; this module reproduces
+// both the collapse and the fix.
+#pragma once
+
+#include <cstdint>
+
+#include "pdsi/common/rng.h"
+
+namespace pdsi::incast {
+
+struct IncastParams {
+  std::uint32_t senders = 8;
+  std::uint64_t sru_bytes = 256 * 1024;   ///< per-server unit per block
+  std::uint32_t blocks = 4;               ///< synchronised rounds
+  double link_bw_bytes = 125e6;           ///< client link (1GE default)
+  double link_delay_s = 40e-6;            ///< one hop propagation+processing
+  std::uint32_t buffer_packets = 64;      ///< switch output-port buffer
+  std::uint32_t mss_bytes = 1500;
+  std::uint32_t initial_cwnd = 3;         ///< packets
+  double min_rto_s = 0.2;                 ///< the conventional 200 ms floor
+  double rto_jitter = 0.0;                ///< +/- fraction randomisation
+  std::uint64_t seed = 1;
+};
+
+struct IncastResult {
+  double goodput_bytes = 0.0;   ///< application bytes per second
+  double duration_s = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t packets_delivered = 0;
+};
+
+/// Runs the synchronized-read workload to completion.
+IncastResult SimulateIncast(const IncastParams& params);
+
+}  // namespace pdsi::incast

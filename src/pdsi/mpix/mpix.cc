@@ -1,0 +1,118 @@
+#include "pdsi/mpix/mpix.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace pdsi::mpix {
+
+/// Shared collective state. All collectives are phased on the generation
+/// barrier: ranks deposit, the last arrival combines, everyone reads.
+class World {
+ public:
+  explicit World(int ranks) : ranks_(ranks), slots_(ranks, 0.0) {}
+
+  int size() const { return ranks_; }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == ranks_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [&] { return generation_ != my_generation; });
+  }
+
+  /// Deposit-combine-read collective: every rank stores `value`, the
+  /// last arrival runs `combine` over the slots into `result_`, and all
+  /// ranks return it.
+  double collective(int rank, double value,
+                    const std::function<double(const std::vector<double>&)>& combine) {
+    std::unique_lock<std::mutex> lk(mu_);
+    slots_[rank] = value;
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == ranks_) {
+      result_ = combine(slots_);
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return result_;
+    }
+    cv_.wait(lk, [&] { return generation_ != my_generation; });
+    return result_;
+  }
+
+  std::vector<double> gather(int rank, double value, int root) {
+    std::unique_lock<std::mutex> lk(mu_);
+    slots_[rank] = value;
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == ranks_) {
+      gathered_ = slots_;
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return generation_ != my_generation; });
+    }
+    return rank == root ? gathered_ : std::vector<double>{};
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int ranks_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<double> slots_;
+  double result_ = 0.0;
+  std::vector<double> gathered_;
+};
+
+int Comm::size() const { return world_->size(); }
+void Comm::barrier() { world_->barrier(); }
+
+double Comm::broadcast(double value, int root) {
+  return world_->collective(rank_, value,
+                            [root](const std::vector<double>& v) { return v[root]; });
+}
+
+double Comm::allreduce_sum(double value) {
+  return world_->collective(rank_, value, [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s;
+  });
+}
+
+double Comm::allreduce_min(double value) {
+  return world_->collective(rank_, value, [](const std::vector<double>& v) {
+    return *std::min_element(v.begin(), v.end());
+  });
+}
+
+double Comm::allreduce_max(double value) {
+  return world_->collective(rank_, value, [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end());
+  });
+}
+
+std::vector<double> Comm::gather(double value, int root) {
+  return world_->gather(rank_, value, root);
+}
+
+void RunWorld(int ranks, const std::function<void(Comm&)>& body) {
+  World world(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&world, &body, r] {
+      Comm comm(world, r);
+      body(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace pdsi::mpix

@@ -1,0 +1,53 @@
+// mpix — a miniature MPI-flavoured rank runtime over threads.
+//
+// PLFS's deployment surface is MPI-IO; examples in this repository are
+// written as rank programs against this runtime so they read like the
+// MPI codes they stand in for. Collectives cover what checkpoint codes
+// use: barrier, broadcast, reduce/allreduce, and gather.
+//
+// This is the *wall-clock* runtime for examples over real backends; the
+// simulated experiments use sim::VirtualScheduler directly.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace pdsi::mpix {
+
+class World;
+
+/// Per-rank handle (the "MPI_COMM_WORLD" of a rank).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocks until every rank arrives.
+  void barrier();
+
+  /// Root's value is returned on every rank.
+  double broadcast(double value, int root);
+
+  /// Sum/min/max across ranks, result on every rank.
+  double allreduce_sum(double value);
+  double allreduce_min(double value);
+  double allreduce_max(double value);
+
+  /// Root receives everyone's value (indexed by rank); non-roots get {}.
+  std::vector<double> gather(double value, int root);
+
+  /// Constructed by RunWorld; not for direct use.
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Spawns `ranks` threads running `body` and joins them.
+void RunWorld(int ranks, const std::function<void(Comm&)>& body);
+
+}  // namespace pdsi::mpix

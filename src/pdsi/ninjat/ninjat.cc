@@ -1,0 +1,128 @@
+#include "pdsi/ninjat/ninjat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace pdsi::ninjat {
+
+Image::Image(int width, int height)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height * 3, 255) {}
+
+void Image::set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  const std::size_t at = (static_cast<std::size_t>(y) * width_ + x) * 3;
+  pixels_[at] = r;
+  pixels_[at + 1] = g;
+  pixels_[at + 2] = b;
+}
+
+Status Image::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Errc::io_error;
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  return out.good() ? Status::Ok() : Status(Errc::io_error);
+}
+
+void RankColor(std::uint32_t rank, std::uint8_t* r, std::uint8_t* g, std::uint8_t* b) {
+  // Golden-angle hue walk, full saturation, varied value.
+  const double hue = std::fmod(static_cast<double>(rank) * 137.50776405, 360.0);
+  const double v = 0.75 + 0.25 * ((rank % 3) / 2.0);
+  const double c = v;
+  const double hp = hue / 60.0;
+  const double x = c * (1.0 - std::abs(std::fmod(hp, 2.0) - 1.0));
+  double rr = 0, gg = 0, bb = 0;
+  switch (static_cast<int>(hp)) {
+    case 0: rr = c; gg = x; break;
+    case 1: rr = x; gg = c; break;
+    case 2: gg = c; bb = x; break;
+    case 3: gg = x; bb = c; break;
+    case 4: rr = x; bb = c; break;
+    default: rr = c; bb = x; break;
+  }
+  *r = static_cast<std::uint8_t>(rr * 255);
+  *g = static_cast<std::uint8_t>(gg * 255);
+  *b = static_cast<std::uint8_t>(bb * 255);
+}
+
+Image RenderTimeOffset(const workload::WriteTrace& trace, RenderOptions opts) {
+  Image img(opts.width, opts.height);
+  if (trace.empty()) return img;
+  double t_max = 0.0;
+  std::uint64_t off_max = 0;
+  for (const auto& e : trace) {
+    t_max = std::max(t_max, e.end);
+    off_max = std::max(off_max, e.offset + e.length);
+  }
+  if (t_max <= 0.0 || off_max == 0) return img;
+
+  for (const auto& e : trace) {
+    std::uint8_t r, g, b;
+    RankColor(e.rank, &r, &g, &b);
+    const int x0 = static_cast<int>(e.start / t_max * (opts.width - 1));
+    const int x1 = static_cast<int>(e.end / t_max * (opts.width - 1));
+    const int y0 = static_cast<int>(static_cast<double>(e.offset) / off_max *
+                                    (opts.height - 1));
+    const int y1 = static_cast<int>(static_cast<double>(e.offset + e.length) /
+                                    off_max * (opts.height - 1));
+    // y axis points up: offset 0 at the bottom.
+    for (int x = x0; x <= x1; ++x) {
+      for (int y = y0; y <= y1; ++y) img.set(x, opts.height - 1 - y, r, g, b);
+    }
+  }
+  return img;
+}
+
+Image RenderFileMap(const workload::WriteTrace& trace, std::uint64_t file_size,
+                    RenderOptions opts) {
+  Image img(opts.width, opts.height);
+  if (file_size == 0) return img;
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(opts.width) * static_cast<std::uint64_t>(opts.height);
+  const double bytes_per_cell = static_cast<double>(file_size) / static_cast<double>(cells);
+
+  for (const auto& e : trace) {
+    std::uint8_t r, g, b;
+    RankColor(e.rank, &r, &g, &b);
+    const std::uint64_t c0 =
+        static_cast<std::uint64_t>(static_cast<double>(e.offset) / bytes_per_cell);
+    const std::uint64_t c1 = static_cast<std::uint64_t>(
+        static_cast<double>(e.offset + e.length - 1) / bytes_per_cell);
+    for (std::uint64_t c = c0; c <= c1 && c < cells; ++c) {
+      img.set(static_cast<int>(c % opts.width), static_cast<int>(c / opts.width), r,
+              g, b);
+    }
+  }
+  return img;
+}
+
+std::string AsciiFileMap(const workload::WriteTrace& trace, std::uint64_t file_size,
+                         int cols, int rows) {
+  const std::uint64_t cells = static_cast<std::uint64_t>(cols) * rows;
+  std::string grid(cells, '.');
+  if (file_size > 0) {
+    const double bytes_per_cell =
+        static_cast<double>(file_size) / static_cast<double>(cells);
+    for (const auto& e : trace) {
+      const std::uint64_t c0 =
+          static_cast<std::uint64_t>(static_cast<double>(e.offset) / bytes_per_cell);
+      const std::uint64_t c1 = static_cast<std::uint64_t>(
+          static_cast<double>(e.offset + e.length - 1) / bytes_per_cell);
+      for (std::uint64_t c = c0; c <= c1 && c < cells; ++c) {
+        grid[c] = static_cast<char>('a' + e.rank % 26);
+      }
+    }
+  }
+  std::string out;
+  out.reserve(cells + rows);
+  for (int r = 0; r < rows; ++r) {
+    out.append(grid, static_cast<std::size_t>(r) * cols, cols);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pdsi::ninjat

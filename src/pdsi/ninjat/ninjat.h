@@ -1,0 +1,56 @@
+// Ninjat: visualisation of concurrent writes to a shared file (Fig. 15).
+//
+// Two views, as in the report:
+//  * time/offset — each write drawn at (virtual time, logical offset),
+//    coloured by writer rank; strided N-1 shows as interleaved bands.
+//  * file map — the file as a linear array wrapped into rows, each byte
+//    coloured by the rank that wrote it; N-1 strided shows as the
+//    characteristic repeating rank stripes.
+//
+// PPM (P6) output keeps the renderer dependency-free; an ASCII file map
+// serves tests and terminal inspection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pdsi/common/result.h"
+#include "pdsi/workload/driver.h"
+
+namespace pdsi::ninjat {
+
+struct RenderOptions {
+  int width = 800;
+  int height = 400;
+};
+
+/// Minimal RGB raster with PPM output.
+class Image {
+ public:
+  Image(int width, int height);
+  int width() const { return width_; }
+  int height() const { return height_; }
+  void set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b);
+  Status write_ppm(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Distinct colour per rank (golden-angle hue walk).
+void RankColor(std::uint32_t rank, std::uint8_t* r, std::uint8_t* g, std::uint8_t* b);
+
+/// Time/offset scatter of the trace.
+Image RenderTimeOffset(const workload::WriteTrace& trace, RenderOptions opts = {});
+
+/// Wrapped-file view: which rank wrote each region.
+Image RenderFileMap(const workload::WriteTrace& trace, std::uint64_t file_size,
+                    RenderOptions opts = {});
+
+/// Terminal file map: one char per cell, 'a'+rank%26, '.' for holes.
+std::string AsciiFileMap(const workload::WriteTrace& trace, std::uint64_t file_size,
+                         int cols, int rows);
+
+}  // namespace pdsi::ninjat

@@ -1,0 +1,340 @@
+#include "pdsi/pfs/client.h"
+
+#include <algorithm>
+
+namespace pdsi::pfs {
+
+PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
+    : cluster_(cluster), actor_(actor) {}
+
+double PfsClient::now() const { return cluster_.scheduler().now(actor_); }
+
+PfsClient::OpenFile* PfsClient::get(FileHandle fh) {
+  if (fh < 0 || static_cast<std::size_t>(fh) >= open_files_.size()) return nullptr;
+  OpenFile& f = open_files_[fh];
+  return f.in_use ? &f : nullptr;
+}
+
+FileHandle PfsClient::put(std::uint64_t file_id, std::string path) {
+  for (std::size_t i = 0; i < open_files_.size(); ++i) {
+    if (!open_files_[i].in_use) {
+      open_files_[i] = {true, file_id, std::move(path)};
+      return static_cast<FileHandle>(i);
+    }
+  }
+  open_files_.push_back({true, file_id, std::move(path)});
+  return static_cast<FileHandle>(open_files_.size() - 1);
+}
+
+Status PfsClient::mkdir(const std::string& path) {
+  Status st;
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    st = cluster_.mds().mkdir(path);
+    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    return cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done);
+  });
+  return st;
+}
+
+Result<FileHandle> PfsClient::create(const std::string& path) {
+  Result<FileHandle> out(Errc::io_error);
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    auto r = cluster_.mds().create(path, done);
+    if (r.ok()) {
+      done = cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done);
+      out = put(r->file_id, NormalizePath(path));
+    } else {
+      out = r.error();
+    }
+    return done;
+  });
+  return out;
+}
+
+Result<FileHandle> PfsClient::open(const std::string& path) {
+  Result<FileHandle> out(Errc::io_error);
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    auto r = cluster_.mds().lookup(path);
+    if (!r.ok()) {
+      out = r.error();
+    } else if (r->is_dir) {
+      out = Errc::is_dir;
+    } else {
+      out = put(r->file_id, NormalizePath(path));
+    }
+    return done;
+  });
+  return out;
+}
+
+Result<StatResult> PfsClient::stat(const std::string& path) {
+  Result<StatResult> out(Errc::io_error);
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    auto r = cluster_.mds().lookup(path);
+    if (r.ok()) {
+      out = StatResult{r->size, r->is_dir, r->mtime};
+    } else {
+      out = r.error();
+    }
+    return done;
+  });
+  return out;
+}
+
+Result<LayoutInfo> PfsClient::layout(const std::string& path) {
+  Result<LayoutInfo> out(Errc::io_error);
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    auto r = cluster_.mds().lookup(path);
+    if (!r.ok()) {
+      out = r.error();
+    } else if (r->is_dir) {
+      out = Errc::is_dir;
+    } else {
+      LayoutInfo info;
+      info.stripe_unit = cluster_.config().stripe_unit;
+      info.lock_unit = cluster_.config().lock_unit;
+      info.num_servers = cluster_.num_oss();
+      for (std::uint32_t s = 0; s < info.num_servers; ++s) {
+        info.first_stripes.push_back(
+            cluster_.placement().server_for(r->file_id, s, info.num_servers));
+      }
+      out = std::move(info);
+    }
+    return done;
+  });
+  return out;
+}
+
+Result<FileHandle> PfsClient::open_group(const std::string& path,
+                                         std::uint32_t group_size) {
+  Result<FileHandle> out(Errc::io_error);
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    // One metadata op amortised over the group: the MDS answers once and
+    // the result is broadcast over the (cheap) interconnect.
+    const double done = cluster_.mds().charge_fraction(
+        t + cluster_.config().rpc_latency_s,
+        1.0 / std::max<std::uint32_t>(1, group_size));
+    auto r = cluster_.mds().lookup(path);
+    if (!r.ok()) {
+      out = r.error();
+    } else if (r->is_dir) {
+      out = Errc::is_dir;
+    } else {
+      out = put(r->file_id, NormalizePath(path));
+    }
+    return done;
+  });
+  return out;
+}
+
+Result<std::vector<std::string>> PfsClient::readdir(const std::string& path) {
+  Result<std::vector<std::string>> out(Errc::io_error);
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    auto r = cluster_.mds().readdir(path);
+    if (r.ok()) {
+      // Large listings stream in bounded batches.
+      const std::size_t batches = r->size() / 1024;
+      for (std::size_t b = 0; b < batches; ++b) done = cluster_.mds().charge(done);
+      out = std::move(r);
+    } else {
+      out = r.error();
+    }
+    return done;
+  });
+  return out;
+}
+
+Status PfsClient::unlink(const std::string& path) {
+  Status st;
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    auto looked = cluster_.mds().lookup(path);
+    st = cluster_.mds().unlink(path);
+    if (st.ok() && looked.ok() && !looked->is_dir) {
+      const std::uint64_t fid = looked->file_id;
+      for (std::uint32_t s : cluster_.touched_servers(fid)) {
+        done = std::max(done, cluster_.oss(s).serve_small_op(done));
+        cluster_.oss(s).forget(fid);
+      }
+      cluster_.drop_data(fid);
+      cluster_.drop_locks(fid);
+      cluster_.drop_touched(fid);
+    }
+    return done;
+  });
+  return st;
+}
+
+Status PfsClient::rename(const std::string& from, const std::string& to) {
+  Status st;
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    st = cluster_.mds().rename(from, to);
+    return cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+  });
+  return st;
+}
+
+double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
+                                std::uint64_t len, double t,
+                                PfsCluster::LockUnit** whole_file_unit) {
+  const PfsConfig& cfg = cluster_.config();
+  *whole_file_unit = nullptr;
+  if (cfg.locking == LockProtocol::none || len == 0) return t;
+
+  if (cfg.locking == LockProtocol::whole_file) {
+    auto& unit = cluster_.lock_unit(file_id, 0);
+    double start = std::max(t, unit.free);
+    if (unit.holder != static_cast<std::uint32_t>(actor_) &&
+        unit.holder != PfsCluster::kNoHolder) {
+      start += cfg.lock_revoke_s;
+    }
+    unit.holder = static_cast<std::uint32_t>(actor_);
+    *whole_file_unit = &unit;  // caller stamps unit.free = completion
+    return start;
+  }
+
+  // Extent tokens: conflicting units must be revoked from their holders.
+  // Revocation callbacks to distinct holders go out in parallel, so a
+  // conflicted write pays one revocation round trip, serialised after the
+  // conflicting units' earliest transfer instants.
+  const std::uint64_t first = off / cfg.lock_unit;
+  const std::uint64_t last = (off + len - 1) / cfg.lock_unit;
+  bool conflict = false;
+  double transferable = t;
+  for (std::uint64_t u = first; u <= last; ++u) {
+    auto& unit = cluster_.lock_unit(file_id, u);
+    if (unit.holder != static_cast<std::uint32_t>(actor_)) {
+      if (unit.holder != PfsCluster::kNoHolder) {
+        conflict = true;
+        transferable = std::max(transferable, unit.free);
+      }
+    }
+  }
+  double granted = transferable;
+  if (conflict) granted += cfg.lock_revoke_s;
+  for (std::uint64_t u = first; u <= last; ++u) {
+    auto& unit = cluster_.lock_unit(file_id, u);
+    unit.holder = static_cast<std::uint32_t>(actor_);
+    unit.free = granted;
+  }
+  return granted;
+}
+
+Status PfsClient::write(FileHandle fh, std::uint64_t off,
+                        std::span<const std::uint8_t> data) {
+  OpenFile* f = get(fh);
+  if (!f) return Errc::bad_handle;
+  if (data.empty()) return Status::Ok();
+  const PfsConfig& cfg = cluster_.config();
+
+  cluster_.scheduler().atomically(actor_, [&](double t0) {
+    PfsCluster::LockUnit* whole = nullptr;
+    double t = acquire_locks(f->file_id, off, data.size(), t0, &whole);
+
+    // Stripe the request over the servers; chunks proceed in parallel.
+    double done = t;
+    std::uint64_t pos = off;
+    std::size_t i = 0;
+    auto& touched = cluster_.touched_servers(f->file_id);
+    while (i < data.size()) {
+      const std::uint64_t stripe = pos / cfg.stripe_unit;
+      const std::uint64_t in_stripe = pos % cfg.stripe_unit;
+      const std::uint64_t n =
+          std::min<std::uint64_t>(cfg.stripe_unit - in_stripe, data.size() - i);
+      const std::uint32_t server =
+          cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
+      touched.insert(server);
+      done = std::max(done, cluster_.oss(server).serve_write(f->file_id, pos, n, t));
+      pos += n;
+      i += n;
+    }
+    if (whole) whole->free = done;
+
+    if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
+    cluster_.mds().extend(f->path, off + data.size(), done);
+    return done;
+  });
+  return Status::Ok();
+}
+
+Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
+                                    std::span<std::uint8_t> out) {
+  OpenFile* f = get(fh);
+  if (!f) return Errc::bad_handle;
+  Result<std::size_t> result(static_cast<std::size_t>(0));
+
+  cluster_.scheduler().atomically(actor_, [&](double t0) {
+    auto inode = cluster_.mds().lookup(f->path);
+    if (!inode.ok()) {
+      result = inode.error();
+      return t0;
+    }
+    const std::uint64_t size = inode->size;
+    if (off >= size || out.empty()) {
+      result = static_cast<std::size_t>(0);
+      return t0;
+    }
+    const std::uint64_t len = std::min<std::uint64_t>(out.size(), size - off);
+    const PfsConfig& cfg = cluster_.config();
+
+    double done = t0;
+    std::uint64_t pos = off;
+    std::uint64_t remaining = len;
+    while (remaining > 0) {
+      const std::uint64_t stripe = pos / cfg.stripe_unit;
+      const std::uint64_t in_stripe = pos % cfg.stripe_unit;
+      const std::uint64_t n = std::min(cfg.stripe_unit - in_stripe, remaining);
+      const std::uint32_t server =
+          cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
+      done = std::max(done, cluster_.oss(server).serve_read(f->file_id, pos, n, t0));
+      pos += n;
+      remaining -= n;
+    }
+    if (const auto* buf = cluster_.data_for(f->file_id, false)) {
+      buf->read(off, out.subspan(0, len));
+    }
+    result = static_cast<std::size_t>(len);
+    return done;
+  });
+  return result;
+}
+
+Status PfsClient::fsync(FileHandle fh) {
+  OpenFile* f = get(fh);
+  if (!f) return Errc::bad_handle;
+  cluster_.scheduler().atomically(actor_, [&](double t) {
+    double done = t;
+    for (std::uint32_t s : cluster_.touched_servers(f->file_id)) {
+      done = std::max(done, cluster_.oss(s).flush(f->file_id, t));
+    }
+    return done;
+  });
+  return Status::Ok();
+}
+
+Status PfsClient::close(FileHandle fh) {
+  OpenFile* f = get(fh);
+  if (!f) return Errc::bad_handle;
+  Status st = fsync(fh);
+  f->in_use = false;
+  return st;
+}
+
+void PfsClient::compute(double seconds) {
+  if (seconds > 0.0) cluster_.scheduler().advance(actor_, seconds);
+}
+
+Result<std::uint64_t> PfsClient::file_size(FileHandle fh) {
+  OpenFile* f = get(fh);
+  if (!f) return Errc::bad_handle;
+  auto r = stat(f->path);
+  if (!r.ok()) return r.error();
+  return r->size;
+}
+
+}  // namespace pdsi::pfs

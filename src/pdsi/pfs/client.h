@@ -1,0 +1,96 @@
+// PfsClient: the POSIX-like per-rank interface to the simulated parallel
+// file system. Each rank (virtual-time actor) owns one client; every call
+// both performs the real state transition (namespace edit, byte movement)
+// and advances the rank's virtual clock by the modelled service time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdsi/common/result.h"
+#include "pdsi/pfs/cluster.h"
+
+namespace pdsi::pfs {
+
+using FileHandle = int;
+
+struct StatResult {
+  std::uint64_t size = 0;
+  bool is_dir = false;
+  double mtime = 0.0;
+};
+
+/// Parallel layout of a file, as returned by the POSIX HEC extension the
+/// report says was accepted for standardisation ("allows applications to
+/// query parallel layout information ... to optimize I/O patterns").
+struct LayoutInfo {
+  std::uint64_t stripe_unit = 0;
+  std::uint64_t lock_unit = 0;
+  std::uint32_t num_servers = 0;
+  /// Server for each of the first `num_servers` stripes (the pattern for
+  /// round-robin layouts; hashed layouts vary per stripe).
+  std::vector<std::uint32_t> first_stripes;
+};
+
+class PfsClient {
+ public:
+  /// `actor` is the rank's VirtualScheduler actor id; it doubles as the
+  /// client identity for byte-range lock ownership.
+  PfsClient(PfsCluster& cluster, std::size_t actor);
+
+  std::size_t actor() const { return actor_; }
+  double now() const;
+
+  // -- Namespace --
+  Status mkdir(const std::string& path);
+  Result<FileHandle> create(const std::string& path);
+  Result<FileHandle> open(const std::string& path);
+  Result<StatResult> stat(const std::string& path);
+  /// POSIX HEC extension: query the file's parallel layout (one MDS op).
+  Result<LayoutInfo> layout(const std::string& path);
+  /// POSIX HEC extension: open on behalf of `group_size` ranks with one
+  /// metadata operation instead of one per rank (the "group open"
+  /// proposal). Returns this caller's handle.
+  Result<FileHandle> open_group(const std::string& path, std::uint32_t group_size);
+  Result<std::vector<std::string>> readdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+
+  // -- Data --
+  Status write(FileHandle fh, std::uint64_t off, std::span<const std::uint8_t> data);
+  /// Returns bytes read (short at EOF); holes read as zeros.
+  Result<std::size_t> read(FileHandle fh, std::uint64_t off, std::span<std::uint8_t> out);
+  Status fsync(FileHandle fh);
+  Status close(FileHandle fh);
+
+  /// Size as known to the MDS (clients see each other's extends).
+  Result<std::uint64_t> file_size(FileHandle fh);
+
+  /// Advances this rank's virtual clock by `seconds` of client-side
+  /// compute (no cluster resources touched).
+  void compute(double seconds);
+
+ private:
+  struct OpenFile {
+    bool in_use = false;
+    std::uint64_t file_id = 0;
+    std::string path;
+  };
+
+  OpenFile* get(FileHandle fh);
+  FileHandle put(std::uint64_t file_id, std::string path);
+
+  /// Charge extent/whole-file lock acquisition for [off, off+len); returns
+  /// the time the write may proceed. `completion_out_unit` receives the
+  /// whole-file unit to stamp with the final completion (or nullptr).
+  double acquire_locks(std::uint64_t file_id, std::uint64_t off, std::uint64_t len,
+                       double t, PfsCluster::LockUnit** whole_file_unit);
+
+  PfsCluster& cluster_;
+  std::size_t actor_;
+  std::vector<OpenFile> open_files_;
+};
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,71 @@
+// PfsCluster: the assembled parallel file system substrate — one MDS,
+// N object storage servers, a placement strategy, byte-range lock state,
+// and (optionally) the actual file bytes for read-back verification.
+//
+// All state mutation happens inside VirtualScheduler::atomically sections
+// entered by PfsClient, so the cluster needs no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pdsi/pfs/config.h"
+#include "pdsi/pfs/mds.h"
+#include "pdsi/pfs/oss.h"
+#include "pdsi/pfs/placement.h"
+#include "pdsi/pfs/sparse_buffer.h"
+#include "pdsi/sim/virtual_time.h"
+
+namespace pdsi::pfs {
+
+class PfsCluster {
+ public:
+  PfsCluster(PfsConfig cfg, sim::VirtualScheduler& sched,
+             std::unique_ptr<PlacementStrategy> placement = nullptr);
+
+  PfsCluster(const PfsCluster&) = delete;
+  PfsCluster& operator=(const PfsCluster&) = delete;
+
+  const PfsConfig& config() const { return cfg_; }
+  sim::VirtualScheduler& scheduler() { return sched_; }
+  Mds& mds() { return mds_; }
+  Oss& oss(std::uint32_t i) { return *servers_[i]; }
+  std::uint32_t num_oss() const { return static_cast<std::uint32_t>(servers_.size()); }
+  const PlacementStrategy& placement() const { return *placement_; }
+
+  /// Aggregate disk busy-time across servers (utilisation reporting).
+  double total_disk_busy() const;
+
+  // -- File payload (present when cfg.store_data) --
+  SparseBuffer* data_for(std::uint64_t file_id, bool create_if_missing);
+  void drop_data(std::uint64_t file_id);
+
+  // -- Byte-range lock state --
+  struct LockUnit {
+    std::uint32_t holder = kNoHolder;
+    double free = 0.0;  ///< earliest instant the token can move again
+  };
+  static constexpr std::uint32_t kNoHolder = ~0u;
+
+  LockUnit& lock_unit(std::uint64_t file_id, std::uint64_t unit);
+  void drop_locks(std::uint64_t file_id);
+
+  /// Servers a file has touched (for fsync/unlink fan-out).
+  std::unordered_set<std::uint32_t>& touched_servers(std::uint64_t file_id);
+  void drop_touched(std::uint64_t file_id);
+
+ private:
+  PfsConfig cfg_;
+  sim::VirtualScheduler& sched_;
+  std::unique_ptr<PlacementStrategy> placement_;
+  Mds mds_;
+  std::vector<std::unique_ptr<Oss>> servers_;
+  std::unordered_map<std::uint64_t, SparseBuffer> file_data_;
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, LockUnit>> locks_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> touched_;
+};
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,68 @@
+// Configuration of the simulated parallel file system substrate.
+//
+// Three personality presets model the lock-protocol differences between
+// the production systems the report names (PanFS, Lustre, GPFS): all
+// stripe data over object storage servers, but they differ in how
+// concurrent writers to one file are serialised and in their penalty for
+// unaligned writes — exactly the properties that make N-to-1 checkpoint
+// patterns pathological and that PLFS routes around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pdsi/common/units.h"
+#include "pdsi/storage/device_catalog.h"
+
+namespace pdsi::pfs {
+
+/// How concurrent writes to a single file are serialised.
+enum class LockProtocol {
+  none,        ///< PVFS-like: no locks, client-coordinated consistency
+  extent,      ///< Lustre/GPFS-like: byte-range tokens with revocation
+  whole_file,  ///< degenerate shared-file lock (worst case baseline)
+};
+
+std::string_view LockProtocolName(LockProtocol p);
+
+struct PfsConfig {
+  std::string name = "generic-pfs";
+  std::uint32_t num_oss = 8;            ///< object storage servers
+  std::uint64_t stripe_unit = 1 * MiB;  ///< bytes per stripe chunk
+  storage::DiskParams disk = storage::EnterpriseFcDisk();
+
+  // Network/CPU service model.
+  double rpc_latency_s = 100e-6;        ///< one-way request latency
+  double server_cpu_per_op_s = 50e-6;   ///< request processing cost
+  double net_bw_bytes = 400.0 * 1e6;    ///< per-OSS NIC bandwidth
+  double mds_op_s = 300e-6;             ///< metadata op service time
+  double mds_dir_lock_s = 300e-6;       ///< parent-directory lock hold
+  /// Capability verification at the OSS per request (Maat security);
+  /// 0 disables security.
+  double security_verify_s = 0.0;
+
+  // Locking.
+  LockProtocol locking = LockProtocol::extent;
+  std::uint64_t lock_unit = 64 * KiB;   ///< token granularity
+  double lock_revoke_s = 1.2e-3;        ///< revocation round trip
+
+  // Write-back cache / aggregation: dirty data flushes to disk in
+  // contiguous per-object chunks of this size.
+  std::uint64_t flush_chunk = 4 * MiB;
+
+  // Unaligned writes pay a read-modify-write of the containing
+  // raid/block unit (PanFS RAID stripelets, GPFS blocks).
+  bool rmw_on_unaligned = true;
+  std::uint64_t rmw_unit = 64 * KiB;
+
+  // Keep real bytes? Timing-only runs save memory on big sweeps.
+  bool store_data = true;
+
+  /// Personality presets calibrated for the Fig. 8 comparison.
+  static PfsConfig PanFsLike(std::uint32_t num_oss);
+  static PfsConfig LustreLike(std::uint32_t num_oss);
+  static PfsConfig GpfsLike(std::uint32_t num_oss);
+  static PfsConfig PvfsLike(std::uint32_t num_oss);
+};
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,137 @@
+#include "pdsi/pfs/mds.h"
+
+#include <stdexcept>
+
+namespace pdsi::pfs {
+
+std::string NormalizePath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    throw std::invalid_argument("path must be absolute: " + std::string(path));
+  }
+  std::string out;
+  out.reserve(path.size());
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) {
+      out.push_back('/');
+      out.append(path.substr(i, j - i));
+    }
+    i = j;
+  }
+  if (out.empty()) out = "/";
+  return out;
+}
+
+std::string ParentPath(const std::string& normalized) {
+  const auto pos = normalized.find_last_of('/');
+  if (pos == 0 || pos == std::string::npos) return "/";
+  return normalized.substr(0, pos);
+}
+
+Mds::Mds(const PfsConfig& cfg) : cfg_(cfg) {
+  Inode root;
+  root.is_dir = true;
+  namespace_.emplace("/", root);
+}
+
+double Mds::charge(double now) { return service_.reserve(now, cfg_.mds_op_s); }
+
+double Mds::charge_fraction(double now, double fraction) {
+  return service_.reserve(now, cfg_.mds_op_s * fraction);
+}
+
+double Mds::charge_dir(const std::string& parent, double now) {
+  return dir_locks_[parent].reserve(now, cfg_.mds_dir_lock_s);
+}
+
+Result<Inode> Mds::create(const std::string& path, double mtime) {
+  const std::string p = NormalizePath(path);
+  if (namespace_.count(p)) return Errc::exists;
+  auto parent = namespace_.find(ParentPath(p));
+  if (parent == namespace_.end()) return Errc::not_found;
+  if (!parent->second.is_dir) return Errc::not_dir;
+  Inode node;
+  node.file_id = next_file_id_++;
+  node.mtime = mtime;
+  namespace_.emplace(p, node);
+  return node;
+}
+
+Result<Inode> Mds::lookup(const std::string& path) const {
+  auto it = namespace_.find(NormalizePath(path));
+  if (it == namespace_.end()) return Errc::not_found;
+  return it->second;
+}
+
+Status Mds::mkdir(const std::string& path) {
+  const std::string p = NormalizePath(path);
+  if (namespace_.count(p)) return Errc::exists;
+  auto parent = namespace_.find(ParentPath(p));
+  if (parent == namespace_.end()) return Errc::not_found;
+  if (!parent->second.is_dir) return Errc::not_dir;
+  Inode node;
+  node.file_id = next_file_id_++;
+  node.is_dir = true;
+  namespace_.emplace(p, node);
+  return Status::Ok();
+}
+
+Status Mds::unlink(const std::string& path) {
+  const std::string p = NormalizePath(path);
+  auto it = namespace_.find(p);
+  if (it == namespace_.end()) return Errc::not_found;
+  if (it->second.is_dir) {
+    // Directory must be empty.
+    auto next = std::next(it);
+    if (next != namespace_.end() && next->first.size() > p.size() &&
+        next->first.compare(0, p.size(), p) == 0 && next->first[p.size()] == '/') {
+      return Errc::not_empty;
+    }
+  }
+  namespace_.erase(it);
+  return Status::Ok();
+}
+
+Status Mds::rename(const std::string& from, const std::string& to) {
+  const std::string f = NormalizePath(from);
+  const std::string t = NormalizePath(to);
+  auto it = namespace_.find(f);
+  if (it == namespace_.end()) return Errc::not_found;
+  if (it->second.is_dir) return Errc::not_supported;  // file rename only
+  if (namespace_.count(t)) return Errc::exists;
+  auto parent = namespace_.find(ParentPath(t));
+  if (parent == namespace_.end()) return Errc::not_found;
+  if (!parent->second.is_dir) return Errc::not_dir;
+  Inode node = it->second;
+  namespace_.erase(it);
+  namespace_.emplace(t, node);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Mds::readdir(const std::string& path) const {
+  const std::string p = NormalizePath(path);
+  auto it = namespace_.find(p);
+  if (it == namespace_.end()) return Errc::not_found;
+  if (!it->second.is_dir) return Errc::not_dir;
+  std::vector<std::string> names;
+  const std::string prefix = p == "/" ? "/" : p + "/";
+  for (auto child = namespace_.upper_bound(prefix);
+       child != namespace_.end() && child->first.compare(0, prefix.size(), prefix) == 0;
+       ++child) {
+    const std::string rest = child->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+void Mds::extend(const std::string& path, std::uint64_t new_size, double mtime) {
+  auto it = namespace_.find(NormalizePath(path));
+  if (it == namespace_.end() || it->second.is_dir) return;
+  if (new_size > it->second.size) it->second.size = new_size;
+  it->second.mtime = mtime;
+}
+
+}  // namespace pdsi::pfs

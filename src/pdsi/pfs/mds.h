@@ -1,0 +1,74 @@
+// Metadata server: a single ordered namespace behind one service queue.
+//
+// Production parallel file systems of the era funnelled namespace
+// operations through one metadata server; the create-storm serialisation
+// this causes is the motivation for GIGA+ (src/pdsi/giga), which the
+// Fig. 7 bench contrasts against this MDS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "pdsi/common/result.h"
+#include "pdsi/sim/virtual_time.h"
+#include "pdsi/pfs/config.h"
+
+namespace pdsi::pfs {
+
+struct Inode {
+  std::uint64_t file_id = 0;
+  bool is_dir = false;
+  std::uint64_t size = 0;      ///< logical EOF (files)
+  double mtime = 0.0;
+};
+
+/// Normalises a path: leading '/', no trailing '/' (except root), no empty
+/// components. Throws std::invalid_argument on malformed input.
+std::string NormalizePath(std::string_view path);
+
+/// Parent directory of a normalised path ("/" for top-level entries).
+std::string ParentPath(const std::string& normalized);
+
+class Mds {
+ public:
+  explicit Mds(const PfsConfig& cfg);
+
+  // -- Timed RPC wrappers: charge one metadata service slot and return
+  //    the completion time. Call only inside scheduler atomically blocks.
+  double charge(double now);
+
+  /// Charges a fraction of one op (group operations amortise the MDS
+  /// work over the participants).
+  double charge_fraction(double now, double fraction);
+
+  /// Namespace mutations additionally serialise on the parent directory's
+  /// lock (concurrent creates into one directory contend; this is what
+  /// PLFS hostdir fan-out spreads out).
+  double charge_dir(const std::string& parent, double now);
+
+  // -- Namespace operations (zero-cost state transitions; pair them with
+  //    charge() from the client layer).
+  Result<Inode> create(const std::string& path, double mtime);
+  Result<Inode> lookup(const std::string& path) const;
+  Status mkdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<std::vector<std::string>> readdir(const std::string& path) const;
+
+  /// Updates the authoritative size if the write extended the file.
+  void extend(const std::string& path, std::uint64_t new_size, double mtime);
+
+  std::size_t entry_count() const { return namespace_.size(); }
+
+ private:
+  const PfsConfig& cfg_;
+  sim::SimResource service_;
+  std::unordered_map<std::string, sim::SimResource> dir_locks_;
+  std::uint64_t next_file_id_ = 1;
+  std::map<std::string, Inode> namespace_;  ///< ordered for readdir scans
+};
+
+}  // namespace pdsi::pfs

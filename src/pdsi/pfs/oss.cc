@@ -1,0 +1,115 @@
+#include "pdsi/pfs/oss.h"
+
+#include <algorithm>
+
+namespace pdsi::pfs {
+
+Oss::Oss(const PfsConfig& cfg, std::uint32_t index)
+    : cfg_(cfg), index_(index), disk_(cfg.disk) {}
+
+void Oss::record(double start, double end, std::uint64_t len) {
+  ++metrics_.ops;
+  metrics_.bytes += len;
+  metrics_.latency.add(end - start);
+}
+
+double Oss::flush_pending(ObjectState& st, std::uint64_t object_id, double t) {
+  if (st.pending_len == 0) return t;
+  const double service =
+      disk_.access(object_id, st.pending_start, st.pending_len) * perturb_.disk_factor;
+  st.pending_len = 0;
+  return disk_res_.reserve(t, service);
+}
+
+double Oss::rmw_charge(std::uint64_t object_id, std::uint64_t off, double t) {
+  // Unaligned write into a cold region: read the containing RAID/block
+  // unit before it can be modified.
+  const std::uint64_t unit_start = off / cfg_.rmw_unit * cfg_.rmw_unit;
+  const double service =
+      disk_.access(object_id, unit_start, cfg_.rmw_unit) * perturb_.disk_factor;
+  return disk_res_.reserve(t, service);
+}
+
+double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
+                        std::uint64_t len, double now) {
+  double t = now + cfg_.rpc_latency_s;
+  t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
+                              perturb_.cpu_factor);
+  t = nic_res_.reserve(
+      t, static_cast<double>(len) / cfg_.net_bw_bytes * perturb_.net_factor);
+
+  ObjectState& st = objects_[object_id];
+  st.size = std::max(st.size, off + len);
+  const bool extends =
+      st.pending_len > 0 && off == st.pending_start + st.pending_len;
+  if (extends) {
+    st.pending_len += len;
+  } else {
+    // A discontiguous arrival evicts the previous run (small flush) —
+    // this is what shreds interleaved strided writes to a shared object.
+    t = flush_pending(st, object_id, t);
+    if (cfg_.rmw_on_unaligned && off % cfg_.rmw_unit != 0) {
+      t = rmw_charge(object_id, off, t);
+    }
+    st.pending_start = off;
+    st.pending_len = len;
+  }
+  if (st.pending_len >= cfg_.flush_chunk) {
+    t = flush_pending(st, object_id, t);
+    st.pending_start = off + len;
+  }
+  record(now, t, len);
+  return t;
+}
+
+double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
+                       std::uint64_t len, double now) {
+  double t = now + cfg_.rpc_latency_s;
+  t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
+                              perturb_.cpu_factor);
+
+  ObjectState& st = objects_[object_id];
+  const bool hit =
+      st.ra_len > 0 && off >= st.ra_start && off + len <= st.ra_start + st.ra_len;
+  if (!hit) {
+    // Fetch a readahead window starting at the request, clamped to the
+    // object's stored size (no point prefetching past EOF). Dirty pending
+    // data must reach disk first so the read observes it.
+    t = flush_pending(st, object_id, t);
+    std::uint64_t window = std::max<std::uint64_t>(len, cfg_.flush_chunk);
+    if (st.size > off) window = std::min(window, st.size - off);
+    window = std::max(window, len);
+    const double service =
+        disk_.access(object_id, off, window) * perturb_.disk_factor;
+    t = disk_res_.reserve(t, service);
+    st.ra_start = off;
+    st.ra_len = window;
+  }
+  t = nic_res_.reserve(
+      t, static_cast<double>(len) / cfg_.net_bw_bytes * perturb_.net_factor);
+  record(now, t, len);
+  return t;
+}
+
+double Oss::serve_small_op(double now) {
+  double t = now + cfg_.rpc_latency_s;
+  t = cpu_res_.reserve(t, cfg_.server_cpu_per_op_s * perturb_.cpu_factor);
+  record(now, t, 0);
+  return t;
+}
+
+double Oss::flush(std::uint64_t object_id, double now) {
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return now;
+  return flush_pending(it->second, object_id, now);
+}
+
+void Oss::forget(std::uint64_t object_id) { objects_.erase(object_id); }
+
+OssMetrics Oss::drain_metrics() {
+  OssMetrics out = metrics_;
+  metrics_ = OssMetrics{};
+  return out;
+}
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,98 @@
+// Object storage server: one disk + NIC + CPU behind an RPC interface.
+//
+// Timing methods take the caller's current virtual time and return the
+// operation's completion time; they must be invoked only inside
+// VirtualScheduler::atomically sections, which serialises access and
+// guarantees requests arrive in nondecreasing virtual time (making the
+// SimResource clocks exact FIFO queues).
+//
+// The server runs a write-back cache that aggregates contiguous per-object
+// runs and flushes them to disk in large chunks — the mechanism that lets
+// N sequential streams (PLFS logs) approach media rate while interleaved
+// strided writes to one object degrade into small seek-bound I/Os.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pdsi/common/stats.h"
+#include "pdsi/sim/virtual_time.h"
+#include "pdsi/storage/disk_model.h"
+#include "pdsi/pfs/config.h"
+
+namespace pdsi::pfs {
+
+/// Fault-injection knobs (diagnosis experiments): service-time multipliers
+/// applied to this server only.
+struct OssPerturbation {
+  double cpu_factor = 1.0;
+  double disk_factor = 1.0;
+  double net_factor = 1.0;
+};
+
+/// Windowed per-server metrics, as an external monitor would sample them.
+struct OssMetrics {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  OnlineStats latency;  ///< per-request service latency (s)
+};
+
+class Oss {
+ public:
+  Oss(const PfsConfig& cfg, std::uint32_t index);
+
+  std::uint32_t index() const { return index_; }
+
+  /// Accepts `len` bytes for `object_id` at object offset `off` arriving
+  /// at time `now`; returns when the client's RPC completes (including
+  /// any synchronous flush it triggered).
+  double serve_write(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
+                     double now);
+
+  /// Serves a read; sequential readers hit the readahead window.
+  double serve_read(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
+                    double now);
+
+  /// Metadata-ish small op on this server (e.g. object create).
+  double serve_small_op(double now);
+
+  /// Forces pending dirty data for the object to disk.
+  double flush(std::uint64_t object_id, double now);
+
+  /// Drops cached state for an object (unlink).
+  void forget(std::uint64_t object_id);
+
+  void set_perturbation(const OssPerturbation& p) { perturb_ = p; }
+  const OssPerturbation& perturbation() const { return perturb_; }
+
+  /// Snapshot-and-reset windowed metrics (monitor sampling).
+  OssMetrics drain_metrics();
+
+  const storage::DiskModel& disk() const { return disk_; }
+  double disk_busy_seconds() const { return disk_res_.busy_seconds(); }
+
+ private:
+  struct ObjectState {
+    std::uint64_t pending_start = 0;  ///< dirty run awaiting flush
+    std::uint64_t pending_len = 0;
+    std::uint64_t ra_start = 0;       ///< readahead window
+    std::uint64_t ra_len = 0;
+    std::uint64_t size = 0;           ///< highest byte stored here
+  };
+
+  double rmw_charge(std::uint64_t object_id, std::uint64_t off, double t);
+  double flush_pending(ObjectState& st, std::uint64_t object_id, double t);
+  void record(double start, double end, std::uint64_t len);
+
+  const PfsConfig& cfg_;
+  std::uint32_t index_;
+  storage::DiskModel disk_;
+  sim::SimResource disk_res_;
+  sim::SimResource nic_res_;
+  sim::SimResource cpu_res_;
+  OssPerturbation perturb_;
+  OssMetrics metrics_;
+  std::unordered_map<std::uint64_t, ObjectState> objects_;
+};
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,65 @@
+#include "pdsi/pfs/placement.h"
+
+namespace pdsi::pfs {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+class RoundRobin final : public PlacementStrategy {
+ public:
+  std::uint32_t server_for(std::uint64_t file_id, std::uint64_t stripe_index,
+                           std::uint32_t num_servers) const override {
+    return static_cast<std::uint32_t>((file_id + stripe_index) % num_servers);
+  }
+  std::string name() const override { return "round-robin"; }
+};
+
+class Hashed final : public PlacementStrategy {
+ public:
+  std::uint32_t server_for(std::uint64_t file_id, std::uint64_t stripe_index,
+                           std::uint32_t num_servers) const override {
+    return static_cast<std::uint32_t>(Mix(file_id * 0x9e3779b97f4a7c15ULL + stripe_index) %
+                                      num_servers);
+  }
+  std::string name() const override { return "hashed"; }
+};
+
+class RaidGroup final : public PlacementStrategy {
+ public:
+  explicit RaidGroup(std::uint32_t group_size) : group_size_(group_size) {}
+
+  std::uint32_t server_for(std::uint64_t file_id, std::uint64_t stripe_index,
+                           std::uint32_t num_servers) const override {
+    const std::uint32_t g = group_size_ < num_servers ? group_size_ : num_servers;
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(Mix(file_id) % num_servers);
+    return static_cast<std::uint32_t>((base + stripe_index % g) % num_servers);
+  }
+  std::string name() const override {
+    return "raid-group(" + std::to_string(group_size_) + ")";
+  }
+
+ private:
+  std::uint32_t group_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementStrategy> MakeRoundRobinPlacement() {
+  return std::make_unique<RoundRobin>();
+}
+std::unique_ptr<PlacementStrategy> MakeHashedPlacement() {
+  return std::make_unique<Hashed>();
+}
+std::unique_ptr<PlacementStrategy> MakeRaidGroupPlacement(std::uint32_t group_size) {
+  return std::make_unique<RaidGroup>(group_size);
+}
+
+}  // namespace pdsi::pfs

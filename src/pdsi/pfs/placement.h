@@ -1,0 +1,34 @@
+// Data placement strategies (§4.2.3 "Parallel Layout"): how stripe chunks
+// of a file map onto object storage servers. The trace-driven comparison
+// of Ceph/PanFS/PVFS placement hinges on these differing distributions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pdsi::pfs {
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// Server index in [0, num_servers) for stripe `stripe_index` of file
+  /// `file_id`.
+  virtual std::uint32_t server_for(std::uint64_t file_id, std::uint64_t stripe_index,
+                                   std::uint32_t num_servers) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// PVFS-style: stripes round-robin starting at file_id mod servers.
+std::unique_ptr<PlacementStrategy> MakeRoundRobinPlacement();
+
+/// Ceph/CRUSH-style: each stripe hashed pseudo-randomly and independently.
+std::unique_ptr<PlacementStrategy> MakeHashedPlacement();
+
+/// PanFS-style: each file confined to a RAID group of `group_size`
+/// servers chosen by file hash; stripes round-robin within the group.
+std::unique_ptr<PlacementStrategy> MakeRaidGroupPlacement(std::uint32_t group_size);
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,63 @@
+#include "pdsi/pfs/sparse_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pdsi::pfs {
+
+void SparseBuffer::write(std::uint64_t off, std::span<const std::uint8_t> data) {
+  std::uint64_t pos = off;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t chunk = pos / chunk_bytes_;
+    const std::size_t in_chunk = static_cast<std::size_t>(pos % chunk_bytes_);
+    const std::size_t n = std::min(chunk_bytes_ - in_chunk, data.size() - i);
+    auto& store = chunks_[chunk];
+    if (store.empty()) store.assign(chunk_bytes_, 0);
+    std::memcpy(store.data() + in_chunk, data.data() + i, n);
+    pos += n;
+    i += n;
+  }
+  size_ = std::max(size_, off + data.size());
+}
+
+void SparseBuffer::read(std::uint64_t off, std::span<std::uint8_t> out) const {
+  std::uint64_t pos = off;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::uint64_t chunk = pos / chunk_bytes_;
+    const std::size_t in_chunk = static_cast<std::size_t>(pos % chunk_bytes_);
+    const std::size_t n = std::min(chunk_bytes_ - in_chunk, out.size() - i);
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + i, 0, n);
+    } else {
+      std::memcpy(out.data() + i, it->second.data() + in_chunk, n);
+    }
+    pos += n;
+    i += n;
+  }
+}
+
+void SparseBuffer::truncate(std::uint64_t new_size) {
+  size_ = new_size;
+  const std::uint64_t first_dead =
+      (new_size + chunk_bytes_ - 1) / chunk_bytes_;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->first >= first_dead) {
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Zero the tail of the boundary chunk so re-extension reads zeros.
+  if (new_size % chunk_bytes_ != 0) {
+    auto it = chunks_.find(new_size / chunk_bytes_);
+    if (it != chunks_.end()) {
+      std::fill(it->second.begin() + static_cast<long>(new_size % chunk_bytes_),
+                it->second.end(), 0);
+    }
+  }
+}
+
+}  // namespace pdsi::pfs

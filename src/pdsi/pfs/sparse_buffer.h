@@ -1,0 +1,39 @@
+// Chunked sparse byte store backing simulated file contents. Files written
+// N-to-1 strided are sparse until all ranks land, and benchmark files can
+// be multi-GiB, so storage is allocated in fixed chunks on first touch and
+// holes read back as zeros (POSIX semantics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace pdsi::pfs {
+
+class SparseBuffer {
+ public:
+  explicit SparseBuffer(std::size_t chunk_bytes = 256 * 1024)
+      : chunk_bytes_(chunk_bytes) {}
+
+  void write(std::uint64_t off, std::span<const std::uint8_t> data);
+
+  /// Reads into `out`, zero-filling holes and bytes past EOF.
+  void read(std::uint64_t off, std::span<std::uint8_t> out) const;
+
+  /// Highest written offset + 1 (POSIX st_size).
+  std::uint64_t size() const { return size_; }
+
+  /// Logical truncate; frees chunks wholly past the new size.
+  void truncate(std::uint64_t new_size);
+
+  /// Bytes of physical memory actually allocated.
+  std::uint64_t allocated_bytes() const { return chunks_.size() * chunk_bytes_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::uint64_t size_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> chunks_;
+};
+
+}  // namespace pdsi::pfs

@@ -1,0 +1,68 @@
+// Storage backend abstraction under PLFS.
+//
+// PLFS is middleware: it rearranges the application's writes into
+// per-rank logs but stores those logs through an ordinary file interface.
+// Three backends implement that interface:
+//   * MemBackend   — in-process store for fast, deterministic unit tests;
+//   * PosixBackend — a real directory tree (the FUSE-deployment analogue);
+//   * PfsBackend   — the simulated parallel file system, which both moves
+//                    real bytes and charges virtual time (benchmarks).
+//
+// Thread-safety: backends are called concurrently by rank threads and must
+// be internally synchronised (MemBackend/PosixBackend) or rely on the
+// virtual-time scheduler's serialisation (PfsBackend, one instance per
+// rank over a shared cluster).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdsi/common/result.h"
+
+namespace pdsi::plfs {
+
+using BackendHandle = int;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Creates a directory. Errc::exists if present (callers racing to make
+  /// container hostdirs treat that as success).
+  virtual Status mkdir(const std::string& path) = 0;
+
+  virtual Result<BackendHandle> create(const std::string& path) = 0;
+  virtual Result<BackendHandle> open(const std::string& path) = 0;
+
+  virtual Status write(BackendHandle h, std::uint64_t off,
+                       std::span<const std::uint8_t> data) = 0;
+  /// Bytes read; short count at EOF.
+  virtual Result<std::size_t> read(BackendHandle h, std::uint64_t off,
+                                   std::span<std::uint8_t> out) = 0;
+  virtual Result<std::uint64_t> size(BackendHandle h) = 0;
+  virtual Status fsync(BackendHandle h) = 0;
+  virtual Status close(BackendHandle h) = 0;
+
+  virtual Result<std::vector<std::string>> readdir(const std::string& path) = 0;
+  /// Removes a file or an empty directory.
+  virtual Status unlink(const std::string& path) = 0;
+  virtual Status rename(const std::string& from, const std::string& to) = 0;
+  virtual Result<bool> is_dir(const std::string& path) = 0;
+  virtual Result<bool> exists(const std::string& path) = 0;
+
+  /// Charges client-side CPU time (index decode/merge) to whatever clock
+  /// this backend lives on. Real backends ignore it (wall time is
+  /// measured directly); the simulated backend advances virtual time.
+  virtual void compute(double /*seconds*/) {}
+};
+
+/// In-memory backend (tests). Internally synchronised.
+std::unique_ptr<Backend> MakeMemBackend();
+
+/// Real files rooted at `root` (must exist). Paths map 1:1 under the root.
+std::unique_ptr<Backend> MakePosixBackend(const std::string& root);
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,78 @@
+#include "pdsi/plfs/container.h"
+
+namespace pdsi::plfs {
+
+std::string ContainerPaths::access_marker(const std::string& c) {
+  return c + "/.plfsaccess";
+}
+std::string ContainerPaths::hostdir(const std::string& c, std::uint32_t h) {
+  return c + "/hostdir." + std::to_string(h);
+}
+std::string ContainerPaths::data_dropping(const std::string& c, std::uint32_t h,
+                                          std::uint32_t rank) {
+  return hostdir(c, h) + "/data." + std::to_string(rank);
+}
+std::string ContainerPaths::index_dropping(const std::string& c, std::uint32_t h,
+                                           std::uint32_t rank) {
+  return hostdir(c, h) + "/index." + std::to_string(rank);
+}
+std::string ContainerPaths::meta_dir(const std::string& c) { return c + "/meta"; }
+std::string ContainerPaths::meta_dropping(const std::string& c, std::uint64_t size,
+                                          std::uint32_t rank) {
+  return meta_dir(c) + "/" + std::to_string(size) + "." + std::to_string(rank);
+}
+
+namespace {
+
+Status IgnoreExists(Status st) {
+  if (!st.ok() && st.error() == Errc::exists) return Status::Ok();
+  return st;
+}
+
+}  // namespace
+
+Result<std::uint32_t> EnsureContainer(Backend& backend, const std::string& path,
+                                      std::uint32_t rank, std::uint32_t fanout) {
+  if (auto st = IgnoreExists(backend.mkdir(path)); !st.ok()) return st.error();
+  // The marker is an empty file; racing creators tolerate exists.
+  auto marker = backend.create(ContainerPaths::access_marker(path));
+  if (!marker.ok() && marker.error() != Errc::exists) return marker.error();
+  if (marker.ok()) backend.close(*marker);
+
+  if (auto st = IgnoreExists(backend.mkdir(ContainerPaths::meta_dir(path))); !st.ok()) {
+    return st.error();
+  }
+  const std::uint32_t h = ContainerPaths::hostdir_for(rank, fanout);
+  if (auto st = IgnoreExists(backend.mkdir(ContainerPaths::hostdir(path, h)));
+      !st.ok()) {
+    return st.error();
+  }
+  return h;
+}
+
+Result<bool> IsContainer(Backend& backend, const std::string& path) {
+  auto dir = backend.is_dir(path);
+  if (!dir.ok()) return dir.error();
+  if (!*dir) return false;
+  auto marker = backend.exists(ContainerPaths::access_marker(path));
+  if (!marker.ok()) return marker.error();
+  return *marker;
+}
+
+Status RemoveContainer(Backend& backend, const std::string& path) {
+  auto entries = backend.readdir(path);
+  if (!entries.ok()) return entries.error();
+  for (const auto& name : *entries) {
+    const std::string child = path + "/" + name;
+    auto dir = backend.is_dir(child);
+    if (!dir.ok()) return dir.error();
+    if (*dir) {
+      if (auto st = RemoveContainer(backend, child); !st.ok()) return st;
+    } else {
+      if (auto st = backend.unlink(child); !st.ok()) return st;
+    }
+  }
+  return backend.unlink(path);
+}
+
+}  // namespace pdsi::plfs

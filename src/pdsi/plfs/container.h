@@ -1,0 +1,52 @@
+// PLFS container layout.
+//
+// A logical file /ckpt is stored as a backend directory:
+//
+//   /ckpt/                          <- container
+//   /ckpt/.plfsaccess               <- marker distinguishing containers
+//   /ckpt/hostdir.K/                <- fan-out subdirs (K = rank % fanout)
+//   /ckpt/hostdir.K/data.R          <- rank R's write payload log
+//   /ckpt/hostdir.K/index.R         <- rank R's index records
+//   /ckpt/meta/S.R                  <- dropped at close: rank R saw EOF S
+//
+// Hostdir fan-out spreads dropping creation over metadata resources; the
+// meta/ droppings let stat() answer without a full index merge — both are
+// mechanisms from the SC09 paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pdsi/common/result.h"
+#include "pdsi/plfs/backend.h"
+
+namespace pdsi::plfs {
+
+struct ContainerPaths {
+  static std::string access_marker(const std::string& container);
+  static std::string hostdir(const std::string& container, std::uint32_t h);
+  static std::string data_dropping(const std::string& container, std::uint32_t h,
+                                   std::uint32_t rank);
+  static std::string index_dropping(const std::string& container, std::uint32_t h,
+                                    std::uint32_t rank);
+  static std::string meta_dir(const std::string& container);
+  static std::string meta_dropping(const std::string& container, std::uint64_t size,
+                                   std::uint32_t rank);
+
+  static std::uint32_t hostdir_for(std::uint32_t rank, std::uint32_t fanout) {
+    return fanout == 0 ? 0 : rank % fanout;
+  }
+};
+
+/// Creates the container skeleton if needed. Races between ranks are
+/// expected: Errc::exists is success. Returns the rank's hostdir index.
+Result<std::uint32_t> EnsureContainer(Backend& backend, const std::string& path,
+                                      std::uint32_t rank, std::uint32_t fanout);
+
+/// True if `path` is a PLFS container (a directory with the marker).
+Result<bool> IsContainer(Backend& backend, const std::string& path);
+
+/// Recursively removes a container.
+Status RemoveContainer(Backend& backend, const std::string& path);
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,211 @@
+#include "pdsi/plfs/index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace pdsi::plfs {
+namespace {
+
+void Put64(std::span<std::uint8_t> out, std::size_t at, std::uint64_t v) {
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+void Put32(std::span<std::uint8_t> out, std::size_t at, std::uint32_t v) {
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+std::uint64_t Get64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v;
+  std::memcpy(&v, in.data() + at, sizeof(v));
+  return v;
+}
+std::uint32_t Get32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v;
+  std::memcpy(&v, in.data() + at, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void SerializeEntry(const IndexEntry& e, std::span<std::uint8_t> out) {
+  if (out.size() < kRawEntrySize) throw std::invalid_argument("index buffer too small");
+  Put64(out, 0, e.logical);
+  // Length and sequence fit comfortably in 32 bits for any realistic
+  // record; pack to keep the record at 48 bytes.
+  Put64(out, 8, e.length);
+  Put64(out, 16, e.physical);
+  Put64(out, 24, e.stride);
+  Put32(out, 32, e.count);
+  Put32(out, 36, e.rank);
+  Put64(out, 40, e.sequence);
+}
+
+IndexEntry DeserializeEntry(std::span<const std::uint8_t> in) {
+  if (in.size() < kRawEntrySize) throw std::invalid_argument("short index record");
+  IndexEntry e;
+  e.logical = Get64(in, 0);
+  e.length = Get64(in, 8);
+  e.physical = Get64(in, 16);
+  e.stride = Get64(in, 24);
+  e.count = Get32(in, 32);
+  e.rank = Get32(in, 36);
+  e.sequence = Get64(in, 40);
+  return e;
+}
+
+Bytes SerializeEntries(const std::vector<IndexEntry>& entries) {
+  Bytes out(entries.size() * kRawEntrySize);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    SerializeEntry(entries[i], std::span(out).subspan(i * kRawEntrySize));
+  }
+  return out;
+}
+
+std::vector<IndexEntry> DeserializeEntries(std::span<const std::uint8_t> data) {
+  if (data.size() % kRawEntrySize != 0) {
+    throw std::invalid_argument("index dropping size not a record multiple");
+  }
+  std::vector<IndexEntry> out;
+  out.reserve(data.size() / kRawEntrySize);
+  for (std::size_t at = 0; at < data.size(); at += kRawEntrySize) {
+    out.push_back(DeserializeEntry(data.subspan(at)));
+  }
+  return out;
+}
+
+void PatternCompressor::add(const IndexEntry& e) {
+  if (e.count != 1) throw std::invalid_argument("feed plain entries only");
+  if (!enabled_) {
+    out_.push_back(e);
+    return;
+  }
+  if (run_) {
+    IndexEntry& r = *run_;
+    const bool same_shape = e.length == r.length && e.rank == r.rank;
+    const bool physically_contiguous =
+        e.physical == r.physical + static_cast<std::uint64_t>(r.count) * r.length;
+    if (same_shape && physically_contiguous) {
+      if (r.count == 1) {
+        // Second record fixes the stride (forward strides only).
+        if (e.logical > r.logical) {
+          r.stride = e.logical - r.logical;
+          r.count = 2;
+          return;
+        }
+      } else if (e.logical == r.logical + r.stride * r.count) {
+        ++r.count;
+        return;
+      }
+    }
+    emit_run();
+  }
+  run_ = e;
+  run_->stride = 0;
+  run_->count = 1;
+}
+
+void PatternCompressor::finish() {
+  if (run_) emit_run();
+}
+
+void PatternCompressor::emit_run() {
+  out_.push_back(*run_);
+  run_.reset();
+}
+
+std::vector<IndexEntry> PatternCompressor::take() {
+  std::vector<IndexEntry> out;
+  out.swap(out_);
+  return out;
+}
+
+void GlobalIndex::add(const IndexEntry& e, std::uint32_t dropping_id) {
+  for (std::uint32_t k = 0; k < e.count; ++k) {
+    insert(e.logical + e.stride * k, e.length, dropping_id,
+           e.physical + static_cast<std::uint64_t>(k) * e.length);
+  }
+}
+
+void GlobalIndex::insert(std::uint64_t logical, std::uint64_t length,
+                         std::uint32_t dropping, std::uint64_t physical) {
+  if (length == 0) return;
+  const std::uint64_t end = logical + length;
+  size_ = std::max(size_, end);
+
+  // Trim or split any existing segment overlapping [logical, end).
+  auto it = segments_.upper_bound(logical);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    const std::uint64_t pstart = prev->first;
+    const std::uint64_t pend = pstart + prev->second.length;
+    if (pend > logical) {
+      // prev overlaps from the left; keep its head, maybe its tail.
+      Span tail = prev->second;
+      prev->second.length = logical - pstart;
+      if (prev->second.length == 0) segments_.erase(prev);
+      if (pend > end) {
+        const std::uint64_t skip = end - pstart;
+        segments_.emplace(end, Span{pend - end, tail.dropping, tail.physical + skip});
+      }
+    }
+  }
+  it = segments_.lower_bound(logical);
+  while (it != segments_.end() && it->first < end) {
+    const std::uint64_t sstart = it->first;
+    const std::uint64_t send = sstart + it->second.length;
+    if (send <= end) {
+      it = segments_.erase(it);
+    } else {
+      // Keep the tail beyond our new segment.
+      Span tail = it->second;
+      const std::uint64_t skip = end - sstart;
+      segments_.erase(it);
+      segments_.emplace(end, Span{send - end, tail.dropping, tail.physical + skip});
+      break;
+    }
+  }
+  segments_.emplace(logical, Span{length, dropping, physical});
+}
+
+std::vector<GlobalIndex::Segment> GlobalIndex::lookup(std::uint64_t off,
+                                                      std::uint64_t len) const {
+  std::vector<Segment> out;
+  if (len == 0) return out;
+  const std::uint64_t end = off + len;
+  std::uint64_t pos = off;
+
+  auto it = segments_.upper_bound(off);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > off) it = prev;
+  }
+  while (pos < end) {
+    if (it == segments_.end() || it->first >= end) {
+      out.push_back({pos, end - pos, kHole, 0});
+      break;
+    }
+    if (it->first > pos) {
+      out.push_back({pos, it->first - pos, kHole, 0});
+      pos = it->first;
+    }
+    const std::uint64_t sstart = it->first;
+    const std::uint64_t send = sstart + it->second.length;
+    const std::uint64_t from = std::max(pos, sstart);
+    const std::uint64_t to = std::min(end, send);
+    out.push_back({from, to - from, it->second.dropping,
+                   it->second.physical + (from - sstart)});
+    pos = to;
+    ++it;
+  }
+  return out;
+}
+
+std::vector<GlobalIndex::Segment> GlobalIndex::all() const {
+  std::vector<Segment> out;
+  out.reserve(segments_.size());
+  for (const auto& [start, span] : segments_) {
+    out.push_back({start, span.length, span.dropping, span.physical});
+  }
+  return out;
+}
+
+}  // namespace pdsi::plfs

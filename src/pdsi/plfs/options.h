@@ -1,0 +1,41 @@
+// Tunables for a PLFS "mount". Each flag is an ablation axis exercised by
+// bench/abl01_plfs_ablation; defaults match the hardened PLFS defaults.
+#pragma once
+
+#include <cstdint>
+
+namespace pdsi::plfs {
+
+struct Options {
+  /// Hostdir fan-out: how many subdirectories droppings spread over.
+  std::uint32_t num_hostdirs = 32;
+
+  /// Collapse strided index runs into pattern records (§1.1 item 5).
+  bool index_compression = true;
+
+  /// Buffer index records in memory and write them at sync/close rather
+  /// than one backend write per record.
+  bool index_buffering = true;
+
+  /// Write-behind data batching (§1.1 items 4/6: delayed-write batching /
+  /// burst buffering): coalesce log appends into buffers of this size
+  /// before hitting the backend. 0 = write through.
+  std::uint64_t write_buffer_bytes = 0;
+
+  /// Reader: expand and merge index droppings with this many helper
+  /// threads (§1.1 item 5, parallel index redistribution). Only applies
+  /// to backends that tolerate concurrent access from anonymous threads
+  /// (Mem/Posix); the simulated backend reads sequentially regardless.
+  std::uint32_t index_read_threads = 1;
+
+  /// Drop a meta/<size>.<rank> hint at close so stat() can avoid a full
+  /// index merge.
+  bool write_meta_hints = true;
+
+  /// Client CPU charged per index record during the restart merge
+  /// (decode + sort + interval-map insert). This is why index
+  /// compression pays off at restart: pattern records shrink the merge.
+  double index_merge_cost_per_entry_s = 3e-6;
+};
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,80 @@
+// Backend adapter over the simulated parallel file system. One instance
+// per rank: the PfsClient inside carries the rank's virtual-time actor id,
+// so every PLFS container operation is charged to the right clock.
+#include "pdsi/plfs/pfs_backend.h"
+
+namespace pdsi::plfs {
+namespace {
+
+class PfsBackend final : public Backend {
+ public:
+  PfsBackend(pfs::PfsCluster& cluster, std::size_t actor)
+      : client_(cluster, actor) {}
+
+  Status mkdir(const std::string& path) override { return client_.mkdir(path); }
+
+  Result<BackendHandle> create(const std::string& path) override {
+    auto r = client_.create(path);
+    if (!r.ok()) return r.error();
+    return static_cast<BackendHandle>(*r);
+  }
+
+  Result<BackendHandle> open(const std::string& path) override {
+    auto r = client_.open(path);
+    if (!r.ok()) return r.error();
+    return static_cast<BackendHandle>(*r);
+  }
+
+  Status write(BackendHandle h, std::uint64_t off,
+               std::span<const std::uint8_t> data) override {
+    return client_.write(h, off, data);
+  }
+
+  Result<std::size_t> read(BackendHandle h, std::uint64_t off,
+                           std::span<std::uint8_t> out) override {
+    return client_.read(h, off, out);
+  }
+
+  Result<std::uint64_t> size(BackendHandle h) override {
+    return client_.file_size(h);
+  }
+
+  Status fsync(BackendHandle h) override { return client_.fsync(h); }
+  Status close(BackendHandle h) override { return client_.close(h); }
+
+  Result<std::vector<std::string>> readdir(const std::string& path) override {
+    return client_.readdir(path);
+  }
+
+  Status unlink(const std::string& path) override { return client_.unlink(path); }
+
+  Status rename(const std::string& from, const std::string& to) override {
+    return client_.rename(from, to);
+  }
+
+  Result<bool> is_dir(const std::string& path) override {
+    auto st = client_.stat(path);
+    if (!st.ok()) return st.error();
+    return st->is_dir;
+  }
+
+  void compute(double seconds) override { client_.compute(seconds); }
+
+  Result<bool> exists(const std::string& path) override {
+    auto st = client_.stat(path);
+    if (!st.ok() && st.error() == Errc::not_found) return false;
+    if (!st.ok()) return st.error();
+    return true;
+  }
+
+ private:
+  pfs::PfsClient client_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> MakePfsBackend(pfs::PfsCluster& cluster, std::size_t actor) {
+  return std::make_unique<PfsBackend>(cluster, actor);
+}
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,14 @@
+// Factory for the simulated-PFS backend (see backend.h).
+#pragma once
+
+#include <memory>
+
+#include "pdsi/pfs/client.h"
+#include "pdsi/plfs/backend.h"
+
+namespace pdsi::plfs {
+
+/// One backend per rank: `actor` is the rank's VirtualScheduler actor id.
+std::unique_ptr<Backend> MakePfsBackend(pfs::PfsCluster& cluster, std::size_t actor);
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,73 @@
+#include "pdsi/plfs/plfs.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "pdsi/common/units.h"
+
+namespace pdsi::plfs {
+
+Result<std::uint64_t> StatSize(Backend& backend, const std::string& path) {
+  auto is_c = IsContainer(backend, path);
+  if (!is_c.ok()) return is_c.error();
+  if (!*is_c) return Errc::invalid;
+
+  // Fast path: max over meta/<size>.<rank> hints.
+  auto hints = backend.readdir(ContainerPaths::meta_dir(path));
+  if (hints.ok() && !hints->empty()) {
+    std::uint64_t best = 0;
+    bool any = false;
+    for (const auto& name : *hints) {
+      std::uint64_t size = 0;
+      const auto dot = name.find('.');
+      const char* end = name.data() + (dot == std::string::npos ? name.size() : dot);
+      if (std::from_chars(name.data(), end, size).ec == std::errc{}) {
+        best = std::max(best, size);
+        any = true;
+      }
+    }
+    if (any) return best;
+  }
+
+  // Slow path: merge the index.
+  auto reader = Reader::Open(backend, path);
+  if (!reader.ok()) return reader.error();
+  return (*reader)->size();
+}
+
+Status Flatten(Backend& backend, const std::string& path, const std::string& dest,
+               const Options& options) {
+  auto reader = Reader::Open(backend, path, options);
+  if (!reader.ok()) return reader.error();
+
+  auto out = backend.create(dest);
+  if (!out.ok()) return out.error();
+
+  constexpr std::uint64_t kChunk = 4 * MiB;
+  Bytes buf;
+  Status st = Status::Ok();
+  const std::uint64_t size = (*reader)->size();
+  for (std::uint64_t off = 0; off < size && st.ok(); off += kChunk) {
+    const std::uint64_t n = std::min(kChunk, size - off);
+    buf.resize(n);
+    auto r = (*reader)->read(off, buf);
+    if (!r.ok()) {
+      st = r.error();
+      break;
+    }
+    buf.resize(*r);
+    st = backend.write(*out, off, buf);
+  }
+  if (st.ok()) st = backend.fsync(*out);
+  backend.close(*out);
+  return st;
+}
+
+Status Unlink(Backend& backend, const std::string& path) {
+  auto is_c = IsContainer(backend, path);
+  if (!is_c.ok()) return is_c.error();
+  if (!*is_c) return Errc::invalid;
+  return RemoveContainer(backend, path);
+}
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,171 @@
+#include "pdsi/plfs/reader.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "pdsi/plfs/container.h"
+
+namespace pdsi::plfs {
+
+Result<std::unique_ptr<Reader>> Reader::Open(Backend& backend,
+                                             const std::string& path,
+                                             const Options& options) {
+  auto is_c = IsContainer(backend, path);
+  if (!is_c.ok()) return is_c.error();
+  if (!*is_c) return Errc::invalid;
+  std::unique_ptr<Reader> reader(new Reader(backend, options));
+  if (auto st = reader->build(path); !st.ok()) return st.error();
+  return reader;
+}
+
+Reader::Reader(Backend& backend, Options options)
+    : backend_(backend), options_(options) {}
+
+Reader::~Reader() {
+  for (auto& [id, h] : handles_) backend_.close(h);
+}
+
+Status Reader::build(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Discover index droppings across hostdirs.
+  struct IndexFile {
+    std::string index_path;
+    std::string data_path;
+  };
+  std::vector<IndexFile> files;
+  auto top = backend_.readdir(path);
+  if (!top.ok()) return top.error();
+  for (const auto& name : *top) {
+    if (name.rfind("hostdir.", 0) != 0) continue;
+    const std::string hostdir = path + "/" + name;
+    auto entries = backend_.readdir(hostdir);
+    if (!entries.ok()) return entries.error();
+    for (const auto& e : *entries) {
+      if (e.rfind("index.", 0) != 0) continue;
+      const std::string rank_part = e.substr(6);
+      files.push_back({hostdir + "/" + e, hostdir + "/data." + rank_part});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const IndexFile& a, const IndexFile& b) {
+              return a.index_path < b.index_path;
+            });
+
+  // Read and decode each dropping (optionally in parallel).
+  std::vector<std::vector<IndexEntry>> decoded(files.size());
+  std::vector<Status> statuses(files.size());
+  std::vector<std::uint64_t> sizes(files.size(), 0);
+  auto read_one = [&](std::size_t i) {
+    auto h = backend_.open(files[i].index_path);
+    if (!h.ok()) {
+      statuses[i] = h.error();
+      return;
+    }
+    auto sz = backend_.size(*h);
+    if (!sz.ok()) {
+      statuses[i] = sz.error();
+      backend_.close(*h);
+      return;
+    }
+    Bytes raw(*sz);
+    auto n = backend_.read(*h, 0, raw);
+    backend_.close(*h);
+    if (!n.ok()) {
+      statuses[i] = n.error();
+      return;
+    }
+    raw.resize(*n);
+    sizes[i] = *n;
+    try {
+      decoded[i] = DeserializeEntries(raw);
+    } catch (const std::exception&) {
+      statuses[i] = Errc::io_error;
+    }
+  };
+
+  const std::uint32_t workers =
+      std::max<std::uint32_t>(1, options_.index_read_threads);
+  if (workers == 1 || files.size() <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) read_one(i);
+  } else {
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    for (std::uint32_t w = 0; w < std::min<std::size_t>(workers, files.size()); ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < files.size();
+             i = next.fetch_add(1)) {
+          read_one(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (const auto& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  // Merge: stamp dropping ids, order globally by write sequence, insert.
+  droppings_.reserve(files.size());
+  std::size_t total = 0;
+  for (const auto& d : decoded) total += d.size();
+  raw_entries_.reserve(total);
+  std::vector<std::uint32_t> owner;
+  owner.reserve(total);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    droppings_.push_back(files[i].data_path);
+    index_bytes_read_ += sizes[i];
+    for (const auto& e : decoded[i]) {
+      raw_entries_.push_back(e);
+      owner.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<std::size_t> order(raw_entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return raw_entries_[a].sequence < raw_entries_[b].sequence;
+  });
+  for (std::size_t i : order) index_.add(raw_entries_[i], owner[i]);
+  backend_.compute(static_cast<double>(raw_entries_.size()) *
+                   options_.index_merge_cost_per_entry_s);
+
+  index_build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return Status::Ok();
+}
+
+Result<BackendHandle> Reader::data_handle(std::uint32_t dropping) {
+  auto it = handles_.find(dropping);
+  if (it != handles_.end()) return it->second;
+  auto h = backend_.open(droppings_[dropping]);
+  if (!h.ok()) return h.error();
+  handles_.emplace(dropping, *h);
+  return *h;
+}
+
+Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out) {
+  if (off >= index_.size() || out.empty()) return static_cast<std::size_t>(0);
+  const std::uint64_t len = std::min<std::uint64_t>(out.size(), index_.size() - off);
+
+  for (const auto& seg : index_.lookup(off, len)) {
+    auto dst = out.subspan(seg.logical - off, seg.length);
+    if (seg.dropping == GlobalIndex::kHole) {
+      std::memset(dst.data(), 0, dst.size());
+      continue;
+    }
+    auto h = data_handle(seg.dropping);
+    if (!h.ok()) return h.error();
+    auto n = backend_.read(*h, seg.physical, dst);
+    if (!n.ok()) return n.error();
+    if (*n < dst.size()) {
+      // Data dropping shorter than its index claims: corrupt container.
+      return Errc::io_error;
+    }
+  }
+  return static_cast<std::size_t>(len);
+}
+
+}  // namespace pdsi::plfs

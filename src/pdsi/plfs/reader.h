@@ -1,0 +1,64 @@
+// PLFS read path: discovers every rank's index dropping, merges them into
+// a GlobalIndex (newest write wins), and serves logical reads by stitching
+// extents out of the per-rank data logs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdsi/common/result.h"
+#include "pdsi/plfs/backend.h"
+#include "pdsi/plfs/index.h"
+#include "pdsi/plfs/options.h"
+
+namespace pdsi::plfs {
+
+class Reader {
+ public:
+  /// Opens the container, reads every index dropping, builds the global
+  /// index. With options.index_read_threads > 1 the droppings are read
+  /// and decoded by a thread pool (backend must tolerate concurrent
+  /// calls; keep this at 1 for the virtual-time PFS backend).
+  static Result<std::unique_ptr<Reader>> Open(Backend& backend,
+                                              const std::string& path,
+                                              const Options& options = {});
+
+  ~Reader();
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads logical bytes; holes return zeros; short count at EOF.
+  Result<std::size_t> read(std::uint64_t off, std::span<std::uint8_t> out);
+
+  std::uint64_t size() const { return index_.size(); }
+  const GlobalIndex& index() const { return index_; }
+
+  /// Raw entries in merge order — consumed by Ninjat visualisation and
+  /// the flatten tool.
+  const std::vector<IndexEntry>& raw_entries() const { return raw_entries_; }
+
+  // -- Introspection --
+  std::size_t dropping_count() const { return droppings_.size(); }
+  std::uint64_t index_bytes_read() const { return index_bytes_read_; }
+  double index_build_seconds() const { return index_build_seconds_; }
+
+ private:
+  Reader(Backend& backend, Options options);
+
+  Status build(const std::string& path);
+  Result<BackendHandle> data_handle(std::uint32_t dropping);
+
+  Backend& backend_;
+  Options options_;
+  GlobalIndex index_;
+  std::vector<IndexEntry> raw_entries_;
+  std::vector<std::string> droppings_;          ///< data-dropping paths by id
+  std::unordered_map<std::uint32_t, BackendHandle> handles_;
+  std::uint64_t index_bytes_read_ = 0;
+  double index_build_seconds_ = 0.0;            ///< wall time (real backends)
+};
+
+}  // namespace pdsi::plfs

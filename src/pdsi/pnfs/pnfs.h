@@ -1,0 +1,52 @@
+// pNFS vs plain NFS scaling (§2.2 Standardization).
+//
+// The report's case for Parallel NFS: conventional NFS funnels every data
+// byte through one server — a NAS head that caps aggregate bandwidth no
+// matter how much backend storage sits behind it. pNFS (NFSv4.1) keeps
+// the server for metadata but lets clients fetch a layout and then move
+// data directly, in parallel, against the storage nodes, "eliminating
+// the server bottlenecks inherent to NAS access methods."
+//
+// The model: N clients each stream a private file striped over S data
+// servers. In NFS mode each chunk crosses the single server's NIC twice
+// (backend in, client out) plus per-op server CPU; in pNFS mode clients
+// pay one layout RPC and then talk to the data servers directly.
+#pragma once
+
+#include <cstdint>
+
+namespace pdsi::pnfs {
+
+enum class Protocol {
+  nfs,   ///< all data proxied through one server
+  pnfs,  ///< layout from the MDS, data direct to storage
+};
+
+struct PnfsParams {
+  Protocol protocol = Protocol::pnfs;
+  std::uint32_t clients = 16;
+  std::uint32_t data_servers = 8;
+  std::uint64_t bytes_per_client = 256 * 1024 * 1024;
+  std::uint64_t chunk_bytes = 1024 * 1024;
+
+  double disk_bw_bytes = 120e6;       ///< per data server
+  double data_server_nic_bw = 117e6;  ///< 1GE storage nodes (era-typical)
+  double nas_head_nic_bw = 117e6;     ///< the single NFS server's 1GE port
+  double client_nic_bw = 117e6;       ///< 1GE clients
+  double server_cpu_per_op_s = 30e-6;
+  double rpc_latency_s = 100e-6;
+  double layout_rpc_s = 300e-6;       ///< pNFS LAYOUTGET at the MDS
+};
+
+struct PnfsResult {
+  double seconds = 0.0;
+  std::uint64_t bytes = 0;
+  double aggregate_bw() const {
+    return seconds > 0 ? static_cast<double>(bytes) / seconds : 0.0;
+  }
+};
+
+/// Runs the streaming workload to completion (virtual time).
+PnfsResult RunStreamingClients(const PnfsParams& params);
+
+}  // namespace pdsi::pnfs

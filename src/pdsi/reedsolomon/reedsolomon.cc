@@ -1,0 +1,168 @@
+#include "pdsi/reedsolomon/reedsolomon.h"
+
+#include <stdexcept>
+
+namespace pdsi::reedsolomon {
+
+GaloisField::GaloisField() {
+  // Generator 2 over the AES-friendly primitive polynomial x^8+x^4+x^3+x^2+1.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11d;
+  }
+  for (int i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+  log_[0] = 0;  // never consulted for zero operands
+}
+
+std::uint8_t GaloisField::div(std::uint8_t a, std::uint8_t b) const {
+  if (b == 0) throw std::domain_error("GF division by zero");
+  if (a == 0) return 0;
+  return exp_[(log_[a] + 255 - log_[b]) % 255];
+}
+
+std::uint8_t GaloisField::inv(std::uint8_t a) const {
+  if (a == 0) throw std::domain_error("GF inverse of zero");
+  return exp_[255 - log_[a]];
+}
+
+void GaloisField::mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
+                          std::span<std::uint8_t> dst) const {
+  if (c == 0) return;
+  const int lc = log_[c];
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] != 0) dst[i] ^= exp_[lc + log_[src[i]]];
+  }
+}
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  if (k < 1 || m < 1 || k + m > 255) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k, m and k+m <= 255");
+  }
+  // Cauchy block: coeff(r, c) = 1 / (x_r ^ y_c) with x = k..k+m-1, y = 0..k-1.
+  matrix_.assign(m_, std::vector<std::uint8_t>(k_));
+  for (int r = 0; r < m_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      matrix_[r][c] = gf_.inv(static_cast<std::uint8_t>((k_ + r) ^ c));
+    }
+  }
+}
+
+std::vector<Bytes> ReedSolomon::encode(const std::vector<Bytes>& data) const {
+  if (static_cast<int>(data.size()) != k_) {
+    throw std::invalid_argument("encode: expected k data shards");
+  }
+  const std::size_t n = data[0].size();
+  for (const auto& d : data) {
+    if (d.size() != n) throw std::invalid_argument("encode: unequal shard sizes");
+  }
+  std::vector<Bytes> parity(m_, Bytes(n, 0));
+  for (int r = 0; r < m_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      gf_.mul_add(coeff(r, c), data[c], parity[r]);
+    }
+  }
+  return parity;
+}
+
+void ReedSolomon::Invert(std::vector<std::vector<std::uint8_t>>& a,
+                         const GaloisField& gf) {
+  const int n = static_cast<int>(a.size());
+  // Augment with the identity.
+  for (int i = 0; i < n; ++i) {
+    a[i].resize(2 * n, 0);
+    a[i][n + i] = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int row = col; row < n; ++row) {
+      if (a[row][col] != 0) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot < 0) throw std::runtime_error("ReedSolomon: singular matrix");
+    std::swap(a[col], a[pivot]);
+    const std::uint8_t inv = gf.inv(a[col][col]);
+    for (int j = 0; j < 2 * n; ++j) a[col][j] = gf.mul(a[col][j], inv);
+    for (int row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      const std::uint8_t f = a[row][col];
+      for (int j = 0; j < 2 * n; ++j) {
+        a[row][j] ^= gf.mul(f, a[col][j]);
+      }
+    }
+  }
+  // Keep only the inverse half.
+  for (int i = 0; i < n; ++i) {
+    a[i].erase(a[i].begin(), a[i].begin() + n);
+  }
+}
+
+void ReedSolomon::reconstruct(std::vector<Bytes>& shards) const {
+  if (static_cast<int>(shards.size()) != k_ + m_) {
+    throw std::invalid_argument("reconstruct: expected k+m shard slots");
+  }
+  std::size_t n = 0;
+  int present = 0;
+  for (const auto& s : shards) {
+    if (!s.empty()) {
+      if (n == 0) n = s.size();
+      if (s.size() != n) {
+        throw std::invalid_argument("reconstruct: unequal shard sizes");
+      }
+      ++present;
+    }
+  }
+  if (present < k_) throw std::invalid_argument("reconstruct: too many erasures");
+  if (present == k_ + m_) return;
+
+  // Choose the first k survivors and build their rows of the generator.
+  std::vector<int> chosen;
+  for (int i = 0; i < k_ + m_ && static_cast<int>(chosen.size()) < k_; ++i) {
+    if (!shards[i].empty()) chosen.push_back(i);
+  }
+  std::vector<std::vector<std::uint8_t>> a(k_, std::vector<std::uint8_t>(k_, 0));
+  for (int row = 0; row < k_; ++row) {
+    const int shard = chosen[row];
+    if (shard < k_) {
+      a[row][shard] = 1;
+    } else {
+      a[row] = matrix_[shard - k_];
+    }
+  }
+  Invert(a, gf_);  // a is now k x k: data = a * survivors
+
+  // Recover missing data shards.
+  for (int d = 0; d < k_; ++d) {
+    if (!shards[d].empty()) continue;
+    Bytes out(n, 0);
+    for (int row = 0; row < k_; ++row) {
+      gf_.mul_add(a[d][row], shards[chosen[row]], out);
+    }
+    shards[d] = std::move(out);
+  }
+  // Recompute missing parity from (now complete) data.
+  for (int r = 0; r < m_; ++r) {
+    if (!shards[k_ + r].empty()) continue;
+    Bytes out(n, 0);
+    for (int c = 0; c < k_; ++c) {
+      gf_.mul_add(coeff(r, c), shards[c], out);
+    }
+    shards[k_ + r] = std::move(out);
+  }
+}
+
+bool ReedSolomon::verify(const std::vector<Bytes>& shards) const {
+  if (static_cast<int>(shards.size()) != k_ + m_) return false;
+  std::vector<Bytes> data(shards.begin(), shards.begin() + k_);
+  const auto parity = encode(data);
+  for (int r = 0; r < m_; ++r) {
+    if (parity[r] != shards[k_ + r]) return false;
+  }
+  return true;
+}
+
+}  // namespace pdsi::reedsolomon

@@ -1,0 +1,76 @@
+// Reed-Solomon erasure coding over GF(2^8).
+//
+// Two PDSI threads used exactly this code: SNL's GPU-accelerated
+// Reed-Solomon for extended RAID (Curry, IPDPS'08 / PDSW'08 — arbitrary
+// numbers of parity devices beyond RAID-6), and CMU's DiskReduce
+// (replacing 3x replication with erasure codes in data-intensive
+// storage, Fan PDSW'09). This is a full table-driven implementation: a
+// Cauchy generator matrix over GF(256), systematic encoding of k data
+// shards into m parity shards, and decoding from any k survivors via
+// matrix inversion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdsi/common/bytes.h"
+
+namespace pdsi::reedsolomon {
+
+/// GF(2^8) arithmetic (polynomial 0x11d), table-driven.
+class GaloisField {
+ public:
+  GaloisField();
+
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+  std::uint8_t div(std::uint8_t a, std::uint8_t b) const;  // b != 0
+  std::uint8_t inv(std::uint8_t a) const;                  // a != 0
+
+  /// dst[i] ^= c * src[i] — the encode/decode inner loop.
+  void mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
+               std::span<std::uint8_t> dst) const;
+
+ private:
+  std::uint8_t exp_[512];
+  std::uint8_t log_[256];
+};
+
+/// Systematic (k data + m parity) erasure code; any k of the k+m shards
+/// reconstruct everything. k + m <= 255.
+class ReedSolomon {
+ public:
+  ReedSolomon(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  /// Computes the m parity shards from k equal-length data shards.
+  std::vector<Bytes> encode(const std::vector<Bytes>& data) const;
+
+  /// Reconstructs missing shards. `shards` has k+m slots, data first;
+  /// empty vectors mark erasures. Throws if more than m are missing or
+  /// the sizes disagree; on return every slot is filled.
+  void reconstruct(std::vector<Bytes>& shards) const;
+
+  /// True if the parity shards are consistent with the data shards.
+  bool verify(const std::vector<Bytes>& shards) const;
+
+ private:
+  /// Row `r` of the parity generator (Cauchy): parity_r = sum coeff * data_c.
+  std::uint8_t coeff(int r, int c) const { return matrix_[r][c]; }
+
+  /// Inverts an n x n matrix over GF(256) in place; throws if singular.
+  static void Invert(std::vector<std::vector<std::uint8_t>>& a,
+                     const GaloisField& gf);
+
+  int k_;
+  int m_;
+  GaloisField gf_;
+  std::vector<std::vector<std::uint8_t>> matrix_;  ///< m x k Cauchy block
+};
+
+}  // namespace pdsi::reedsolomon

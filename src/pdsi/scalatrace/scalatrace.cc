@@ -1,0 +1,154 @@
+#include "pdsi/scalatrace/scalatrace.h"
+
+namespace pdsi::scalatrace {
+
+std::string_view KindName(Event::Kind k) {
+  switch (k) {
+    case Event::Kind::open: return "open";
+    case Event::Kind::close: return "close";
+    case Event::Kind::read: return "read";
+    case Event::Kind::write: return "write";
+    case Event::Kind::seek: return "seek";
+    case Event::Kind::barrier: return "barrier";
+    case Event::Kind::compute: return "compute";
+  }
+  return "?";
+}
+
+namespace {
+
+using Node = CompressedTrace::Node;
+
+bool NodeEqual(const Node& a, const Node& b) {
+  if (a.count != b.count || a.body.size() != b.body.size()) return false;
+  if (a.body.empty()) return a.literal == b.literal;
+  for (std::size_t i = 0; i < a.body.size(); ++i) {
+    if (!NodeEqual(a.body[i], b.body[i])) return false;
+  }
+  return true;
+}
+
+bool WindowsEqual(const std::vector<Node>& nodes, std::size_t a, std::size_t b,
+                  std::size_t w) {
+  for (std::size_t i = 0; i < w; ++i) {
+    if (!NodeEqual(nodes[a + i], nodes[b + i])) return false;
+  }
+  return true;
+}
+
+/// One folding pass: applies every non-overlapping fold it finds at each
+/// window size, smallest window first. Returns true if anything changed.
+bool FoldOnce(std::vector<Node>& nodes, std::size_t max_window) {
+  bool changed = false;
+  for (std::size_t w = 1; w <= max_window && w <= nodes.size() / 2; ++w) {
+    for (std::size_t i = 0; i + 2 * w <= nodes.size(); ++i) {
+      std::size_t repeats = 1;
+      while (i + (repeats + 1) * w <= nodes.size() &&
+             WindowsEqual(nodes, i, i + repeats * w, w)) {
+        ++repeats;
+      }
+      if (repeats < 2) continue;
+
+      Node loop;
+      if (w == 1 && nodes[i].is_loop()) {
+        // Merging consecutive identical loops: multiply the counts.
+        loop = nodes[i];
+        loop.count *= static_cast<std::uint32_t>(repeats);
+      } else {
+        loop.count = static_cast<std::uint32_t>(repeats);
+        loop.body.assign(nodes.begin() + static_cast<long>(i),
+                         nodes.begin() + static_cast<long>(i + w));
+      }
+      nodes.erase(nodes.begin() + static_cast<long>(i),
+                  nodes.begin() + static_cast<long>(i + repeats * w));
+      nodes.insert(nodes.begin() + static_cast<long>(i), std::move(loop));
+      changed = true;  // keep scanning from the fold onwards
+    }
+  }
+  return changed;
+}
+
+std::size_t CountNodes(const std::vector<Node>& nodes) {
+  std::size_t n = 0;
+  for (const auto& node : nodes) {
+    n += 1 + (node.is_loop() ? CountNodes(node.body) : 0);
+  }
+  return n;
+}
+
+std::uint64_t CountEvents(const std::vector<Node>& nodes) {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes) {
+    if (node.is_loop()) {
+      n += node.count * CountEvents(node.body);
+    } else {
+      n += node.count;
+    }
+  }
+  return n;
+}
+
+void Replay(const std::vector<Node>& nodes,
+            const std::function<void(const Event&)>& action) {
+  for (const auto& node : nodes) {
+    for (std::uint32_t i = 0; i < node.count; ++i) {
+      if (node.is_loop()) {
+        Replay(node.body, action);
+      } else {
+        action(node.literal);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t CompressedTrace::node_count() const { return CountNodes(nodes); }
+std::uint64_t CompressedTrace::event_count() const { return CountEvents(nodes); }
+
+void CompressedTrace::replay(const std::function<void(const Event&)>& action) const {
+  Replay(nodes, action);
+}
+
+std::vector<Event> CompressedTrace::expand() const {
+  std::vector<Event> out;
+  out.reserve(event_count());
+  replay([&](const Event& e) { out.push_back(e); });
+  return out;
+}
+
+CompressedTrace Compress(const std::vector<Event>& events, std::size_t max_window) {
+  CompressedTrace trace;
+  trace.nodes.reserve(events.size());
+  for (const Event& e : events) {
+    Node n;
+    n.literal = e;
+    trace.nodes.push_back(std::move(n));
+  }
+  while (FoldOnce(trace.nodes, max_window)) {
+  }
+  return trace;
+}
+
+std::vector<Event> SyntheticAppTrace(int timesteps, int writes_per_step,
+                                     int checkpoint_every) {
+  std::vector<Event> out;
+  out.push_back({Event::Kind::open, 1});
+  for (int t = 0; t < timesteps; ++t) {
+    out.push_back({Event::Kind::compute, 500});
+    for (int w = 0; w < writes_per_step; ++w) {
+      out.push_back({Event::Kind::seek, 47 * 1024});
+      out.push_back({Event::Kind::write, 47 * 1024});
+    }
+    out.push_back({Event::Kind::barrier, 0});
+    if (checkpoint_every > 0 && (t + 1) % checkpoint_every == 0) {
+      out.push_back({Event::Kind::open, 2});
+      for (int w = 0; w < 4; ++w) out.push_back({Event::Kind::write, 1 << 20});
+      out.push_back({Event::Kind::close, 2});
+    }
+  }
+  out.push_back({Event::Kind::close, 1});
+  return out;
+}
+
+}  // namespace pdsi::scalatrace

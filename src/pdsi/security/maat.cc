@@ -1,0 +1,76 @@
+#include "pdsi/security/maat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdsi::security {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+bool Permits(Rights rights, Rights op) {
+  return (static_cast<std::uint8_t>(rights) & static_cast<std::uint8_t>(op)) ==
+         static_cast<std::uint8_t>(op);
+}
+
+std::uint64_t DigestSet(const std::vector<std::uint64_t>& ids) {
+  // XOR of mixed ids: order-independent, collision-resistant enough for
+  // the model (a real system uses a Merkle digest).
+  std::uint64_t d = 0x6d61617421ULL;  // "maat!"
+  for (std::uint64_t id : ids) d ^= Mix(id + 0x9e3779b97f4a7c15ULL);
+  return d;
+}
+
+std::uint64_t Authority::mac_of(const Capability& cap) const {
+  std::uint64_t h = secret_;
+  h = Mix(h ^ cap.client_set_digest);
+  h = Mix(h ^ cap.file_set_digest);
+  h = Mix(h ^ static_cast<std::uint64_t>(cap.rights));
+  h = Mix(h ^ static_cast<std::uint64_t>(cap.epoch));
+  h = Mix(h ^ static_cast<std::uint64_t>(std::llround(cap.expiry * 1e6)));
+  return h;
+}
+
+Capability Authority::issue(const std::vector<std::uint64_t>& clients,
+                            const std::vector<std::uint64_t>& files,
+                            Rights rights, double expiry) const {
+  Capability cap;
+  cap.client_set_digest = DigestSet(clients);
+  cap.file_set_digest = DigestSet(files);
+  cap.rights = rights;
+  cap.expiry = expiry;
+  cap.epoch = epoch_;
+  cap.mac = mac_of(cap);
+  return cap;
+}
+
+Status Authority::verify(const Capability& cap, std::uint64_t client,
+                         const std::vector<std::uint64_t>& clients,
+                         std::uint64_t file,
+                         const std::vector<std::uint64_t>& files, Rights op,
+                         double now) const {
+  if (cap.mac != mac_of(cap)) return Errc::invalid;          // forged/tampered
+  if (cap.epoch != epoch_) return Errc::stale;               // revoked
+  if (now > cap.expiry) return Errc::stale;                  // expired
+  if (!Permits(cap.rights, op)) return Errc::invalid;        // wrong rights
+  if (DigestSet(clients) != cap.client_set_digest) return Errc::invalid;
+  if (DigestSet(files) != cap.file_set_digest) return Errc::invalid;
+  if (std::find(clients.begin(), clients.end(), client) == clients.end()) {
+    return Errc::invalid;  // presenter not in the authorised set
+  }
+  if (std::find(files.begin(), files.end(), file) == files.end()) {
+    return Errc::invalid;  // target not covered
+  }
+  return Status::Ok();
+}
+
+}  // namespace pdsi::security

@@ -1,0 +1,78 @@
+// Maat-style scalable security for object storage (§4.2.4 "Scalable
+// Security and Quota"; Leung SC'07, UCSC).
+//
+// The problem: strong per-I/O authorization across thousands of OSDs
+// without a round trip to a central authority per operation. The UCSC
+// approach: the metadata server issues *capabilities* — signed tokens a
+// client presents to storage devices, verified locally. The innovations
+// this module models:
+//  * merged capabilities: one token authorises a SET of clients on a SET
+//    of files (their "group opens" integration — N-rank shared-file jobs
+//    cost one token, not N x files);
+//  * expiry + epoch revocation instead of per-token revocation lists;
+//  * measured overhead "at most 6-7% on workloads with shared files,
+//    typical 1-2%" — reproduced by bench/ext11_security.
+//
+// The MAC is a keyed 64-bit hash (stand-in for HMAC at model fidelity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdsi/common/result.h"
+
+namespace pdsi::security {
+
+enum class Rights : std::uint8_t {
+  read = 1,
+  write = 2,
+  read_write = 3,
+};
+
+/// True if `rights` permits `op`.
+bool Permits(Rights rights, Rights op);
+
+/// A signed authorisation token. Client/file sets are represented by
+/// their digests; holders present the matching sets when exercising it.
+struct Capability {
+  std::uint64_t client_set_digest = 0;
+  std::uint64_t file_set_digest = 0;
+  Rights rights = Rights::read;
+  double expiry = 0.0;          ///< absolute time
+  std::uint32_t epoch = 0;      ///< revocation epoch at issue time
+  std::uint64_t mac = 0;
+};
+
+/// Order-independent digest of an id set.
+std::uint64_t DigestSet(const std::vector<std::uint64_t>& ids);
+
+/// The metadata server's authority: issues and verifies capabilities.
+class Authority {
+ public:
+  explicit Authority(std::uint64_t secret) : secret_(secret) {}
+
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Revokes every outstanding capability (e.g., permission change).
+  void bump_epoch() { ++epoch_; }
+
+  Capability issue(const std::vector<std::uint64_t>& clients,
+                   const std::vector<std::uint64_t>& files, Rights rights,
+                   double expiry) const;
+
+  /// OSD-side check: is `client` allowed to do `op` on `file` at `now`?
+  /// The presenter supplies the client/file sets backing the digests.
+  Status verify(const Capability& cap, std::uint64_t client,
+                const std::vector<std::uint64_t>& clients, std::uint64_t file,
+                const std::vector<std::uint64_t>& files, Rights op,
+                double now) const;
+
+ private:
+  std::uint64_t mac_of(const Capability& cap) const;
+
+  std::uint64_t secret_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace pdsi::security

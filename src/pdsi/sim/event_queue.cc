@@ -1,0 +1,65 @@
+#include "pdsi/sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pdsi::sim {
+
+EventQueue::EventId EventQueue::at(double t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("event scheduled in the past");
+  const EventId id = next_id_++;
+  heap_.push({t, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // tombstoned by cancel()
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_count_;
+    assert(top.time >= now_);
+    now_ = top.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(double t) {
+  while (!heap_.empty()) {
+    // Peek past tombstones without firing.
+    const Entry top = heap_.top();
+    if (!callbacks_.count(top.id)) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  if (fired == max_events) {
+    throw std::runtime_error("EventQueue::run exceeded max_events (runaway sim?)");
+  }
+}
+
+}  // namespace pdsi::sim

@@ -1,0 +1,62 @@
+// Classic single-threaded discrete-event queue for the packet-level and
+// disk-scheduler simulations (incast, Argon) which need timer semantics —
+// retransmission timeouts, time-slice expiries — that the virtual-time
+// resource-clock model cannot express.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace pdsi::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  double now() const { return now_; }
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now). Events at equal times
+  /// fire in scheduling order. Returns an id usable with cancel().
+  EventId at(double t, Callback cb);
+
+  /// Schedules `cb` `dt` seconds from now.
+  EventId after(double dt, Callback cb) { return at(now_ + dt, std::move(cb)); }
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// already cancelled. Cancellation is O(1) (tombstoned).
+  bool cancel(EventId id);
+
+  /// Fires the next event; returns false if none pending.
+  bool step();
+
+  /// Runs events until the queue empties or time would exceed `t`;
+  /// afterwards now() == min(t, last event time... ) — precisely, now()
+  /// is advanced to t if the queue drained earlier.
+  void run_until(double t);
+
+  /// Runs to completion. `max_events` guards against runaway simulations.
+  void run(std::uint64_t max_events = ~0ULL);
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      return time > o.time || (time == o.time && id > o.id);
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace pdsi::sim

@@ -1,0 +1,186 @@
+#include "pdsi/spyglass/spyglass.h"
+
+#include <algorithm>
+
+#include "pdsi/common/rng.h"
+
+namespace pdsi::spyglass {
+namespace {
+
+std::uint32_t SigSlot(std::uint32_t value) {
+  std::uint64_t z = value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint32_t>(z >> 55);  // one of 512 bits
+}
+
+void SigSet(SpyglassIndex::Signature& sig, std::uint32_t value) {
+  const std::uint32_t bit = SigSlot(value);
+  sig[bit / 64] |= 1ULL << (bit % 64);
+}
+
+bool SigTest(const SpyglassIndex::Signature& sig, std::uint32_t value) {
+  const std::uint32_t bit = SigSlot(value);
+  return (sig[bit / 64] >> (bit % 64)) & 1;
+}
+
+}  // namespace
+
+std::vector<const FileMeta*> ScanBaseline::search(const Query& q) const {
+  std::vector<const FileMeta*> out;
+  for (const auto& f : files_) {
+    if (q.matches(f)) out.push_back(&f);
+  }
+  return out;
+}
+
+SpyglassIndex::SpyglassIndex(std::vector<FileMeta> files, Options options)
+    : options_(options) {
+  // Group by subtree, splitting oversized subtrees into capacity-bounded
+  // partitions.
+  std::sort(files.begin(), files.end(), [](const FileMeta& a, const FileMeta& b) {
+    return a.subtree < b.subtree;
+  });
+  std::size_t at = 0;
+  while (at < files.size()) {
+    Partition p;
+    p.subtree = files[at].subtree;
+    while (at < files.size() && files[at].subtree == p.subtree &&
+           p.by_owner.size() < options_.partition_capacity) {
+      p.by_owner.push_back(std::move(files[at]));
+      ++at;
+    }
+    BuildPartition(p);
+    partitions_.push_back(std::move(p));
+  }
+}
+
+void SpyglassIndex::BuildPartition(Partition& p) {
+  std::sort(p.by_owner.begin(), p.by_owner.end(),
+            [](const FileMeta& a, const FileMeta& b) {
+              return std::tie(a.owner, a.extension) < std::tie(b.owner, b.extension);
+            });
+  p.by_extension.clear();
+  for (std::uint32_t i = 0; i < p.by_owner.size(); ++i) {
+    p.by_extension[p.by_owner[i].extension].push_back(i);
+  }
+  Summary s;
+  for (const auto& f : p.by_owner) {
+    SigSet(s.owner_sig, f.owner);
+    SigSet(s.extension_sig, f.extension ^ 0x5bd1e995u);
+    s.min_size = std::min(s.min_size, f.size);
+    s.max_size = std::max(s.max_size, f.size);
+    s.max_mtime = std::max(s.max_mtime, f.mtime);
+  }
+  p.summary = s;
+}
+
+bool SpyglassIndex::SummaryAdmits(const Summary& s, const Query& q) {
+  if (q.owner && !SigTest(s.owner_sig, *q.owner)) return false;
+  if (q.extension && !SigTest(s.extension_sig, *q.extension ^ 0x5bd1e995u)) {
+    return false;
+  }
+  if (q.min_size && s.max_size < *q.min_size) return false;
+  if (q.max_size && s.min_size > *q.max_size) return false;
+  if (q.min_mtime && s.max_mtime < *q.min_mtime) return false;
+  return true;
+}
+
+std::vector<const FileMeta*> SpyglassIndex::search(const Query& q) const {
+  std::vector<const FileMeta*> out;
+  last_skipped_ = 0;
+  for (const auto& p : partitions_) {
+    if (!SummaryAdmits(p.summary, q)) {
+      ++last_skipped_;
+      continue;
+    }
+    if (q.owner) {
+      // Narrow to the owner's run via binary search on the sorted layout.
+      auto lo = std::lower_bound(p.by_owner.begin(), p.by_owner.end(), *q.owner,
+                                 [](const FileMeta& f, std::uint32_t owner) {
+                                   return f.owner < owner;
+                                 });
+      for (auto it = lo; it != p.by_owner.end() && it->owner == *q.owner; ++it) {
+        if (q.matches(*it)) out.push_back(&*it);
+      }
+    } else if (q.extension) {
+      auto it = p.by_extension.find(*q.extension);
+      if (it != p.by_extension.end()) {
+        for (std::uint32_t i : it->second) {
+          if (q.matches(p.by_owner[i])) out.push_back(&p.by_owner[i]);
+        }
+      }
+    } else {
+      for (const auto& f : p.by_owner) {
+        if (q.matches(f)) out.push_back(&f);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t SpyglassIndex::rebuild_partition(std::size_t partition,
+                                             const std::vector<FileMeta>& crawl) {
+  Partition& p = partitions_.at(partition);
+  const std::uint32_t subtree = p.subtree;
+  p.by_owner.clear();
+  std::size_t scanned = 0;
+  for (const auto& f : crawl) {
+    if (f.subtree == subtree) {
+      p.by_owner.push_back(f);
+      ++scanned;
+    }
+  }
+  // (A real crawl visits only the subtree's directory; count its records.)
+  BuildPartition(p);
+  return scanned;
+}
+
+std::size_t SpyglassIndex::records() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions_) n += p.by_owner.size();
+  return n;
+}
+
+std::vector<FileMeta> SyntheticCrawl(std::size_t files, std::uint32_t subtrees,
+                                     std::uint32_t owners, std::uint32_t extensions,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FileMeta> out;
+  out.reserve(files);
+  // Locality: each subtree is dominated by a handful of owners and file
+  // types (a project directory belongs to a team and a code).
+  std::vector<std::vector<std::uint32_t>> subtree_owners(subtrees);
+  std::vector<std::vector<std::uint32_t>> subtree_exts(subtrees);
+  for (std::uint32_t s = 0; s < subtrees; ++s) {
+    const int k_owners = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < k_owners; ++i) {
+      subtree_owners[s].push_back(static_cast<std::uint32_t>(rng.below(owners)));
+    }
+    const int k_exts = 2 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < k_exts; ++i) {
+      subtree_exts[s].push_back(static_cast<std::uint32_t>(rng.below(extensions)));
+    }
+  }
+  for (std::size_t i = 0; i < files; ++i) {
+    FileMeta f;
+    f.subtree = static_cast<std::uint32_t>(rng.below(subtrees));
+    const auto& so = subtree_owners[f.subtree];
+    const auto& se = subtree_exts[f.subtree];
+    // Spatial locality is strong in real namespaces (the FAST'09
+    // measurement study): ~98% of a subtree's files come from its
+    // resident owners/types.
+    f.owner = rng.chance(0.98) ? so[rng.below(so.size())]
+                               : static_cast<std::uint32_t>(rng.below(owners));
+    f.extension = rng.chance(0.98)
+                      ? se[rng.below(se.size())]
+                      : static_cast<std::uint32_t>(rng.below(extensions));
+    f.size = static_cast<std::uint64_t>(rng.lognormal(std::log(32.0 * 1024), 2.0));
+    f.mtime = rng.uniform(0.0, 365.0 * 86400);
+    f.path = "/t" + std::to_string(f.subtree) + "/f" + std::to_string(i);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace pdsi::spyglass

@@ -1,0 +1,128 @@
+// Spyglass-style partitioned metadata search (§4.2.2 "Content Indexing";
+// Leung FAST'09).
+//
+// The UCSC result: partition the namespace into subtree partitions, keep
+// a small signature ("summary") per partition so queries skip partitions
+// that cannot contain matches, and index within partitions — yielding
+// metadata search 10-1000x faster than a general DBMS table scan, with
+// the bonus that a corrupted partition is rebuilt alone rather than
+// rescanning the whole file system.
+//
+// The model here is functional, not simulated: real data structures over
+// an in-memory metadata crawl, benchmarked against the "database"
+// baseline (a full-table scan, which is what a DBMS without a matching
+// composite index degenerates to for these multi-attribute queries).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pdsi::spyglass {
+
+/// One file's metadata record (what a crawl of the namespace yields).
+struct FileMeta {
+  std::string path;
+  std::uint32_t subtree = 0;    ///< top-level project/user subtree
+  std::uint64_t size = 0;
+  std::uint32_t owner = 0;
+  std::uint32_t extension = 0;  ///< interned extension id
+  double mtime = 0.0;
+};
+
+/// A conjunctive metadata query; unset fields match everything.
+struct Query {
+  std::optional<std::uint32_t> owner;
+  std::optional<std::uint32_t> extension;
+  std::optional<std::uint64_t> min_size;
+  std::optional<std::uint64_t> max_size;
+  std::optional<double> min_mtime;
+
+  bool matches(const FileMeta& f) const {
+    if (owner && f.owner != *owner) return false;
+    if (extension && f.extension != *extension) return false;
+    if (min_size && f.size < *min_size) return false;
+    if (max_size && f.size > *max_size) return false;
+    if (min_mtime && f.mtime < *min_mtime) return false;
+    return true;
+  }
+};
+
+/// Baseline: the full scan a general-purpose DBMS performs for ad hoc
+/// multi-attribute predicates.
+class ScanBaseline {
+ public:
+  explicit ScanBaseline(std::vector<FileMeta> files) : files_(std::move(files)) {}
+  std::vector<const FileMeta*> search(const Query& q) const;
+  std::size_t records() const { return files_.size(); }
+
+ private:
+  std::vector<FileMeta> files_;
+};
+
+/// Partitioned index with per-partition summaries.
+class SpyglassIndex {
+ public:
+  struct Options {
+    /// Target records per partition (subtrees split when larger).
+    std::size_t partition_capacity = 50000;
+  };
+
+  /// 512-bit per-partition attribute signature.
+  using Signature = std::array<std::uint64_t, 8>;
+
+  SpyglassIndex(std::vector<FileMeta> files, Options options);
+
+  std::vector<const FileMeta*> search(const Query& q) const;
+
+  std::size_t partition_count() const { return partitions_.size(); }
+
+  /// Partitions whose summaries let the last search() skip them.
+  std::size_t last_skipped() const { return last_skipped_; }
+
+  /// Simulates corruption of one partition and rebuilds only it from the
+  /// supplied crawl source. Returns records rescanned — the partial
+  /// rebuild advantage (vs records() for a full rebuild).
+  std::size_t rebuild_partition(std::size_t partition,
+                                const std::vector<FileMeta>& crawl);
+
+  std::size_t records() const;
+
+ private:
+  struct Summary {
+    Signature owner_sig{};
+    Signature extension_sig{};
+    std::uint64_t min_size = ~0ULL;
+    std::uint64_t max_size = 0;
+    double max_mtime = 0.0;
+  };
+
+  struct Partition {
+    std::uint32_t subtree;
+    std::vector<FileMeta> by_owner;  ///< records sorted by (owner, ext)
+    /// Posting list: extension -> record indices (for owner-less queries).
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_extension;
+    Summary summary;
+  };
+
+  static void BuildPartition(Partition& p);
+  static bool SummaryAdmits(const Summary& s, const Query& q);
+
+  Options options_;
+  std::vector<Partition> partitions_;
+  mutable std::size_t last_skipped_ = 0;
+};
+
+/// Synthetic crawl: `files` records over `subtrees` project subtrees,
+/// `owners` users and `extensions` file types, with realistic skew (each
+/// owner and extension concentrated in few subtrees — the locality that
+/// makes partition summaries effective).
+std::vector<FileMeta> SyntheticCrawl(std::size_t files, std::uint32_t subtrees,
+                                     std::uint32_t owners, std::uint32_t extensions,
+                                     std::uint64_t seed);
+
+}  // namespace pdsi::spyglass

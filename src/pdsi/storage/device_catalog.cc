@@ -1,0 +1,114 @@
+#include "pdsi/storage/device_catalog.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "pdsi/common/units.h"
+
+namespace pdsi::storage {
+
+DiskParams ReferenceSataDisk() {
+  DiskParams p;
+  p.name = "reference-sata-hdd";
+  p.seek_avg_s = 8.5e-3;
+  p.seek_track_s = 1.0e-3;
+  p.rpm = 7200.0;
+  p.seq_bw_bytes = 80.0 * 1e6;  // ~80 MB/s, ~90 random IOPS
+  p.per_request_s = 0.2e-3;
+  p.capacity_bytes = 500ULL << 30;
+  return p;
+}
+
+DiskParams EnterpriseFcDisk() {
+  DiskParams p;
+  p.name = "enterprise-fc-hdd";
+  p.seek_avg_s = 3.8e-3;
+  p.seek_track_s = 0.4e-3;
+  p.rpm = 15000.0;
+  p.seq_bw_bytes = 120.0 * 1e6;
+  p.per_request_s = 0.1e-3;
+  p.capacity_bytes = 300ULL << 30;
+  return p;
+}
+
+SsdParams FlashDevice(std::string_view name) {
+  SsdParams p;
+  p.page_bytes = 4096;
+  p.pages_per_block = 128;
+  p.erase_block_ms = 1.5;
+
+  if (name == "intel-x25m") {
+    // 200/100 MB/s, 19.1K/1.49K 4K IOPS. Hybrid FTL: big random-write
+    // penalty; SATA cap on sequential reads.
+    p.name = "Intel X25-M (SATA)";
+    p.capacity_bytes = 1ULL << 30;
+    p.over_provision = 0.07;
+    p.channels = 8;
+    p.read_page_us = 42.0;
+    p.program_page_us = 320.0;
+    p.cmd_overhead_us = 10.0;
+    p.interface_read_bw = 200.0 * 1e6;
+    p.interface_write_bw = 100.0 * 1e6;
+    p.random_write_penalty_us = 330.0;
+  } else if (name == "ocz-colossus") {
+    // 200/200 MB/s, 5.21K/1.85K IOPS: slow random reads (RAID-0 of
+    // barefoot controllers), hybrid FTL writes.
+    p.name = "OCZ Colossus (SATA)";
+    p.capacity_bytes = 1ULL << 30;
+    p.over_provision = 0.07;
+    p.channels = 8;
+    p.read_page_us = 172.0;
+    p.program_page_us = 160.0;
+    p.cmd_overhead_us = 20.0;
+    p.interface_read_bw = 200.0 * 1e6;
+    p.interface_write_bw = 200.0 * 1e6;
+    p.random_write_penalty_us = 360.0;
+  } else if (name == "fusionio-iodrive-duo") {
+    // 800/690 MB/s, 107K/111K IOPS: page-mapped, generous OP.
+    p.name = "FusionIO ioDrive Duo (PCIe-4x)";
+    p.capacity_bytes = 2ULL << 30;
+    p.over_provision = 0.25;
+    p.channels = 24;
+    p.read_page_us = 8.0;
+    p.program_page_us = 7.6;
+    p.cmd_overhead_us = 1.3;
+    p.interface_read_bw = 800.0 * 1e6;
+    p.interface_write_bw = 690.0 * 1e6;
+    p.random_write_penalty_us = 0.0;
+  } else if (name == "tms-ramsan20") {
+    // 700/675 MB/s, 143K/156K IOPS.
+    p.name = "Texas Memory Systems RamSan-20 (PCIe-4x)";
+    p.capacity_bytes = 2ULL << 30;
+    p.over_provision = 0.28;
+    p.channels = 24;
+    p.read_page_us = 6.0;
+    p.program_page_us = 5.4;
+    p.cmd_overhead_us = 1.0;
+    p.interface_read_bw = 700.0 * 1e6;
+    p.interface_write_bw = 675.0 * 1e6;
+    p.random_write_penalty_us = 0.0;
+  } else if (name == "virident-tachion") {
+    // 1200/1200 MB/s, 156K/118K IOPS.
+    p.name = "Virident tachION (PCIe-8x)";
+    p.capacity_bytes = 2ULL << 30;
+    p.over_provision = 0.30;
+    p.channels = 32;
+    p.read_page_us = 5.4;
+    p.program_page_us = 7.5;
+    p.cmd_overhead_us = 1.0;
+    p.interface_read_bw = 1200.0 * 1e6;
+    p.interface_write_bw = 1200.0 * 1e6;
+    p.random_write_penalty_us = 0.0;
+  } else {
+    throw std::out_of_range("unknown flash device: " + std::string(name));
+  }
+  return p;
+}
+
+std::vector<SsdParams> AllFlashDevices() {
+  return {FlashDevice("intel-x25m"), FlashDevice("ocz-colossus"),
+          FlashDevice("fusionio-iodrive-duo"), FlashDevice("tms-ramsan20"),
+          FlashDevice("virident-tachion")};
+}
+
+}  // namespace pdsi::storage

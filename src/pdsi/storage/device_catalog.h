@@ -1,0 +1,35 @@
+// Named device parameter sets.
+//
+// The flash entries are calibrated to Table 1 of the PDSI final report
+// (NERSC flash evaluation): two SATA consumer drives with hybrid FTLs and
+// three PCIe devices with page-mapped FTLs. Capacities are scaled down
+// (GiB-class instead of the products' 64-320 GB) so FTL simulations run in
+// seconds; capacity scaling changes the *duration* of the fresh-device
+// honeymoon, not the steady-state IOPS levels the table reports.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pdsi/storage/disk_model.h"
+#include "pdsi/storage/ssd_model.h"
+
+namespace pdsi::storage {
+
+/// The reference "regular spinning disk" of the report: ~80 MB/s and
+/// ~90 IOPS for both read and write.
+DiskParams ReferenceSataDisk();
+
+/// A faster enterprise disk used for parallel-file-system servers.
+DiskParams EnterpriseFcDisk();
+
+/// Table 1 devices by name. Valid names:
+///   "intel-x25m", "ocz-colossus", "fusionio-iodrive-duo",
+///   "tms-ramsan20", "virident-tachion".
+/// Throws std::out_of_range for unknown names.
+SsdParams FlashDevice(std::string_view name);
+
+/// All Table 1 devices in the row order the paper prints.
+std::vector<SsdParams> AllFlashDevices();
+
+}  // namespace pdsi::storage

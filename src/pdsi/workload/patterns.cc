@@ -1,0 +1,96 @@
+#include "pdsi/workload/patterns.h"
+
+namespace pdsi::workload {
+
+std::string_view PatternName(Pattern p) {
+  switch (p) {
+    case Pattern::n1_strided: return "N-1 strided";
+    case Pattern::n1_segmented: return "N-1 segmented";
+    case Pattern::nn: return "N-N";
+  }
+  return "?";
+}
+
+std::vector<WriteOp> WritesForRank(const CheckpointSpec& spec, std::uint32_t rank) {
+  std::vector<WriteOp> ops;
+  ops.reserve(spec.records_per_rank);
+  for (std::uint32_t k = 0; k < spec.records_per_rank; ++k) {
+    std::uint64_t off = 0;
+    switch (spec.pattern) {
+      case Pattern::n1_strided:
+        off = (static_cast<std::uint64_t>(k) * spec.ranks + rank) * spec.record_bytes;
+        break;
+      case Pattern::n1_segmented:
+        off = static_cast<std::uint64_t>(rank) * spec.bytes_per_rank() +
+              static_cast<std::uint64_t>(k) * spec.record_bytes;
+        break;
+      case Pattern::nn:
+        off = static_cast<std::uint64_t>(k) * spec.record_bytes;
+        break;
+    }
+    ops.push_back({off, spec.record_bytes});
+  }
+  return ops;
+}
+
+std::string TargetPath(const CheckpointSpec& spec, std::uint32_t rank,
+                       const std::string& base) {
+  if (spec.pattern == Pattern::nn) return base + "." + std::to_string(rank);
+  return base;
+}
+
+std::vector<AppModel> PaperApps(std::uint32_t ranks) {
+  std::vector<AppModel> apps;
+
+  // FLASH-IO: HDF5 output dominated by very small unaligned header and
+  // attribute writes interleaved with block data. The report quotes two
+  // orders of magnitude for the FLASH benchmark.
+  {
+    AppModel a;
+    a.name = "FLASH-io";
+    a.spec = {Pattern::n1_strided, ranks, 1 * 1024 + 7, 256};
+    a.paper_speedup = 100.0;
+    a.note = "tiny unaligned HDF5-style records";
+    apps.push_back(a);
+  }
+  // Chombo: AMR dumps with medium, still-unaligned records; one order of
+  // magnitude in the report.
+  {
+    AppModel a;
+    a.name = "Chombo";
+    a.spec = {Pattern::n1_strided, ranks, 64 * 1024 + 129, 96};
+    a.paper_speedup = 10.0;
+    a.note = "medium unaligned AMR records";
+    apps.push_back(a);
+  }
+  // LANL production codes: 5x-28x band. Two synthetic stand-ins at the
+  // band edges.
+  {
+    AppModel a;
+    a.name = "LANL-app-A";
+    a.spec = {Pattern::n1_strided, ranks, 47 * 1024, 96};
+    a.paper_speedup = 28.0;
+    a.note = "strided 47 KiB records (anon. LANL code)";
+    apps.push_back(a);
+  }
+  {
+    AppModel a;
+    a.name = "LANL-app-B";
+    a.spec = {Pattern::n1_strided, ranks, 256 * 1024 + 512, 48};
+    a.paper_speedup = 5.0;
+    a.note = "larger unaligned records";
+    apps.push_back(a);
+  }
+  // S3D: Fortran-IO N-1 segmented restart files.
+  {
+    AppModel a;
+    a.name = "S3D";
+    a.spec = {Pattern::n1_segmented, ranks, 128 * 1024 + 64, 48};
+    a.paper_speedup = 10.0;
+    a.note = "Fortran N-1 segmented restart";
+    apps.push_back(a);
+  }
+  return apps;
+}
+
+}  // namespace pdsi::workload

@@ -1,0 +1,69 @@
+// Checkpoint I/O patterns.
+//
+// The report's taxonomy (and Ninjat's visualisations, Fig. 15): N ranks
+// write either one shared file (N-1) with their records *strided*
+// (interleaved round-robin) or *segmented* (contiguous per-rank regions),
+// or one private file each (N-N). PLFS's value concentrates on N-1
+// strided with small unaligned records — the layout data-formatting
+// libraries like HDF5/NetCDF produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdsi::workload {
+
+enum class Pattern {
+  n1_strided,    ///< shared file, records interleaved round-robin
+  n1_segmented,  ///< shared file, contiguous region per rank
+  nn,            ///< file per process
+};
+
+std::string_view PatternName(Pattern p);
+
+/// One application write (to the rank's target file).
+struct WriteOp {
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+
+struct CheckpointSpec {
+  Pattern pattern = Pattern::n1_strided;
+  std::uint32_t ranks = 64;
+  std::uint64_t record_bytes = 47 * 1024;  ///< per-record payload
+  std::uint32_t records_per_rank = 32;
+
+  std::uint64_t bytes_per_rank() const {
+    return record_bytes * records_per_rank;
+  }
+  std::uint64_t total_bytes() const {
+    return bytes_per_rank() * ranks;
+  }
+};
+
+/// The write sequence rank `rank` issues under `spec`. For N-N patterns
+/// the offsets are within the rank's private file.
+std::vector<WriteOp> WritesForRank(const CheckpointSpec& spec, std::uint32_t rank);
+
+/// Target path for the rank ("/ckpt" shared, "/ckpt.R" for N-N).
+std::string TargetPath(const CheckpointSpec& spec, std::uint32_t rank,
+                       const std::string& base = "/ckpt");
+
+/// Models of the applications the report evaluates (Fig. 8): each is a
+/// record size + count shaped like the code's real checkpoint, plus the
+/// speedup the paper reports for calibration tables.
+struct AppModel {
+  std::string name;
+  CheckpointSpec spec;
+  double paper_speedup;  ///< what the report quotes for PLFS
+  std::string note;
+};
+
+/// Scaled-down models (rank count is set by the caller): FLASH-like tiny
+/// unaligned records, Chombo-like medium AMR records, plus synthetic LANL
+/// production codes in the 5-28x band.
+std::vector<AppModel> PaperApps(std::uint32_t ranks);
+
+}  // namespace pdsi::workload

@@ -1,0 +1,119 @@
+// Argon tests: standalone baselines, FIFO interference, time-slice
+// insulation with a small guard band, and multi-server co-scheduling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdsi/argon/argon.h"
+#include "pdsi/common/units.h"
+
+namespace pdsi::argon {
+namespace {
+
+JobSpec Streamer() {
+  JobSpec j;
+  j.kind = JobKind::streamer;
+  j.chunk_bytes = 512 * KiB;
+  return j;
+}
+
+JobSpec Scanner() {
+  JobSpec j;
+  j.kind = JobKind::scanner;
+  j.outstanding_per_server = 8;
+  j.request_bytes = 16 * KiB;
+  return j;
+}
+
+ArgonParams Base(std::uint32_t servers, Scheduler sched, bool cosched = true) {
+  ArgonParams p;
+  p.servers = servers;
+  p.scheduler = sched;
+  p.coscheduled = cosched;
+  p.quantum_s = 0.15;
+  p.duration_s = 20.0;
+  p.jobs = {Streamer(), Scanner()};
+  return p;
+}
+
+TEST(Argon, StandaloneStreamerNearsMediaRate) {
+  const auto alone = RunAlone(Base(1, Scheduler::fifo), Streamer());
+  EXPECT_GT(alone.throughput, 0.85 * 80e6);
+}
+
+TEST(Argon, StandaloneScannerIsSeekBound) {
+  const auto alone = RunAlone(Base(1, Scheduler::fifo), Scanner());
+  // ~90 IOPS * 16 KiB ~ 1.5 MB/s.
+  EXPECT_LT(alone.throughput, 4e6);
+  EXPECT_GT(alone.requests, 500u);
+}
+
+TEST(Argon, FifoShreddsTheStreamer) {
+  const auto p = Base(1, Scheduler::fifo);
+  const auto shared = RunArgon(p);
+  const auto alone = RunAlone(p, Streamer());
+  // Far below its fair half-share.
+  EXPECT_LT(shared.jobs[0].throughput, 0.25 * alone.throughput);
+}
+
+TEST(Argon, TimesliceInsulatesBothJobs) {
+  const auto p = Base(1, Scheduler::timeslice);
+  const auto shared = RunArgon(p);
+  const auto stream_alone = RunAlone(p, Streamer());
+  const auto scan_alone = RunAlone(p, Scanner());
+  // Each job gets at least (share - guard band) of its standalone rate:
+  // half share with a <= 10 % guard band => >= 0.45.
+  EXPECT_GT(shared.jobs[0].throughput, 0.45 * stream_alone.throughput);
+  EXPECT_GT(shared.jobs[1].throughput, 0.45 * scan_alone.throughput);
+}
+
+TEST(Argon, TimesliceLiftsTheWorstOffJob) {
+  // Insulation is a per-job guarantee: the *minimum* normalised share is
+  // what Argon improves (under FIFO the scanner's deep queue wins and the
+  // streamer is starved far below its share).
+  auto min_share = [](Scheduler sched) {
+    const auto p = Base(1, sched);
+    const auto shared = RunArgon(p);
+    const auto stream_alone = RunAlone(p, Streamer());
+    const auto scan_alone = RunAlone(p, Scanner());
+    return std::min(shared.jobs[0].throughput / stream_alone.throughput,
+                    shared.jobs[1].throughput / scan_alone.throughput);
+  };
+  const double fifo = min_share(Scheduler::fifo);
+  const double sliced = min_share(Scheduler::timeslice);
+  EXPECT_LT(fifo, 0.25);
+  EXPECT_GT(sliced, 0.4);
+  EXPECT_GT(sliced, 2.0 * fifo);
+}
+
+TEST(Argon, CoschedulingBeatsUncoordinatedSlices) {
+  const auto co = RunArgon(Base(4, Scheduler::timeslice, true));
+  const auto unco = RunArgon(Base(4, Scheduler::timeslice, false));
+  // The striped streamer waits on the slowest server; misaligned slices
+  // stall whole rounds.
+  EXPECT_GT(co.jobs[0].throughput, 1.3 * unco.jobs[0].throughput);
+}
+
+TEST(Argon, CoscheduledStripedStreamerNearsItsShare) {
+  // With slices long enough to amortise boundary spill, the striped
+  // streamer should get ~90% of its half share (paper: "about 90% of the
+  // best case performance").
+  auto p = Base(4, Scheduler::timeslice, true);
+  p.quantum_s = 0.3;
+  const auto shared = RunArgon(p);
+  const auto alone = RunAlone(p, Streamer());
+  // Striped rounds spanning slice boundaries cost more than the paper's
+  // single-server guard band; we require >= 80% of the half share here
+  // (the fig10 bench reports the exact efficiencies).
+  EXPECT_GT(shared.jobs[0].throughput, 0.40 * alone.throughput);
+}
+
+TEST(Argon, DeterministicRuns) {
+  const auto a = RunArgon(Base(2, Scheduler::timeslice));
+  const auto b = RunArgon(Base(2, Scheduler::timeslice));
+  EXPECT_EQ(a.jobs[0].bytes, b.jobs[0].bytes);
+  EXPECT_EQ(a.jobs[1].bytes, b.jobs[1].bytes);
+}
+
+}  // namespace
+}  // namespace pdsi::argon

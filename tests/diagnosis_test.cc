@@ -1,0 +1,94 @@
+// Diagnosis tests: the peer-comparison detector's math, plus end-to-end
+// fault-injection experiments (detection of each fault kind, no false
+// indictments on healthy runs).
+#include <gtest/gtest.h>
+
+#include "pdsi/diagnosis/diagnosis.h"
+
+namespace pdsi::diagnosis {
+namespace {
+
+MetricSample S(double ops, double bytes, double lat) {
+  return {ops, bytes, lat};
+}
+
+TEST(PeerDiagnoser, QuietOnHomogeneousWindows) {
+  PeerDiagnoser d(8);
+  for (int w = 0; w < 20; ++w) {
+    std::vector<MetricSample> window;
+    for (int s = 0; s < 8; ++s) {
+      window.push_back(S(1000 + 5 * s, 5e7 + 1e5 * s, 0.01 + 1e-4 * s));
+    }
+    EXPECT_FALSE(d.observe(window).has_value());
+  }
+}
+
+TEST(PeerDiagnoser, IndictsPersistentOutlier) {
+  PeerDiagnoser d(8);
+  std::optional<std::uint32_t> got;
+  for (int w = 0; w < 12; ++w) {
+    std::vector<MetricSample> window;
+    for (int s = 0; s < 8; ++s) {
+      const bool bad = s == 3;
+      window.push_back(S(bad ? 200 : 1000, bad ? 1e7 : 5e7, bad ? 0.05 : 0.01));
+    }
+    if (auto r = d.observe(window)) got = r;
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 3u);
+}
+
+TEST(PeerDiagnoser, TransientBlipsDoNotIndict) {
+  PeerDiagnoser d(8);
+  for (int w = 0; w < 12; ++w) {
+    std::vector<MetricSample> window;
+    for (int s = 0; s < 8; ++s) {
+      // Server 2 blips on alternating windows only: persistence resets.
+      const bool bad = s == 2 && (w % 2 == 0);
+      window.push_back(S(bad ? 100 : 1000, 5e7, 0.01));
+    }
+    EXPECT_FALSE(d.observe(window).has_value()) << "window " << w;
+  }
+}
+
+class FaultMatrix : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(FaultMatrix, DetectsInjectedFault) {
+  ExperimentParams p;
+  p.servers = 12;
+  p.clients = 8;
+  p.windows = 20;
+  p.severity = 4.0;
+  p.fault = GetParam();
+  const auto r = RunDiagnosisExperiment(p);
+  EXPECT_TRUE(r.any_indictment);
+  EXPECT_TRUE(r.correct) << "indicted " << r.indicted_server;
+  EXPECT_LE(r.windows_to_detect, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, FaultMatrix,
+                         ::testing::Values(FaultKind::disk_hog,
+                                           FaultKind::network_loss,
+                                           FaultKind::cpu_hog),
+                         [](const auto& info) {
+                           std::string n(FaultKindName(info.param));
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(Experiment, NoFalseAlarmsWhenHealthy) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ExperimentParams p;
+    p.servers = 12;
+    p.clients = 8;
+    p.windows = 20;
+    p.fault = FaultKind::none;
+    p.seed = seed;
+    const auto r = RunDiagnosisExperiment(p);
+    EXPECT_FALSE(r.any_indictment) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pdsi::diagnosis

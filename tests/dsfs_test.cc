@@ -1,0 +1,76 @@
+// dsfs tests: replica/locality scheduling mechanics and the Fig. 12
+// ordering — naive shim > 2x slower than native; readahead recovers most;
+// layout exposure reaches (near) parity.
+#include <gtest/gtest.h>
+
+#include "pdsi/dsfs/dsfs.h"
+
+namespace pdsi::dsfs {
+namespace {
+
+TEST(Grep, CompletesAllBlocks) {
+  auto p = NativeHdfs(8);
+  p.blocks = 64;
+  const auto r = RunGrepJob(p);
+  EXPECT_EQ(r.local_tasks + r.remote_tasks, 64u);
+  EXPECT_GT(r.runtime_s, 0.0);
+  EXPECT_EQ(r.total_bytes, 64u * p.block_bytes);
+}
+
+TEST(Grep, LocalitySchedulerRunsMostTasksLocal) {
+  auto p = NativeHdfs(16);
+  p.blocks = 128;
+  const auto r = RunGrepJob(p);
+  EXPECT_GT(r.local_tasks, 100u);
+}
+
+TEST(Grep, BlindSchedulerMostlyRemote) {
+  auto p = NaivePvfsShim(16);
+  p.blocks = 128;
+  const auto r = RunGrepJob(p);
+  // Random (ignorant) assignment: ~replication/nodes of tasks are
+  // accidentally local.
+  EXPECT_LT(r.local_tasks, 50u);
+}
+
+TEST(Grep, Fig12Ordering) {
+  constexpr std::uint32_t kNodes = 16;
+  auto run = [&](GrepJobParams p) {
+    p.blocks = 128;
+    return RunGrepJob(p).runtime_s;
+  };
+  const double native = run(NativeHdfs(kNodes));
+  const double naive = run(NaivePvfsShim(kNodes));
+  const double readahead = run(ReadaheadPvfsShim(kNodes));
+  const double layout = run(LayoutExposedPvfsShim(kNodes));
+
+  // Paper: naive shim "more than twice as slowly".
+  EXPECT_GT(naive / native, 2.0);
+  // Readahead recovers a large chunk.
+  EXPECT_LT(readahead, 0.7 * naive);
+  // Layout exposure reaches (near) parity with native.
+  EXPECT_LT(layout / native, 1.15);
+  EXPECT_GT(layout / native, 0.85);
+}
+
+TEST(Grep, MoreReplicasImproveLocality) {
+  auto one = NativeHdfs(16);
+  one.replication = 1;
+  one.blocks = 128;
+  auto three = NativeHdfs(16);
+  three.replication = 3;
+  three.blocks = 128;
+  const auto r1 = RunGrepJob(one);
+  const auto r3 = RunGrepJob(three);
+  EXPECT_GT(r3.local_tasks, r1.local_tasks);
+}
+
+TEST(Grep, Deterministic) {
+  const auto a = RunGrepJob(NaivePvfsShim(8));
+  const auto b = RunGrepJob(NaivePvfsShim(8));
+  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_EQ(a.local_tasks, b.local_tasks);
+}
+
+}  // namespace
+}  // namespace pdsi::dsfs

@@ -1,0 +1,204 @@
+// Failure module tests: trace generator embodies the published findings,
+// analysis functions recover them, the MTTI/utilisation models match the
+// paper's qualitative claims, and the event-driven checkpoint simulator
+// agrees with the analytic utilisation formula.
+#include <gtest/gtest.h>
+
+#include "pdsi/common/units.h"
+#include "pdsi/failure/checkpoint_sim.h"
+#include "pdsi/failure/model.h"
+#include "pdsi/failure/trace.h"
+
+namespace pdsi::failure {
+namespace {
+
+TEST(Trace, EventCountTracksRateAndSize) {
+  SystemTraceParams p;
+  p.nodes = 512;
+  p.chips_per_node = 2;
+  p.years = 4.0;
+  p.interrupts_per_chip_year = 0.25;
+  p.ageing_per_year = 1.0;        // flat hazard for count check
+  p.tbf_weibull_shape = 1.0;      // Poisson (no renewal-transient excess)
+  p.burst_probability = 0.0;      // no correlated follow-ups
+  Rng rng(11);
+  auto trace = GenerateTrace(p, rng);
+  const double expect = 512 * 2 * 0.25 * 4.0;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expect, 0.15 * expect);
+}
+
+TEST(Trace, SortedAndWithinHorizon) {
+  SystemTraceParams p;
+  p.nodes = 64;
+  p.years = 2.0;
+  Rng rng(13);
+  auto trace = GenerateTrace(p, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].time, trace[i].time);
+  }
+  for (const auto& e : trace) {
+    EXPECT_LT(e.time, p.years * kYear);
+    EXPECT_LT(e.node, p.nodes);
+    EXPECT_GT(e.repair_seconds, 0.0);
+  }
+}
+
+TEST(Trace, NoInfantMortalityReplacementRatesGrowWithAge) {
+  // The FAST'07 headline: no bathtub — annual replacement rates increase
+  // steadily with deployment age.
+  SystemTraceParams p;
+  p.nodes = 2048;
+  p.years = 5.0;
+  p.ageing_per_year = 1.15;
+  p.tbf_weibull_shape = 1.0;  // isolate the ageing effect from the
+                              // DFR-renewal start-up transient
+  Rng rng(17);
+  auto rates = AnnualRatePerNode(GenerateTrace(p, rng), p);
+  ASSERT_EQ(rates.size(), 5u);
+  EXPECT_GT(rates[4], rates[0] * 1.3);
+  // Monotone up to sampling noise: each year at least 95% of previous.
+  for (std::size_t y = 1; y < rates.size(); ++y) {
+    EXPECT_GT(rates[y], 0.95 * rates[y - 1]) << "year " << y;
+  }
+}
+
+TEST(Trace, TimeBetweenFailuresHasWeibullShapeBelowOne) {
+  SystemTraceParams p;
+  p.nodes = 256;
+  p.years = 5.0;
+  p.ageing_per_year = 1.0;  // isolate burstiness from ageing
+  Rng rng(19);
+  auto fit = FitTimeBetweenFailures(GenerateTrace(p, rng));
+  EXPECT_TRUE(fit.converged);
+  // System-wide interleaving of per-node Weibull renewals with ageing
+  // produces a decreasing-hazard (shape < 1) aggregate, as published.
+  EXPECT_LT(fit.shape, 1.0);
+  EXPECT_GT(fit.shape, 0.4);
+}
+
+TEST(MttiModel, InterruptsLinearInChips) {
+  MttiModel m;
+  const double y = 2010.0;
+  MttiModelParams p2 = m.params();
+  p2.interrupts_per_chip_year *= 2.0;
+  MttiModel m2(p2);
+  EXPECT_NEAR(m2.interrupt_rate(y) / m.interrupt_rate(y), 2.0, 1e-9);
+  EXPECT_NEAR(m.mtti_seconds(y) * m.interrupt_rate(y), 1.0, 1e-12);
+}
+
+TEST(MttiModel, MttiFallsAsMachinesGrow) {
+  MttiModel m;
+  EXPECT_GT(m.mtti_seconds(2008), m.mtti_seconds(2012));
+  EXPECT_GT(m.mtti_seconds(2012), m.mtti_seconds(2018));
+  // ~52 minutes for the 2008 petaflop baseline (0.1/chip-year, 100k chips).
+  EXPECT_NEAR(m.mtti_seconds(2008) / kMinute, 52.0, 6.0);
+}
+
+TEST(MttiModel, SlowerChipsMeanMoreChipsAndWorseMtti) {
+  MttiModelParams fast;
+  fast.chip_doubling_months = 18.0;
+  MttiModelParams slow = fast;
+  slow.chip_doubling_months = 30.0;
+  MttiModel mf(fast), ms(slow);
+  EXPECT_LT(ms.mtti_seconds(2015), mf.mtti_seconds(2015));
+}
+
+TEST(Daly, OptimalIntervalBeatsNeighbours) {
+  const double delta = 300.0, mtti = 6.0 * kHour, restart = 600.0;
+  const double tau = YoungOptimalInterval(delta, mtti);
+  const double at = EffectiveUtilization(tau, delta, mtti, restart);
+  EXPECT_GT(at, EffectiveUtilization(tau / 4.0, delta, mtti, restart));
+  EXPECT_GT(at, EffectiveUtilization(tau * 4.0, delta, mtti, restart));
+  EXPECT_GT(at, 0.5);
+  EXPECT_LT(at, 1.0);
+}
+
+TEST(UtilizationModel, BalancedCrossesBelowHalfBeforeMid2010s) {
+  UtilizationModel m;
+  const double year = m.year_crossing_below(0.5, StorageScenario::balanced);
+  // Paper: "effective application utilization may cross under 50% before
+  // 2014" for balanced systems (with conservative chip scaling).
+  EXPECT_GT(year, 2009.0);
+  EXPECT_LT(year, 2017.0);
+}
+
+TEST(UtilizationModel, DiskTrendIsWorseAndCompressionIsBetter) {
+  UtilizationModel m;
+  const double y = 2012.0;
+  EXPECT_LT(m.utilization(y, StorageScenario::disk_trend),
+            m.utilization(y, StorageScenario::balanced));
+  EXPECT_GT(m.utilization(y, StorageScenario::compression),
+            m.utilization(y, StorageScenario::balanced));
+  // Per-year checkpoint cost ordering matches.
+  EXPECT_GT(m.checkpoint_seconds(y, StorageScenario::disk_trend),
+            m.checkpoint_seconds(y, StorageScenario::balanced));
+}
+
+TEST(UtilizationModel, CompressionRescuesUtilization) {
+  // Paper: 25-50%/yr better compression "makes the problem go away".
+  UtilizationModel m;
+  const double cross =
+      m.year_crossing_below(0.5, StorageScenario::compression);
+  EXPECT_GT(cross,
+            m.year_crossing_below(0.5, StorageScenario::balanced) + 3.0);
+}
+
+TEST(UtilizationModel, ProcessPairsTakeOverNearTheFiftyPercentWall) {
+  UtilizationModel m;
+  // Early on, checkpointing beats burning half the machine...
+  EXPECT_GT(m.utilization(2008, StorageScenario::balanced),
+            m.pairs_utilization(2008, StorageScenario::balanced));
+  // ...but pairs stay pinned near 50% while checkpointing collapses.
+  EXPECT_LT(m.utilization(2016, StorageScenario::balanced),
+            m.pairs_utilization(2016, StorageScenario::balanced));
+  const double cross = m.year_pairs_win(StorageScenario::balanced);
+  const double wall = m.year_crossing_below(0.5, StorageScenario::balanced);
+  EXPECT_NEAR(cross, wall, 1.5);
+  EXPECT_LT(m.pairs_utilization(2016, StorageScenario::balanced), 0.5);
+}
+
+TEST(CheckpointSim, MatchesAnalyticUtilization) {
+  CheckpointSimParams p;
+  p.work_seconds = 200.0 * 24 * 3600;
+  p.checkpoint_seconds = 300.0;
+  p.restart_seconds = 600.0;
+  p.mtti_seconds = 12.0 * kHour;
+  p.interval = YoungOptimalInterval(p.checkpoint_seconds, p.mtti_seconds);
+  Rng rng(23);
+  const auto sim = SimulateCheckpointing(p, rng);
+  const double analytic = EffectiveUtilization(p.interval, p.checkpoint_seconds,
+                                               p.mtti_seconds, p.restart_seconds);
+  EXPECT_GT(sim.failures, 50u);
+  EXPECT_NEAR(sim.utilization, analytic, 0.08);
+}
+
+TEST(CheckpointSim, ShorterMttiHurts) {
+  CheckpointSimParams p;
+  p.work_seconds = 60.0 * 24 * 3600;
+  p.interval = 1800.0;
+  p.checkpoint_seconds = 120.0;
+  Rng a(29), b(29);
+  p.mtti_seconds = 24 * kHour;
+  const auto healthy = SimulateCheckpointing(p, a);
+  p.mtti_seconds = 2 * kHour;
+  const auto sick = SimulateCheckpointing(p, b);
+  EXPECT_GT(healthy.utilization, sick.utilization);
+  EXPECT_GT(sick.failures, healthy.failures);
+}
+
+TEST(CheckpointSim, CompletesEvenUnderHarshFailures) {
+  CheckpointSimParams p;
+  p.work_seconds = 24 * 3600.0;
+  p.interval = 600.0;
+  p.checkpoint_seconds = 60.0;
+  p.restart_seconds = 120.0;
+  p.mtti_seconds = 1800.0;
+  Rng rng(31);
+  const auto r = SimulateCheckpointing(p, rng);
+  EXPECT_GT(r.wall_seconds, p.work_seconds);
+  EXPECT_LT(r.utilization, 0.75);
+  EXPECT_GT(r.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace pdsi::failure

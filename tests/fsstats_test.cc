@@ -1,0 +1,94 @@
+// fsstats tests: CDF invariants, the published shape properties (small
+// median, bytes concentrated in huge files), and real-directory surveys.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pdsi/common/units.h"
+#include "pdsi/fsstats/fsstats.h"
+
+namespace pdsi::fsstats {
+namespace {
+
+TEST(Population, GeneratesRequestedCount) {
+  Rng rng(3);
+  PopulationParams p;
+  p.file_count = 5000;
+  const Survey s = GeneratePopulation(p, rng);
+  EXPECT_EQ(s.file_count(), 5000u);
+  EXPECT_GT(s.total_bytes(), 0u);
+}
+
+TEST(Population, MedianNearLognormalMedian) {
+  Rng rng(5);
+  PopulationParams p;
+  p.file_count = 50000;
+  p.tail_fraction = 0.0;
+  const Survey s = GeneratePopulation(p, rng);
+  auto cdf = s.size_cdf();
+  // Median of the lognormal body is exp(mu) = 32 KiB.
+  const double below_med = s.fraction_below(32 * KiB);
+  EXPECT_NEAR(below_med, 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Population, BytesLiveInTheTail) {
+  // The published HEC finding: most files are small, most bytes are in
+  // a few huge files.
+  Rng rng(7);
+  PopulationParams p;
+  p.file_count = 80000;
+  const Survey s = GeneratePopulation(p, rng);
+  // >80% of files below 1 MiB...
+  EXPECT_GT(s.fraction_below(1 * MiB), 0.7);
+  // ...but files below 1 MiB hold a small fraction of total bytes.
+  const auto bytes_cdf = s.bytes_by_size_cdf();
+  EXPECT_LT(CdfAt(bytes_cdf, static_cast<double>(1 * MiB)), 0.25);
+}
+
+TEST(Population, DirectoriesFollowMeanOccupancy) {
+  Rng rng(9);
+  PopulationParams p;
+  p.file_count = 50000;
+  p.mean_dir_files = 32.0;
+  const Survey s = GeneratePopulation(p, rng);
+  std::uint32_t max_dir = 0;
+  for (const auto& f : s.files) max_dir = std::max(max_dir, f.directory);
+  const double mean = static_cast<double>(s.file_count()) / (max_dir + 1);
+  EXPECT_NEAR(mean, 32.0, 6.0);
+}
+
+TEST(Fig3, ElevenDistinctPopulations) {
+  auto pops = Fig3Populations();
+  EXPECT_EQ(pops.size(), 11u);
+  // Shapes genuinely differ: medians span more than two decades.
+  double lo = 1e18, hi = 0;
+  for (const auto& p : pops) {
+    lo = std::min(lo, p.lognormal_mu);
+    hi = std::max(hi, p.lognormal_mu);
+  }
+  EXPECT_GT(hi - lo, std::log(100.0));
+}
+
+TEST(SurveyDirectory, CountsRealFiles) {
+  namespace fs = std::filesystem;
+  const auto root = fs::temp_directory_path() / "fsstats_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "sub");
+  auto touch = [&](const fs::path& p, std::size_t size) {
+    std::ofstream f(p);
+    f << std::string(size, 'x');
+  };
+  touch(root / "a", 100);
+  touch(root / "b", 2000);
+  touch(root / "sub" / "c", 300);
+  const Survey s = SurveyDirectory(root.string());
+  EXPECT_EQ(s.file_count(), 3u);
+  EXPECT_EQ(s.total_bytes(), 2400u);
+  EXPECT_DOUBLE_EQ(s.fraction_below(500), 2.0 / 3.0);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pdsi::fsstats

@@ -1,0 +1,143 @@
+// Huffman codec tests: canonical-code invariants, round trips over many
+// input classes, corruption detection, and compressibility expectations.
+#include <gtest/gtest.h>
+
+#include "pdsi/common/rng.h"
+#include "pdsi/huffman/huffman.h"
+
+namespace pdsi::huffman {
+namespace {
+
+TEST(CodeLengths, KraftInequalityHolds) {
+  std::uint64_t freq[256] = {0};
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) freq[i] = rng.below(10000);
+  auto lengths = BuildCodeLengths(freq);
+  double kraft = 0.0;
+  for (int s = 0; s < 256; ++s) {
+    ASSERT_LE(lengths[s], kMaxCodeBits);
+    if (lengths[s] > 0) kraft += std::ldexp(1.0, -lengths[s]);
+    if (freq[s] > 0) {
+      EXPECT_GT(lengths[s], 0) << s;
+    }
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(CodeLengths, SkewedDistributionIsLengthLimited) {
+  std::uint64_t freq[256] = {0};
+  // Fibonacci-ish weights force deep unconstrained trees.
+  std::uint64_t a = 1, b = 1;
+  for (int s = 0; s < 40; ++s) {
+    freq[s] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  auto lengths = BuildCodeLengths(freq);
+  for (int s = 0; s < 40; ++s) {
+    EXPECT_GT(lengths[s], 0);
+    EXPECT_LE(lengths[s], kMaxCodeBits);
+  }
+}
+
+TEST(CodeLengths, FrequentSymbolsGetShorterCodes) {
+  std::uint64_t freq[256] = {0};
+  freq['a'] = 1000000;
+  freq['b'] = 10;
+  freq['c'] = 10;
+  auto lengths = BuildCodeLengths(freq);
+  EXPECT_LT(lengths['a'], lengths['b']);
+}
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, CompressDecompressIdentity) {
+  Rng rng(GetParam());
+  Bytes input;
+  switch (GetParam() % 5) {
+    case 0:  // empty
+      break;
+    case 1:  // constant
+      input.assign(100000, 0x42);
+      break;
+    case 2:  // random (incompressible; exercises stored blocks)
+      input.resize(50000);
+      for (auto& b : input) b = static_cast<std::uint8_t>(rng.below(256));
+      break;
+    case 3:  // text-like
+      for (int i = 0; i < 80000; ++i) {
+        input.push_back("the quick brown fox "[rng.below(20)]);
+      }
+      break;
+    default:  // synthetic checkpoint
+      input = SyntheticCheckpoint(300000, 0.05, GetParam());
+      break;
+  }
+  const Bytes compressed = Compress(input, 64 * 1024);
+  const Bytes back = Decompress(compressed);
+  EXPECT_EQ(back, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, RoundTrip, ::testing::Range(0, 15));
+
+TEST(Compress, SkewedInputShrinks) {
+  Bytes input;
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    // ~90% of bytes from a 4-symbol set.
+    input.push_back(rng.chance(0.9) ? static_cast<std::uint8_t>(rng.below(4))
+                                    : static_cast<std::uint8_t>(rng.below(256)));
+  }
+  const Bytes compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST(Compress, RandomInputDoesNotBlowUp) {
+  Bytes input(100000);
+  Rng rng(9);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.below(256));
+  const Bytes compressed = Compress(input);
+  // Stored-block fallback: tiny framing overhead only.
+  EXPECT_LT(compressed.size(), input.size() + 64);
+}
+
+TEST(Compress, CheckpointCompressesMeaningfully) {
+  const Bytes ckpt = SyntheticCheckpoint(1 << 20, 0.05, 42);
+  // Plain byte-Huffman struggles on raw doubles (entropy hides in the
+  // low mantissa bytes); the byte-plane shuffle exposes the smoothness.
+  const Bytes plain = Compress(ckpt);
+  const Bytes filtered = Compress(ckpt, 1 << 20, 8, true);
+  const double plain_ratio = static_cast<double>(ckpt.size()) / plain.size();
+  const double filt_ratio = static_cast<double>(ckpt.size()) / filtered.size();
+  EXPECT_GT(filt_ratio, plain_ratio);
+  EXPECT_GT(filt_ratio, 1.5);
+  EXPECT_EQ(Decompress(filtered), ckpt);
+}
+
+TEST(Compress, ShuffleRoundTripsOddSizes) {
+  Rng rng(21);
+  for (std::size_t n : {1u, 7u, 8u, 9u, 4097u}) {
+    Bytes in(n);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(Decompress(Compress(in, 1 << 16, 8)), in) << n;
+    EXPECT_EQ(Decompress(Compress(in, 1 << 16, 8, true)), in) << n;
+  }
+}
+
+TEST(Decompress, DetectsCorruption) {
+  Bytes input = SyntheticCheckpoint(100000, 0.0, 1);
+  Bytes compressed = Compress(input);
+  Bytes truncated(compressed.begin(), compressed.begin() + compressed.size() / 2);
+  EXPECT_THROW(Decompress(truncated), std::invalid_argument);
+  Bytes garbage(10, 0xff);
+  EXPECT_THROW(Decompress(garbage), std::invalid_argument);
+}
+
+TEST(Decompress, EmptyStream) {
+  const Bytes compressed = Compress({});
+  EXPECT_TRUE(Decompress(compressed).empty());
+}
+
+}  // namespace
+}  // namespace pdsi::huffman

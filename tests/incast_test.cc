@@ -1,0 +1,98 @@
+// Incast simulation tests: conservation, baseline efficiency, the
+// goodput-collapse onset, and the RTO-min fix — the Fig. 9 mechanics.
+#include <gtest/gtest.h>
+
+#include "pdsi/incast/incast.h"
+
+namespace pdsi::incast {
+namespace {
+
+IncastParams Base1GE(std::uint32_t senders) {
+  IncastParams p;
+  p.senders = senders;
+  p.sru_bytes = 256 * 1024;
+  p.blocks = 3;
+  p.link_bw_bytes = 125e6;   // 1GE
+  p.buffer_packets = 64;
+  return p;
+}
+
+TEST(Incast, AllDataDelivered) {
+  const auto p = Base1GE(4);
+  const auto r = SimulateIncast(p);
+  const std::uint64_t pkts_per_sru = (p.sru_bytes + p.mss_bytes - 1) / p.mss_bytes;
+  EXPECT_EQ(r.packets_delivered, pkts_per_sru * p.senders * p.blocks);
+  EXPECT_GT(r.duration_s, 0.0);
+}
+
+TEST(Incast, FewSendersRunNearLineRate) {
+  const auto r = SimulateIncast(Base1GE(3));
+  EXPECT_GT(r.goodput_bytes, 0.70 * 125e6);
+  EXPECT_EQ(r.timeouts, 0u);
+}
+
+TEST(Incast, ManySendersCollapseWith200msRto) {
+  const auto few = SimulateIncast(Base1GE(3));
+  const auto many = SimulateIncast(Base1GE(40));
+  EXPECT_GT(many.timeouts, 0u);
+  EXPECT_GT(many.drops, 0u);
+  // Order-of-magnitude goodput collapse (paper: ~900 Mbps to < 100 Mbps).
+  EXPECT_LT(many.goodput_bytes, few.goodput_bytes / 5.0);
+}
+
+TEST(Incast, CollapseWorsensWithSenders) {
+  const auto a = SimulateIncast(Base1GE(8));
+  const auto b = SimulateIncast(Base1GE(32));
+  EXPECT_GE(b.timeouts, a.timeouts);
+}
+
+TEST(Incast, SmallMinRtoRestoresGoodput) {
+  auto broken = Base1GE(40);
+  auto fixed = Base1GE(40);
+  fixed.min_rto_s = 1e-3;
+  fixed.rto_jitter = 0.5;
+  const auto r_broken = SimulateIncast(broken);
+  const auto r_fixed = SimulateIncast(fixed);
+  EXPECT_GT(r_fixed.goodput_bytes, 4.0 * r_broken.goodput_bytes);
+  EXPECT_GT(r_fixed.goodput_bytes, 0.5 * 125e6);
+}
+
+TEST(Incast, BiggerBuffersDelayOnset) {
+  auto small = Base1GE(24);
+  small.buffer_packets = 32;
+  auto big = Base1GE(24);
+  big.buffer_packets = 1024;
+  const auto r_small = SimulateIncast(small);
+  const auto r_big = SimulateIncast(big);
+  EXPECT_GT(r_big.goodput_bytes, r_small.goodput_bytes);
+  EXPECT_LT(r_big.timeouts, r_small.timeouts);
+}
+
+TEST(Incast, DeterministicForFixedSeed) {
+  const auto a = SimulateIncast(Base1GE(16));
+  const auto b = SimulateIncast(Base1GE(16));
+  EXPECT_DOUBLE_EQ(a.goodput_bytes, b.goodput_bytes);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
+TEST(Incast, TenGigWithManySendersNeedsJitterToo) {
+  // SIGCOMM'09: at 10GE scale with hundreds of senders, even a 1 ms RTO
+  // needs desynchronisation (randomness) to avoid synchronized
+  // retransmission storms.
+  IncastParams p;
+  p.senders = 256;
+  p.sru_bytes = 32 * 1024;
+  p.blocks = 2;
+  p.link_bw_bytes = 1250e6;  // 10GE
+  p.buffer_packets = 256;
+  p.min_rto_s = 1e-3;
+  p.rto_jitter = 0.0;
+  const auto plain = SimulateIncast(p);
+  p.rto_jitter = 0.5;
+  const auto jittered = SimulateIncast(p);
+  EXPECT_GE(jittered.goodput_bytes, plain.goodput_bytes * 0.95);
+  EXPECT_GT(jittered.goodput_bytes, 0.2 * 1250e6);
+}
+
+}  // namespace
+}  // namespace pdsi::incast

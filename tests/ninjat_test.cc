@@ -1,0 +1,98 @@
+// Ninjat renderer tests: colours, raster bounds, PPM output, and the
+// characteristic strided-pattern signature in the ASCII file map.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "pdsi/ninjat/ninjat.h"
+
+namespace pdsi::ninjat {
+namespace {
+
+workload::WriteTrace StridedTrace(std::uint32_t ranks, std::uint32_t steps,
+                                  std::uint64_t record) {
+  workload::WriteTrace t;
+  for (std::uint32_t k = 0; k < steps; ++k) {
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      const double s = k * 0.1 + r * 0.01;
+      t.push_back({r, s, s + 0.005,
+                   (static_cast<std::uint64_t>(k) * ranks + r) * record, record});
+    }
+  }
+  return t;
+}
+
+TEST(RankColor, DistinctForNearbyRanks) {
+  std::uint8_t r0, g0, b0, r1, g1, b1;
+  RankColor(0, &r0, &g0, &b0);
+  RankColor(1, &r1, &g1, &b1);
+  const int dist = std::abs(r0 - r1) + std::abs(g0 - g1) + std::abs(b0 - b1);
+  EXPECT_GT(dist, 60);
+}
+
+TEST(Image, SetRespectsBounds) {
+  Image img(10, 10);
+  img.set(-1, 5, 1, 2, 3);   // silently clipped
+  img.set(5, 100, 1, 2, 3);
+  img.set(9, 9, 1, 2, 3);    // valid
+  EXPECT_EQ(img.width(), 10);
+}
+
+TEST(Image, PpmRoundTrip) {
+  Image img(4, 2);
+  img.set(0, 0, 255, 0, 0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ninjat_test.ppm").string();
+  ASSERT_TRUE(img.write_ppm(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string header;
+  in >> header;
+  EXPECT_EQ(header, "P6");
+  int w, h, maxv;
+  in >> w >> h >> maxv;
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  std::remove(path.c_str());
+}
+
+TEST(Render, TimeOffsetCoversCanvas) {
+  auto trace = StridedTrace(8, 16, 1000);
+  Image img = RenderTimeOffset(trace, {200, 100});
+  EXPECT_EQ(img.width(), 200);
+  EXPECT_EQ(img.height(), 100);
+}
+
+TEST(Render, EmptyTraceIsBlank) {
+  workload::WriteTrace empty;
+  Image img = RenderTimeOffset(empty, {10, 10});
+  EXPECT_EQ(img.width(), 10);
+  Image img2 = RenderFileMap(empty, 0, {10, 10});
+  EXPECT_EQ(img2.width(), 10);
+}
+
+TEST(AsciiMap, ShowsStridedSignature) {
+  // 4 ranks, record size = one cell: the map should repeat "abcd".
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kRecord = 100;
+  auto trace = StridedTrace(kRanks, 8, kRecord);
+  const std::uint64_t size = kRanks * 8 * kRecord;
+  // One cell per record: 32 cells in a 8x4 grid.
+  const std::string map = AsciiFileMap(trace, size, 8, 4);
+  EXPECT_EQ(map.substr(0, 8), "abcdabcd");
+  // Every cell written (no holes).
+  EXPECT_EQ(map.find('.'), std::string::npos);
+}
+
+TEST(AsciiMap, HolesStayDotted) {
+  workload::WriteTrace t;
+  t.push_back({0, 0.0, 0.1, 0, 100});  // only the first 100 bytes of 1000
+  const std::string map = AsciiFileMap(t, 1000, 10, 1);
+  EXPECT_EQ(map[0], 'a');
+  EXPECT_EQ(map[5], '.');
+}
+
+}  // namespace
+}  // namespace pdsi::ninjat

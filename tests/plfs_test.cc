@@ -1,0 +1,502 @@
+// PLFS core tests: index record serialisation, pattern compression, the
+// global interval map (newest-wins shadowing), and end-to-end container
+// write/read verification over the in-memory and POSIX backends.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/rng.h"
+#include "pdsi/common/units.h"
+#include "pdsi/pfs/sparse_buffer.h"
+#include "pdsi/plfs/plfs.h"
+
+namespace pdsi::plfs {
+namespace {
+
+TEST(IndexEntry, SerializeRoundTrip) {
+  IndexEntry e;
+  e.logical = 0x123456789abcULL;
+  e.length = 47 * KiB;
+  e.physical = 99;
+  e.stride = 12345678;
+  e.count = 42;
+  e.rank = 7;
+  e.sequence = 1ULL << 40;
+  Bytes buf(kRawEntrySize);
+  SerializeEntry(e, buf);
+  const IndexEntry d = DeserializeEntry(buf);
+  EXPECT_EQ(d.logical, e.logical);
+  EXPECT_EQ(d.length, e.length);
+  EXPECT_EQ(d.physical, e.physical);
+  EXPECT_EQ(d.stride, e.stride);
+  EXPECT_EQ(d.count, e.count);
+  EXPECT_EQ(d.rank, e.rank);
+  EXPECT_EQ(d.sequence, e.sequence);
+}
+
+TEST(IndexEntry, BatchSerializeRejectsShortBuffer) {
+  IndexEntry e;
+  Bytes small(kRawEntrySize - 1);
+  EXPECT_THROW(SerializeEntry(e, small), std::invalid_argument);
+  Bytes odd(kRawEntrySize + 1);
+  EXPECT_THROW(DeserializeEntries(odd), std::invalid_argument);
+}
+
+IndexEntry Plain(std::uint64_t logical, std::uint64_t length, std::uint64_t physical,
+                 std::uint32_t rank = 0, std::uint64_t seq = 0) {
+  IndexEntry e;
+  e.logical = logical;
+  e.length = length;
+  e.physical = physical;
+  e.rank = rank;
+  e.sequence = seq;
+  return e;
+}
+
+TEST(PatternCompressor, CollapsesStridedRun) {
+  PatternCompressor c(true);
+  // Rank 2 of 8, 100 KiB records, N-1 strided: logical step 800 KiB.
+  for (int k = 0; k < 50; ++k) {
+    c.add(Plain(200 * KiB + k * 800 * KiB, 100 * KiB, k * 100 * KiB, 2));
+  }
+  c.finish();
+  auto out = c.take();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].count, 50u);
+  EXPECT_EQ(out[0].stride, 800 * KiB);
+  EXPECT_EQ(out[0].length, 100 * KiB);
+  EXPECT_EQ(out[0].logical, 200 * KiB);
+  EXPECT_EQ(out[0].logical_end(), 200 * KiB + 49 * 800 * KiB + 100 * KiB);
+}
+
+TEST(PatternCompressor, SequentialAppendsCompressToo) {
+  PatternCompressor c(true);
+  for (int k = 0; k < 20; ++k) c.add(Plain(k * 4096, 4096, k * 4096));
+  c.finish();
+  auto out = c.take();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].stride, 4096u);
+  EXPECT_EQ(out[0].count, 20u);
+}
+
+TEST(PatternCompressor, BreaksOnShapeChange) {
+  PatternCompressor c(true);
+  c.add(Plain(0, 100, 0));
+  c.add(Plain(1000, 100, 100));
+  c.add(Plain(2000, 100, 200));
+  c.add(Plain(3000, 999, 300));   // different length
+  c.add(Plain(10000, 100, 1299)); // new run
+  c.finish();
+  auto out = c.take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].count, 3u);
+  EXPECT_EQ(out[1].count, 1u);
+  EXPECT_EQ(out[2].count, 1u);
+}
+
+TEST(PatternCompressor, DisabledPassesThrough) {
+  PatternCompressor c(false);
+  for (int k = 0; k < 10; ++k) c.add(Plain(k * 1000, 100, k * 100));
+  c.finish();
+  EXPECT_EQ(c.take().size(), 10u);
+}
+
+TEST(GlobalIndex, SimpleLookupAndHoles) {
+  GlobalIndex g;
+  g.add(Plain(100, 50, 0), 0);
+  g.add(Plain(200, 50, 50), 1);
+  EXPECT_EQ(g.size(), 250u);
+
+  auto segs = g.lookup(0, 250);
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0].dropping, GlobalIndex::kHole);
+  EXPECT_EQ(segs[0].length, 100u);
+  EXPECT_EQ(segs[1].dropping, 0u);
+  EXPECT_EQ(segs[1].physical, 0u);
+  EXPECT_EQ(segs[2].dropping, GlobalIndex::kHole);
+  EXPECT_EQ(segs[3].dropping, 1u);
+}
+
+TEST(GlobalIndex, PartialOverlapKeepsTailPhysicalOffsets) {
+  GlobalIndex g;
+  g.add(Plain(0, 100, 0, 0, 1), 0);
+  g.add(Plain(40, 20, 500, 1, 2), 1);  // newer write punches the middle
+  auto segs = g.lookup(0, 100);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].dropping, 0u);
+  EXPECT_EQ(segs[0].length, 40u);
+  EXPECT_EQ(segs[0].physical, 0u);
+  EXPECT_EQ(segs[1].dropping, 1u);
+  EXPECT_EQ(segs[1].physical, 500u);
+  EXPECT_EQ(segs[2].dropping, 0u);
+  EXPECT_EQ(segs[2].length, 40u);
+  EXPECT_EQ(segs[2].physical, 60u);  // tail resumes at the right log offset
+}
+
+TEST(GlobalIndex, NewerSpansSwallowOlder) {
+  GlobalIndex g;
+  for (int k = 0; k < 10; ++k) g.add(Plain(k * 10, 10, k * 10, 0, k), 0);
+  g.add(Plain(0, 100, 0, 1, 1000), 1);
+  auto segs = g.lookup(0, 100);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].dropping, 1u);
+}
+
+TEST(GlobalIndex, PatternEntryExpands) {
+  GlobalIndex g;
+  IndexEntry e = Plain(0, 10, 0);
+  e.stride = 100;
+  e.count = 5;
+  g.add(e, 3);
+  EXPECT_EQ(g.size(), 410u);
+  EXPECT_EQ(g.segment_count(), 5u);
+  auto segs = g.lookup(200, 10);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].physical, 20u);
+}
+
+// Property sweep: random interleaved writes from several "ranks" against a
+// SparseBuffer oracle applied in the same sequence order.
+class GlobalIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobalIndexProperty, MatchesLinearOracle) {
+  Rng rng(GetParam());
+  GlobalIndex g;
+  pfs::SparseBuffer oracle;
+  std::vector<Bytes> logs(4);
+
+  for (int op = 0; op < 300; ++op) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(rng.below(4));
+    const std::uint64_t off = rng.below(5000);
+    const std::uint64_t len = 1 + rng.below(400);
+    Bytes payload(len);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+
+    IndexEntry e = Plain(off, len, logs[rank].size(), rank,
+                         static_cast<std::uint64_t>(op));
+    logs[rank].insert(logs[rank].end(), payload.begin(), payload.end());
+    g.add(e, rank);
+    oracle.write(off, payload);
+  }
+
+  EXPECT_EQ(g.size(), oracle.size());
+  // Reconstruct the file through the index and compare byte-for-byte.
+  Bytes expect(oracle.size());
+  oracle.read(0, expect);
+  Bytes got(g.size(), 0);
+  for (const auto& seg : g.lookup(0, g.size())) {
+    if (seg.dropping == GlobalIndex::kHole) continue;
+    std::copy_n(logs[seg.dropping].begin() + static_cast<long>(seg.physical),
+                seg.length, got.begin() + static_cast<long>(seg.logical));
+  }
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalIndexProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// End-to-end container tests over MemBackend.
+
+struct EndToEndCase {
+  const char* name;
+  Options options;
+};
+
+class PlfsEndToEnd : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(PlfsEndToEnd, NTo1StridedRoundTrip) {
+  Plfs fs(MakeMemBackend(), GetParam().options);
+  constexpr std::uint32_t kRanks = 8;
+  constexpr std::uint64_t kRecord = 4801;  // unaligned
+  constexpr int kSteps = 30;
+
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      auto w = fs.open_write("/ckpt", r);
+      ASSERT_TRUE(w.ok()) << ErrcName(w.error());
+      for (int k = 0; k < kSteps; ++k) {
+        const std::uint64_t off = (static_cast<std::uint64_t>(k) * kRanks + r) * kRecord;
+        ASSERT_TRUE((*w)->write(off, MakePattern(r, off, kRecord)).ok());
+      }
+      ASSERT_TRUE((*w)->close().ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto reader = fs.open_read("/ckpt");
+  ASSERT_TRUE(reader.ok());
+  const std::uint64_t total = kRecord * kRanks * kSteps;
+  EXPECT_EQ((*reader)->size(), total);
+
+  // Verify every byte against the writer-rank pattern.
+  Bytes buf(total);
+  auto n = (*reader)->read(0, buf);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, total);
+  for (std::uint64_t block = 0; block < kRanks * kSteps; ++block) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(block % kRanks);
+    const std::uint64_t off = block * kRecord;
+    EXPECT_EQ(FindPatternMismatch(rank, off,
+                                  std::span(buf).subspan(off, kRecord)),
+              kNoMismatch)
+        << GetParam().name << " block " << block;
+  }
+
+  // stat via meta hints agrees.
+  auto sz = fs.stat_size("/ckpt");
+  ASSERT_TRUE(sz.ok());
+  EXPECT_EQ(*sz, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionMatrix, PlfsEndToEnd,
+    ::testing::Values(
+        EndToEndCase{"defaults", Options{}},
+        EndToEndCase{"no_compression", [] {
+                       Options o;
+                       o.index_compression = false;
+                       return o;
+                     }()},
+        EndToEndCase{"no_index_buffering", [] {
+                       Options o;
+                       o.index_buffering = false;
+                       return o;
+                     }()},
+        EndToEndCase{"write_buffered", [] {
+                       Options o;
+                       o.write_buffer_bytes = 64 * KiB;
+                       return o;
+                     }()},
+        EndToEndCase{"parallel_index_read", [] {
+                       Options o;
+                       o.index_read_threads = 4;
+                       return o;
+                     }()},
+        EndToEndCase{"single_hostdir", [] {
+                       Options o;
+                       o.num_hostdirs = 1;
+                       return o;
+                     }()}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(PlfsCore, CompressionShrinksIndexForStridedWrites) {
+  auto run = [](bool compress) {
+    Options o;
+    o.index_compression = compress;
+    Plfs fs(MakeMemBackend(), o);
+    auto w = fs.open_write("/f", 0);
+    std::uint64_t flushed = 0;
+    {
+      for (int k = 0; k < 1000; ++k) {
+        Bytes data(512);
+        (*w)->write(static_cast<std::uint64_t>(k) * 8192, data);
+      }
+      (*w)->close();
+      flushed = (*w)->index_bytes_flushed();
+    }
+    return flushed;
+  };
+  const std::uint64_t compressed = run(true);
+  const std::uint64_t plain = run(false);
+  EXPECT_EQ(compressed, kRawEntrySize);  // one pattern record
+  EXPECT_EQ(plain, 1000 * kRawEntrySize);
+}
+
+TEST(PlfsCore, OverwriteResolution) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w0 = fs.open_write("/f", 0);
+    auto w1 = fs.open_write("/f", 1);
+    // Sequential interleave: rank 0 writes, then rank 1 overwrites middle.
+    (*w0)->write(0, MakePattern(0, 0, 1000));
+    (*w1)->write(300, MakePattern(1, 300, 200));
+    (*w0)->close();
+    (*w1)->close();
+  }
+  auto r = fs.open_read("/f");
+  ASSERT_TRUE(r.ok());
+  Bytes buf(1000);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(0, 0, std::span(buf).first(300)), kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(1, 300, std::span(buf).subspan(300, 200)),
+            kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(0, 500, std::span(buf).subspan(500)), kNoMismatch);
+}
+
+TEST(PlfsCore, HolesReadAsZeros) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(1 * MiB, MakePattern(0, 1 * MiB, 100));
+    (*w)->close();
+  }
+  auto r = fs.open_read("/f");
+  Bytes buf(200);
+  auto n = (*r)->read(1 * MiB - 100, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 200u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(buf[i], 0);
+  EXPECT_EQ(FindPatternMismatch(0, 1 * MiB, std::span(buf).subspan(100)),
+            kNoMismatch);
+}
+
+TEST(PlfsCore, ReadPastEofShortens) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(0, MakePattern(0, 0, 100));
+    (*w)->close();
+  }
+  auto r = fs.open_read("/f");
+  Bytes buf(1000);
+  auto n = (*r)->read(50, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 50u);
+  auto n2 = (*r)->read(100, buf);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 0u);
+}
+
+TEST(PlfsCore, SyncMakesDataVisibleBeforeClose) {
+  Plfs fs(MakeMemBackend());
+  auto w = fs.open_write("/f", 0);
+  (*w)->write(0, MakePattern(0, 0, 4096));
+  ASSERT_TRUE((*w)->sync().ok());
+  // A reader opened mid-write sees synced data.
+  auto r = fs.open_read("/f");
+  ASSERT_TRUE(r.ok());
+  Bytes buf(4096);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(0, 0, buf), kNoMismatch);
+  (*w)->close();
+}
+
+TEST(PlfsCore, ContainerDetectionAndUnlink) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(0, MakePattern(0, 0, 10));
+    (*w)->close();
+  }
+  EXPECT_TRUE(*fs.is_container("/f"));
+  // A plain file is not a container.
+  auto h = fs.backend().create("/plain");
+  fs.backend().close(*h);
+  EXPECT_FALSE(*fs.is_container("/plain"));
+  EXPECT_EQ(fs.open_read("/plain").error(), Errc::invalid);
+  EXPECT_EQ(fs.unlink("/plain").error(), Errc::invalid);
+
+  EXPECT_TRUE(fs.unlink("/f").ok());
+  EXPECT_EQ(fs.open_read("/f").error(), Errc::not_found);
+  EXPECT_FALSE(fs.backend().exists("/f").value_or(true));
+}
+
+TEST(PlfsCore, FlattenProducesIdenticalFlatFile) {
+  Plfs fs(MakeMemBackend());
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kRecord = 1237;
+  {
+    std::vector<std::thread> threads;
+    for (std::uint32_t r = 0; r < kRanks; ++r) {
+      threads.emplace_back([&, r] {
+        auto w = fs.open_write("/f", r);
+        for (int k = 0; k < 16; ++k) {
+          const std::uint64_t off = (static_cast<std::uint64_t>(k) * kRanks + r) * kRecord;
+          (*w)->write(off, MakePattern(r, off, kRecord));
+        }
+        (*w)->close();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  ASSERT_TRUE(fs.flatten("/f", "/flat").ok());
+
+  auto reader = fs.open_read("/f");
+  const std::uint64_t total = (*reader)->size();
+  Bytes via_plfs(total);
+  ASSERT_TRUE((*reader)->read(0, via_plfs).ok());
+
+  auto h = fs.backend().open("/flat");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*fs.backend().size(*h), total);
+  Bytes via_flat(total);
+  ASSERT_TRUE(fs.backend().read(*h, 0, via_flat).ok());
+  fs.backend().close(*h);
+  EXPECT_EQ(HashBytes(via_flat), HashBytes(via_plfs));
+}
+
+TEST(PlfsCore, StatSizeFallsBackWithoutMetaHints) {
+  Options o;
+  o.write_meta_hints = false;
+  Plfs fs(MakeMemBackend(), o);
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(12345, MakePattern(0, 0, 55));
+    (*w)->close();
+  }
+  auto sz = fs.stat_size("/f");
+  ASSERT_TRUE(sz.ok());
+  EXPECT_EQ(*sz, 12400u);
+}
+
+TEST(PlfsCore, HostdirFanoutSpreadsDroppings) {
+  Options o;
+  o.num_hostdirs = 4;
+  Plfs fs(MakeMemBackend(), o);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    auto w = fs.open_write("/f", r);
+    (*w)->write(r * 100, MakePattern(r, 0, 100));
+    (*w)->close();
+  }
+  auto top = fs.backend().readdir("/f");
+  ASSERT_TRUE(top.ok());
+  int hostdirs = 0;
+  for (const auto& name : *top) hostdirs += name.rfind("hostdir.", 0) == 0;
+  EXPECT_EQ(hostdirs, 4);
+  auto r = fs.open_read("/f");
+  EXPECT_EQ((*r)->dropping_count(), 8u);
+}
+
+// End-to-end over a real directory tree (the FUSE-deployment analogue).
+TEST(PlfsPosix, RoundTripOnRealFilesystem) {
+  const std::string root =
+      std::filesystem::temp_directory_path() / "plfs_posix_test";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  {
+    Plfs fs(MakePosixBackend(root));
+    std::vector<std::thread> threads;
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      threads.emplace_back([&, r] {
+        auto w = fs.open_write("/ckpt", r);
+        ASSERT_TRUE(w.ok()) << ErrcName(w.error());
+        for (int k = 0; k < 10; ++k) {
+          const std::uint64_t off = (static_cast<std::uint64_t>(k) * 4 + r) * 8191;
+          ASSERT_TRUE((*w)->write(off, MakePattern(r, off, 8191)).ok());
+        }
+        ASSERT_TRUE((*w)->close().ok());
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    auto reader = fs.open_read("/ckpt");
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ((*reader)->size(), 8191u * 40);
+    Bytes buf(8191);
+    ASSERT_TRUE((*reader)->read(8191 * 5, buf).ok());
+    EXPECT_EQ(FindPatternMismatch(1, 8191 * 5, buf), kNoMismatch);
+
+    EXPECT_TRUE(fs.unlink("/ckpt").ok());
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(root));
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pdsi::plfs

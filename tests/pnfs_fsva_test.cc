@@ -1,0 +1,93 @@
+// Tests for the standardization-side models: pNFS scaling vs the NAS
+// bottleneck, and FSVA forwarding overhead.
+#include <gtest/gtest.h>
+
+#include "pdsi/fsva/fsva.h"
+#include "pdsi/pnfs/pnfs.h"
+
+namespace pdsi {
+namespace {
+
+pnfs::PnfsParams Base(pnfs::Protocol proto, std::uint32_t clients) {
+  pnfs::PnfsParams p;
+  p.protocol = proto;
+  p.clients = clients;
+  p.data_servers = 8;
+  p.bytes_per_client = 64 * 1024 * 1024;
+  return p;
+}
+
+TEST(Pnfs, SingleClientPnfsIsClientLinkBound) {
+  // One 1GE client through pNFS runs at its own wire; through NFS it is
+  // already pinched by the head's NIC carrying each byte twice.
+  const auto nfs = pnfs::RunStreamingClients(Base(pnfs::Protocol::nfs, 1));
+  const auto pn = pnfs::RunStreamingClients(Base(pnfs::Protocol::pnfs, 1));
+  EXPECT_GT(pn.aggregate_bw(), 0.7 * 117e6);
+  EXPECT_LT(nfs.aggregate_bw(), 0.6 * 117e6);
+}
+
+TEST(Pnfs, NasHeadCapsAggregateBandwidth) {
+  const auto r = pnfs::RunStreamingClients(Base(pnfs::Protocol::nfs, 32));
+  // Head NIC carries each byte twice: ceiling = nas_head_nic_bw / 2.
+  EXPECT_LT(r.aggregate_bw(), 117e6 / 2 * 1.1);
+}
+
+TEST(Pnfs, PnfsScalesPastTheNasCeiling) {
+  const auto nfs = pnfs::RunStreamingClients(Base(pnfs::Protocol::nfs, 32));
+  const auto pn = pnfs::RunStreamingClients(Base(pnfs::Protocol::pnfs, 32));
+  EXPECT_GT(pn.aggregate_bw(), 4.0 * nfs.aggregate_bw());
+}
+
+TEST(Pnfs, ScalingCurveIsMonotonic) {
+  double prev = 0.0;
+  for (std::uint32_t clients : {2u, 8u, 16u}) {
+    const auto r = pnfs::RunStreamingClients(Base(pnfs::Protocol::pnfs, clients));
+    EXPECT_GT(r.aggregate_bw(), prev);
+    prev = r.aggregate_bw();
+  }
+}
+
+TEST(Fsva, NativeIsBaseline) {
+  fsva::CostModel m;
+  for (const auto& w : fsva::PaperWorkloads()) {
+    EXPECT_DOUBLE_EQ(fsva::Slowdown(m, fsva::Mount::native, w), 1.0);
+  }
+}
+
+TEST(Fsva, SharedRingsBeatHypercalls) {
+  fsva::CostModel m;
+  for (const auto& w : fsva::PaperWorkloads()) {
+    EXPECT_LT(fsva::Slowdown(m, fsva::Mount::fsva_shared_ring, w),
+              fsva::Slowdown(m, fsva::Mount::fsva_hypercall, w));
+  }
+}
+
+TEST(Fsva, SharedRingOverheadIsSmall) {
+  // The report's hope: with shared-memory tricks, FSVA "need not slow
+  // down applications significantly" — keep it under ~5% on every mix.
+  fsva::CostModel m;
+  for (const auto& w : fsva::PaperWorkloads()) {
+    EXPECT_LT(fsva::Slowdown(m, fsva::Mount::fsva_shared_ring, w), 1.05)
+        << w.name;
+  }
+}
+
+TEST(Fsva, MetadataHeavyHurtsMost) {
+  fsva::CostModel m;
+  const auto loads = fsva::PaperWorkloads();
+  const double meta = fsva::Slowdown(m, fsva::Mount::fsva_hypercall, loads[0]);
+  const double stream = fsva::Slowdown(m, fsva::Mount::fsva_hypercall, loads[2]);
+  EXPECT_GT(meta, stream);
+}
+
+TEST(Fsva, CopyCostsAppearWithoutZeroCopy) {
+  fsva::CostModel m;
+  m.zero_copy_grants = false;
+  const auto loads = fsva::PaperWorkloads();
+  fsva::CostModel zc;
+  EXPECT_GT(fsva::Slowdown(m, fsva::Mount::fsva_shared_ring, loads[2]),
+            fsva::Slowdown(zc, fsva::Mount::fsva_shared_ring, loads[2]));
+}
+
+}  // namespace
+}  // namespace pdsi

@@ -1,0 +1,174 @@
+// Cross-module property tests: randomised fuzzing of the PLFS container
+// against a linear oracle, parallel-file-system byte exactness under
+// concurrency, and scheduler determinism under heavy contention.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/rng.h"
+#include "pdsi/common/units.h"
+#include "pdsi/pfs/client.h"
+#include "pdsi/pfs/cluster.h"
+#include "pdsi/pfs/sparse_buffer.h"
+#include "pdsi/plfs/plfs.h"
+
+namespace pdsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PLFS fuzz: interleaved writers with arbitrary overlapping writes, syncs
+// and reopenings, verified byte-for-byte against a SparseBuffer oracle
+// that applies operations in the same order.
+class PlfsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlfsFuzz, MatchesOracleUnderRandomWrites) {
+  Rng rng(GetParam());
+  const std::uint32_t writers = 2 + static_cast<std::uint32_t>(rng.below(4));
+
+  plfs::Options opts;
+  opts.index_compression = rng.chance(0.5);
+  opts.index_buffering = rng.chance(0.8);
+  opts.num_hostdirs = 1 + static_cast<std::uint32_t>(rng.below(8));
+  if (rng.chance(0.3)) opts.write_buffer_bytes = 16 * KiB;
+  plfs::Plfs fs(plfs::MakeMemBackend(), opts);
+
+  pfs::SparseBuffer oracle;
+  std::vector<std::unique_ptr<plfs::Writer>> open_writers(writers);
+  for (std::uint32_t w = 0; w < writers; ++w) {
+    auto r = fs.open_write("/fuzz", w);
+    ASSERT_TRUE(r.ok());
+    open_writers[w] = std::move(*r);
+  }
+
+  const int ops = 400;
+  for (int i = 0; i < ops; ++i) {
+    const std::uint32_t w = static_cast<std::uint32_t>(rng.below(writers));
+    const double dice = rng.uniform();
+    if (dice < 0.85) {
+      const std::uint64_t off = rng.below(64 * KiB);
+      const std::size_t len = 1 + rng.below(3000);
+      Bytes data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+      ASSERT_TRUE(open_writers[w]->write(off, data).ok());
+      oracle.write(off, data);
+    } else if (dice < 0.95) {
+      ASSERT_TRUE(open_writers[w]->sync().ok());
+    } else {
+      // Close and reopen this writer mid-stream.
+      ASSERT_TRUE(open_writers[w]->close().ok());
+      auto r = fs.open_write("/fuzz", w + writers * (1 + i));  // fresh rank id
+      ASSERT_TRUE(r.ok());
+      open_writers[w] = std::move(*r);
+    }
+  }
+  for (auto& w : open_writers) ASSERT_TRUE(w->close().ok());
+
+  auto reader = fs.open_read("/fuzz");
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->size(), oracle.size());
+  Bytes got(oracle.size());
+  Bytes expect(oracle.size());
+  ASSERT_TRUE((*reader)->read(0, got).ok());
+  oracle.read(0, expect);
+  EXPECT_EQ(HashBytes(got), HashBytes(expect)) << "seed " << GetParam();
+  // Random-offset spot reads too (different code path than full scan).
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t off = rng.below(oracle.size());
+    const std::size_t len = 1 + rng.below(5000);
+    Bytes a(len), b(len);
+    auto n = (*reader)->read(off, a);
+    ASSERT_TRUE(n.ok());
+    oracle.read(off, std::span(b).first(*n));
+    EXPECT_EQ(HashBytes(std::span(a).first(*n)), HashBytes(std::span(b).first(*n)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlfsFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+// ---------------------------------------------------------------------------
+// PFS byte exactness with many concurrent writers on one shared file.
+TEST(PfsConcurrency, StridedWritersReconstructExactly) {
+  constexpr int kRanks = 12;
+  constexpr std::uint64_t kRecord = 3163;  // odd size
+  constexpr int kSteps = 10;
+  pfs::PfsConfig cfg = pfs::PfsConfig::GpfsLike(4);
+  sim::VirtualScheduler sched(kRanks);
+  pfs::PfsCluster cluster(cfg, sched);
+
+  std::vector<std::thread> threads;
+  sim::VirtualBarrier barrier(sched, [&] {
+    std::vector<std::size_t> all;
+    for (int r = 0; r < kRanks; ++r) all.push_back(r);
+    return all;
+  }());
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      pfs::PfsClient client(cluster, r);
+      pfs::FileHandle fh;
+      if (r == 0) {
+        fh = *client.create("/shared");
+        barrier.arrive(r);
+      } else {
+        barrier.arrive(r);
+        fh = *client.open("/shared");
+      }
+      for (int k = 0; k < kSteps; ++k) {
+        const std::uint64_t off = (static_cast<std::uint64_t>(k) * kRanks + r) * kRecord;
+        client.write(fh, off, MakePattern(r, off, kRecord));
+      }
+      client.close(fh);
+      barrier.arrive(r);
+      // Every rank verifies another rank's region through a fresh handle.
+      const std::uint32_t other = (r + 5) % kRanks;
+      Bytes buf(kRecord);
+      const std::uint64_t off = (static_cast<std::uint64_t>(3) * kRanks + other) * kRecord;
+      auto fh2 = client.open("/shared");
+      auto n = client.read(*fh2, off, buf);
+      EXPECT_TRUE(n.ok());
+      EXPECT_EQ(*n, kRecord);
+      EXPECT_EQ(FindPatternMismatch(other, off, buf), kNoMismatch);
+      client.close(*fh2);
+      sched.finish(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler stress: 24 actors doing seeded random advances and barriers
+// must produce identical traces across repeated runs.
+TEST(SchedulerStress, HeavyContentionIsDeterministic) {
+  auto run = [](unsigned jitter) {
+    constexpr int kActors = 24;
+    sim::VirtualScheduler sched(kActors);
+    sim::SimResource shared;
+    std::vector<double> finish(kActors);
+    std::vector<std::thread> threads;
+    for (int a = 0; a < kActors; ++a) {
+      threads.emplace_back([&, a] {
+        std::this_thread::sleep_for(std::chrono::microseconds((a * jitter) % 300));
+        Rng rng(1000 + a);
+        for (int i = 0; i < 200; ++i) {
+          sched.atomically(a, [&](double now) {
+            return shared.reserve(now, rng.uniform(1e-5, 1e-3));
+          });
+        }
+        finish[a] = sched.now(a);
+        sched.finish(a);
+      });
+    }
+    for (auto& t : threads) t.join();
+    return finish;
+  };
+  const auto a = run(0);
+  const auto b = run(7);
+  const auto c = run(31);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace pdsi

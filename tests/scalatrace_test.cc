@@ -1,0 +1,83 @@
+// ScalaTrace tests: lossless round trip on arbitrary streams, structural
+// size bounds for iterative traces, and nested-loop folding.
+#include <gtest/gtest.h>
+
+#include "pdsi/common/rng.h"
+#include "pdsi/scalatrace/scalatrace.h"
+
+namespace pdsi::scalatrace {
+namespace {
+
+TEST(Compress, RoundTripIsLossless) {
+  auto trace = SyntheticAppTrace(50, 8, 10);
+  auto compressed = Compress(trace);
+  EXPECT_EQ(compressed.expand(), trace);
+  EXPECT_EQ(compressed.event_count(), trace.size());
+}
+
+TEST(Compress, RandomStreamsRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Event> trace;
+    const int n = 50 + static_cast<int>(rng.below(300));
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.kind = static_cast<Event::Kind>(rng.below(7));
+      e.arg = rng.below(4);  // small arg space => accidental repeats
+      trace.push_back(e);
+    }
+    auto compressed = Compress(trace);
+    EXPECT_EQ(compressed.expand(), trace) << "trial " << trial;
+  }
+}
+
+TEST(Compress, IterativeTraceSizeIsNearConstant) {
+  // The ScalaTrace claim: trace size describes the *pattern*, not the
+  // run length. 10x the timesteps must not grow the structure.
+  const auto small = Compress(SyntheticAppTrace(100, 8, 10));
+  const auto large = Compress(SyntheticAppTrace(1000, 8, 10));
+  EXPECT_EQ(large.event_count(), Compress(SyntheticAppTrace(1000, 8, 10)).event_count());
+  EXPECT_LE(large.node_count(), small.node_count() + 4);
+  // And both are tiny next to the raw stream.
+  EXPECT_LT(large.node_count() * 20, large.event_count());
+}
+
+TEST(Compress, FoldsSimpleRun) {
+  std::vector<Event> trace(100, {Event::Kind::compute, 1});
+  auto compressed = Compress(trace);
+  ASSERT_EQ(compressed.nodes.size(), 1u);
+  EXPECT_TRUE(compressed.nodes[0].is_loop());
+  EXPECT_EQ(compressed.expand(), trace);
+}
+
+TEST(Compress, FoldsNestedLoops) {
+  // (A A A B) x 8 should become one loop of [loop(A,3), B].
+  std::vector<Event> trace;
+  for (int outer = 0; outer < 8; ++outer) {
+    for (int inner = 0; inner < 3; ++inner) trace.push_back({Event::Kind::read, 7});
+    trace.push_back({Event::Kind::barrier, 0});
+  }
+  auto compressed = Compress(trace);
+  EXPECT_EQ(compressed.expand(), trace);
+  EXPECT_LE(compressed.node_count(), 4u);
+}
+
+TEST(Compress, NoFalseFolding) {
+  // Strictly aperiodic stream must stay literal.
+  std::vector<Event> trace;
+  for (std::uint64_t i = 0; i < 40; ++i) trace.push_back({Event::Kind::write, i});
+  auto compressed = Compress(trace);
+  EXPECT_EQ(compressed.nodes.size(), 40u);
+  EXPECT_EQ(compressed.expand(), trace);
+}
+
+TEST(Replay, ActionSeesEventsInOrder) {
+  auto trace = SyntheticAppTrace(5, 2, 2);
+  auto compressed = Compress(trace);
+  std::vector<Event> seen;
+  compressed.replay([&](const Event& e) { seen.push_back(e); });
+  EXPECT_EQ(seen, trace);
+}
+
+}  // namespace
+}  // namespace pdsi::scalatrace

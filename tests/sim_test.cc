@@ -1,0 +1,229 @@
+// Tests for the deterministic virtual-time scheduler and the event queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pdsi/sim/event_queue.h"
+#include "pdsi/sim/virtual_time.h"
+
+namespace pdsi::sim {
+namespace {
+
+TEST(VirtualScheduler, SingleActorAdvances) {
+  VirtualScheduler s(1);
+  s.advance(0, 1.5);
+  s.advance(0, 2.5);
+  EXPECT_DOUBLE_EQ(s.now(0), 4.0);
+  s.finish(0);
+  EXPECT_TRUE(s.all_finished());
+}
+
+// Actors performing interleaved reservations on one resource must observe
+// a globally virtual-time-ordered admission sequence, independent of OS
+// scheduling. Run the identical program twice and compare event orders.
+std::vector<int> RunAdmissionOrder(unsigned jitter_seed) {
+  VirtualScheduler sched(4);
+  SimResource disk;
+  std::vector<int> order;
+  std::vector<std::thread> threads;
+  for (int a = 0; a < 4; ++a) {
+    threads.emplace_back([&, a] {
+      // Stagger wall-clock starts to try to shake nondeterminism loose.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(((a + jitter_seed) % 4) * 200));
+      for (int i = 0; i < 5; ++i) {
+        sched.atomically(a, [&](double now) {
+          order.push_back(a);
+          // Different service times per actor => interleaved admissions.
+          return disk.reserve(now, 0.001 * (a + 1));
+        });
+      }
+      sched.finish(a);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return order;
+}
+
+TEST(VirtualScheduler, AdmissionOrderIsDeterministic) {
+  const auto first = RunAdmissionOrder(0);
+  for (unsigned seed = 1; seed < 4; ++seed) {
+    EXPECT_EQ(RunAdmissionOrder(seed), first);
+  }
+  // And is exactly the virtual-time order: actor 0 (fastest ops) should
+  // lead; first admission must be actor 0 (all start at t=0, lowest id).
+  EXPECT_EQ(first.front(), 0);
+}
+
+TEST(VirtualScheduler, TiesBreakByActorId) {
+  VirtualScheduler sched(3);
+  std::vector<int> order;
+  std::vector<std::thread> threads;
+  for (int a = 0; a < 3; ++a) {
+    threads.emplace_back([&, a] {
+      sched.atomically(a, [&](double now) {
+        order.push_back(a);
+        return now + 1.0;  // all land on the same time again
+      });
+      sched.atomically(a, [&](double now) {
+        order.push_back(a);
+        return now;
+      });
+      sched.finish(a);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::vector<int> expect{0, 1, 2, 0, 1, 2};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(SimResource, FifoQueueing) {
+  SimResource r;
+  // Arrivals in virtual-time order: 0.0 (svc 2), 1.0 (svc 1), 1.5 (svc 1).
+  EXPECT_DOUBLE_EQ(r.reserve(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.reserve(1.0, 1.0), 3.0);  // queued behind first
+  EXPECT_DOUBLE_EQ(r.reserve(1.5, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(r.busy_seconds(), 4.0);
+  // Idle gap: arrival after free time starts immediately.
+  EXPECT_DOUBLE_EQ(r.reserve(10.0, 0.5), 10.5);
+}
+
+TEST(VirtualBarrier, SynchronisesToMaxTime) {
+  VirtualScheduler sched(3);
+  VirtualBarrier barrier(sched, {0, 1, 2});
+  std::vector<double> synced(3);
+  std::vector<std::thread> threads;
+  for (int a = 0; a < 3; ++a) {
+    threads.emplace_back([&, a] {
+      sched.advance(a, a * 2.0);  // times 0, 2, 4
+      synced[a] = barrier.arrive(a);
+      sched.finish(a);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_DOUBLE_EQ(synced[a], 4.0);
+  }
+}
+
+TEST(VirtualBarrier, NonParticipantsKeepMoving) {
+  VirtualScheduler sched(3);
+  VirtualBarrier barrier(sched, {0, 1});
+  std::atomic<bool> outsider_done{false};
+  // Actor 0 parks at the barrier immediately (t = 0); actor 1 first runs
+  // to t = 1 and then arrives. Actor 2 is not a participant: it must be
+  // able to advance to t = 0.1 even while actor 0 is parked — if parked
+  // actors gated the minimum, this test would deadlock.
+  std::thread t0([&] {
+    barrier.arrive(0);
+    sched.finish(0);
+  });
+  std::thread t1([&] {
+    sched.advance(1, 1.0);
+    barrier.arrive(1);
+    sched.finish(1);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 100; ++i) sched.advance(2, 0.001);
+    outsider_done = true;
+    sched.finish(2);
+  });
+  t0.join();
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(outsider_done.load());
+  EXPECT_TRUE(sched.all_finished());
+}
+
+TEST(VirtualBarrier, ReusableAcrossGenerations) {
+  VirtualScheduler sched(2);
+  VirtualBarrier barrier(sched, {0, 1});
+  std::vector<std::thread> threads;
+  std::vector<double> last(2);
+  for (int a = 0; a < 2; ++a) {
+    threads.emplace_back([&, a] {
+      for (int round = 0; round < 10; ++round) {
+        sched.advance(a, a == 0 ? 1.0 : 2.0);
+        last[a] = barrier.arrive(a);
+      }
+      sched.finish(a);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(last[0], last[1]);
+  EXPECT_DOUBLE_EQ(last[0], 20.0);  // max path is actor 1: 10 rounds x 2s
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(3.0, [&] { order.push_back(3); });
+  q.at(1.0, [&] { order.push_back(1); });
+  q.at(2.0, [&] { order.push_back(2); });
+  q.run();
+  const std::vector<int> expect{1, 2, 3};
+  EXPECT_EQ(order, expect);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.at(1.0, [&, i] { order.push_back(i); });
+  q.run();
+  const std::vector<int> expect{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  auto id = q.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel reports failure
+  q.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) q.after(1.0, tick);
+  };
+  q.after(1.0, tick);
+  q.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int count = 0;
+  q.at(1.0, [&] { ++count; });
+  q.at(5.0, [&] { ++count; });
+  q.run_until(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.at(2.0, [] {});
+  q.run();
+  EXPECT_THROW(q.at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunawayGuard) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.after(1.0, forever); };
+  q.after(1.0, forever);
+  EXPECT_THROW(q.run(1000), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdsi::sim

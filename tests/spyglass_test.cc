@@ -1,0 +1,90 @@
+// Spyglass tests: result equivalence with the scan baseline on randomised
+// crawls and queries, summary-based partition skipping, and partial
+// rebuild accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdsi/common/rng.h"
+#include "pdsi/spyglass/spyglass.h"
+
+namespace pdsi::spyglass {
+namespace {
+
+std::vector<Query> RandomQueries(Rng& rng, int n, std::uint32_t owners,
+                                 std::uint32_t extensions) {
+  std::vector<Query> out;
+  for (int i = 0; i < n; ++i) {
+    Query q;
+    if (rng.chance(0.7)) q.owner = static_cast<std::uint32_t>(rng.below(owners));
+    if (rng.chance(0.5)) {
+      q.extension = static_cast<std::uint32_t>(rng.below(extensions));
+    }
+    if (rng.chance(0.3)) q.min_size = rng.below(1 << 20);
+    if (rng.chance(0.3)) q.max_size = (1 << 18) + rng.below(1 << 24);
+    if (rng.chance(0.3)) q.min_mtime = rng.uniform(0.0, 300.0 * 86400);
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::multiset<std::string> Paths(const std::vector<const FileMeta*>& v) {
+  std::multiset<std::string> out;
+  for (const auto* f : v) out.insert(f->path);
+  return out;
+}
+
+class SpyglassProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpyglassProperty, MatchesScanBaselineExactly) {
+  auto crawl = SyntheticCrawl(40000, 32, 64, 32, GetParam());
+  ScanBaseline baseline(crawl);
+  SpyglassIndex index(crawl, {5000});
+  Rng rng(GetParam() * 31);
+  for (const auto& q : RandomQueries(rng, 40, 64, 32)) {
+    EXPECT_EQ(Paths(index.search(q)), Paths(baseline.search(q)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpyglassProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(Spyglass, SummariesSkipMostPartitionsForOwnerQueries) {
+  auto crawl = SyntheticCrawl(100000, 64, 128, 32, 9);
+  SpyglassIndex index(crawl, {5000});
+  Query q;
+  q.owner = crawl[12345].owner;  // an owner that certainly exists
+  index.search(q);
+  // Owners are concentrated in few subtrees; most partitions are skipped.
+  EXPECT_GT(index.last_skipped(), index.partition_count() / 2);
+}
+
+TEST(Spyglass, CapacitySplitsBigSubtrees) {
+  auto crawl = SyntheticCrawl(30000, 2, 16, 8, 11);
+  SpyglassIndex index(crawl, {4000});
+  EXPECT_GE(index.partition_count(), 30000 / 4000);
+  EXPECT_EQ(index.records(), 30000u);
+}
+
+TEST(Spyglass, PartialRebuildTouchesOnlyTheSubtree) {
+  auto crawl = SyntheticCrawl(50000, 25, 32, 16, 13);
+  SpyglassIndex index(crawl, {100000});
+  const std::size_t before = index.records();
+  const std::size_t rescanned = index.rebuild_partition(3, crawl);
+  EXPECT_LT(rescanned, crawl.size() / 10);  // ~1/25 of the namespace
+  EXPECT_EQ(index.records(), before);
+  // Queries still correct after the rebuild.
+  ScanBaseline baseline(crawl);
+  Query q;
+  q.owner = crawl[100].owner;
+  EXPECT_EQ(Paths(index.search(q)), Paths(baseline.search(q)));
+}
+
+TEST(Spyglass, EmptyQueryReturnsEverything) {
+  auto crawl = SyntheticCrawl(5000, 8, 16, 8, 17);
+  SpyglassIndex index(crawl, {1000});
+  Query q;
+  EXPECT_EQ(index.search(q).size(), 5000u);
+}
+
+}  // namespace
+}  // namespace pdsi::spyglass

@@ -1,0 +1,242 @@
+// Tests for the disk and SSD (FTL) models, including calibration checks
+// against the published Table 1 rates and the Fig. 14 collapse mechanics.
+#include <gtest/gtest.h>
+
+#include "pdsi/common/rng.h"
+#include "pdsi/common/units.h"
+#include "pdsi/storage/device_catalog.h"
+#include "pdsi/storage/disk_model.h"
+#include "pdsi/storage/ssd_model.h"
+
+namespace pdsi::storage {
+namespace {
+
+TEST(DiskModel, SequentialIsCheaperThanRandom) {
+  DiskModel d(ReferenceSataDisk());
+  const double first = d.access(1, 0, 64 * KiB);
+  const double seq = d.access(1, 64 * KiB, 64 * KiB);
+  const double rand = d.access(1, 10 * MiB, 64 * KiB);
+  EXPECT_LT(seq, rand);
+  EXPECT_GT(first, seq);  // first access pays positioning
+  EXPECT_GT(rand / seq, 5.0);
+}
+
+TEST(DiskModel, CrossObjectSeekCostsMoreThanSameObject) {
+  DiskModel d(ReferenceSataDisk());
+  d.access(1, 0, 4 * KiB);
+  const double near = d.access(1, 1 * MiB, 4 * KiB);
+  d.access(2, 0, 4 * KiB);
+  const double far = d.access(3, 0, 4 * KiB);
+  EXPECT_LT(near, far);
+}
+
+TEST(DiskModel, ReferenceDiskIsAbout90Iops) {
+  DiskModel d(ReferenceSataDisk());
+  Rng rng(3);
+  double t = 0.0;
+  const int n = 1000;
+  const std::uint64_t span = d.params().capacity_bytes;  // whole-device random
+  for (int i = 0; i < n; ++i) {
+    t += d.access(1, rng.below(span / 4096) * 4096, 4 * KiB);
+  }
+  const double iops = n / t;
+  EXPECT_GT(iops, 60.0);
+  EXPECT_LT(iops, 130.0);
+}
+
+TEST(DiskModel, ShortSeeksCheaperThanFullStroke) {
+  DiskModel d(ReferenceSataDisk());
+  d.access(1, 0, 4096);
+  const double near = d.access(1, 8 * MiB, 4096);
+  d.access(1, 0, 4096);
+  const double far = d.access(1, d.params().capacity_bytes / 2, 4096);
+  EXPECT_LT(near, far);
+}
+
+TEST(DiskModel, StreamingHitsMediaRate) {
+  DiskModel d(ReferenceSataDisk());
+  double t = d.access(1, 0, 1 * MiB);
+  for (int i = 1; i < 100; ++i) t += d.access(1, i * MiB, 1 * MiB);
+  const double bw = 100.0 * MiB / t;
+  EXPECT_GT(bw, 0.9 * d.params().seq_bw_bytes);
+}
+
+TEST(DiskModel, TracksSequentialityStats) {
+  DiskModel d;
+  d.access(1, 0, 4096);
+  d.access(1, 4096, 4096);
+  d.access(1, 0, 4096);
+  EXPECT_EQ(d.total_requests(), 3u);
+  EXPECT_EQ(d.sequential_requests(), 1u);
+}
+
+class FlashTable1 : public ::testing::TestWithParam<SsdParams> {};
+
+// Sequential bandwidth within ~25% of the Table 1 ratings.
+TEST_P(FlashTable1, SequentialBandwidthMatchesRating) {
+  SsdModel ssd(GetParam());
+  const std::uint64_t chunk = 1 * MiB;
+  const std::uint64_t total = ssd.params().capacity_bytes / 2;
+  double tw = 0.0;
+  for (std::uint64_t off = 0; off < total; off += chunk) tw += ssd.write(off, chunk);
+  double tr = 0.0;
+  for (std::uint64_t off = 0; off < total; off += chunk) tr += ssd.read(off, chunk);
+  const double wbw = static_cast<double>(total) / tw;
+  const double rbw = static_cast<double>(total) / tr;
+  const double rated_r = ssd.params().interface_read_bw;
+  const double rated_w = ssd.params().interface_write_bw;
+  EXPECT_GT(rbw, 0.70 * rated_r) << ssd.params().name;
+  EXPECT_LT(rbw, 1.05 * rated_r) << ssd.params().name;
+  EXPECT_GT(wbw, 0.55 * rated_w) << ssd.params().name;
+  EXPECT_LT(wbw, 1.05 * rated_w) << ssd.params().name;
+}
+
+// Fresh-device random 4K read IOPS within a factor of the rating.
+TEST_P(FlashTable1, RandomReadIopsMatchesRating) {
+  SsdModel ssd(GetParam());
+  // Expected from the model directly: 1 / (cmd + one-page read).
+  const double expect = 1e6 / (GetParam().cmd_overhead_us + GetParam().read_page_us);
+  std::uint64_t pos = 0;
+  double t = 0.0;
+  const int n = 2000;
+  const std::uint64_t span = ssd.params().capacity_bytes - 4096;
+  for (int i = 0; i < n; ++i) {
+    pos = (pos + 2654435761ULL * 4096) % span;
+    t += ssd.read(pos / 4096 * 4096, 4096);
+  }
+  EXPECT_NEAR(n / t, expect, 0.05 * expect) << ssd.params().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, FlashTable1,
+                         ::testing::ValuesIn(AllFlashDevices()),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param.name;
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(SsdModel, RandomReadsVastlyOutpaceDiskIops) {
+  SsdModel ssd(FlashDevice("intel-x25m"));
+  const double t = ssd.read(0, 4096);
+  EXPECT_GT(1.0 / t, 10000.0);  // vs ~90 for the reference disk
+}
+
+TEST(SsdModel, SataEraRandomWritesSlowerThanReads) {
+  SsdModel ssd(FlashDevice("intel-x25m"));
+  const std::uint64_t span = ssd.params().capacity_bytes;
+  double tr = 0.0, tw = 0.0;
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 500; ++i) {
+    pos = (pos + 2654435761ULL * 4096) % (span - 4096);
+    const std::uint64_t a = pos / 4096 * 4096;
+    tr += ssd.read(a, 4096);
+    tw += ssd.write(a, 4096);
+  }
+  EXPECT_GT(tw / tr, 5.0);  // 19.1K read vs 1.49K write IOPS => ~13x
+}
+
+TEST(SsdModel, SubPageWritesNoCheaperThanFullPage) {
+  // Report finding (3): random writes "worse for sizes smaller than 4 KB" —
+  // a 512 B write still programs a whole page.
+  SsdModel ssd(FlashDevice("fusionio-iodrive-duo"));
+  const double small = ssd.write(0, 512);
+  const double full = ssd.write(8192, 4096);
+  EXPECT_GE(small, 0.999 * full);
+}
+
+// A deliberately low-over-provision page-mapped device: isolates the FTL
+// erase-pool mechanics from interface caps and hybrid-FTL penalties.
+SsdParams CollapseProneDevice(std::uint64_t capacity) {
+  SsdParams p;
+  p.name = "lowop-mlc";
+  p.capacity_bytes = capacity;
+  p.over_provision = 0.06;
+  p.channels = 8;
+  p.read_page_us = 25.0;
+  p.program_page_us = 200.0;
+  p.cmd_overhead_us = 20.0;
+  p.gc_low_watermark = 0.02;
+  return p;
+}
+
+TEST(SsdModel, SustainedRandomWriteCollapses) {
+  // Fig. 11/14 mechanism: after the pre-erased pool is depleted, every
+  // host write drags garbage-collection relocations behind it and
+  // throughput collapses (paper: roughly 10x slower).
+  SsdParams p = CollapseProneDevice(256 * MiB);
+  SsdModel ssd(p);
+  Rng rng(5);
+  const std::uint64_t pages = p.capacity_bytes / 4096;  // full logical span
+  auto burst = [&](int n) {
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) t += ssd.write(rng.below(pages) * 4096, 4096);
+    return n / t;
+  };
+  const double fresh_iops = burst(2000);
+  // Hammer until well past device fill (forces steady-state GC).
+  burst(static_cast<int>(pages) * 2);
+  const auto before = ssd.stats();
+  const double steady_iops = burst(20000);
+  const auto after = ssd.stats();
+  // Write amplification over the steady window alone.
+  const double host = static_cast<double>(
+      (after.pages_programmed - after.relocations) -
+      (before.pages_programmed - before.relocations));
+  const double steady_wa =
+      static_cast<double>(after.pages_programmed - before.pages_programmed) / host;
+  // The paper quotes ~10x for 2009-era hardware; the mechanistic model
+  // reaches 4-8x on long horizons (see bench/fig14_flash_degradation) and
+  // must show at least a 3x cliff plus real amplification here.
+  EXPECT_GT(fresh_iops / steady_iops, 3.0);
+  EXPECT_GT(steady_wa, 2.0);
+  EXPECT_GT(ssd.stats().erases, 100u);
+}
+
+TEST(SsdModel, IdleGroomingRestoresPerformance) {
+  // The 2010 follow-up finding: devices with generous spare flash recover
+  // between bursts because idle time refills the erased pool.
+  SsdParams p = CollapseProneDevice(128 * MiB);
+  p.over_provision = 0.30;
+  SsdModel ssd(p);
+  Rng rng(7);
+  const std::uint64_t pages = p.capacity_bytes * 9 / 10 / 4096;
+  auto burst = [&](int n) {
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) t += ssd.write(rng.below(pages) * 4096, 4096);
+    return n / t;
+  };
+  burst(static_cast<int>(p.capacity_bytes / 4096) * 2);
+  const double degraded = burst(2000);
+  const double pool_before = ssd.free_fraction();
+  ssd.idle(60.0);
+  EXPECT_GT(ssd.free_fraction(), pool_before);
+  const double groomed = burst(2000);
+  EXPECT_GT(groomed, 1.2 * degraded);
+}
+
+TEST(SsdModel, WriteAmplificationIsOneForSequentialFill) {
+  SsdParams p;
+  p.capacity_bytes = 64 * MiB;
+  SsdModel ssd(p);
+  for (std::uint64_t off = 0; off < p.capacity_bytes; off += 128 * KiB) {
+    ssd.write(off, 128 * KiB);
+  }
+  EXPECT_DOUBLE_EQ(ssd.stats().write_amplification(), 1.0);
+}
+
+TEST(SsdModel, OutOfRangeAccessThrows) {
+  SsdParams p;
+  p.capacity_bytes = 16 * MiB;
+  SsdModel ssd(p);
+  EXPECT_THROW(ssd.read(p.capacity_bytes, 4096), std::out_of_range);
+  EXPECT_THROW(ssd.write(p.capacity_bytes - 100, 4096), std::out_of_range);
+}
+
+TEST(DeviceCatalog, UnknownDeviceThrows) {
+  EXPECT_THROW(FlashDevice("nvram-9000"), std::out_of_range);
+  EXPECT_EQ(AllFlashDevices().size(), 5u);
+}
+
+}  // namespace
+}  // namespace pdsi::storage
