@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_plfs_ablation.dir/abl01_plfs_ablation.cc.o"
+  "CMakeFiles/abl01_plfs_ablation.dir/abl01_plfs_ablation.cc.o.d"
+  "abl01_plfs_ablation"
+  "abl01_plfs_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_plfs_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

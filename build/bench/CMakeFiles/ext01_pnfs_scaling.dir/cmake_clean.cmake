@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext01_pnfs_scaling.dir/ext01_pnfs_scaling.cc.o"
+  "CMakeFiles/ext01_pnfs_scaling.dir/ext01_pnfs_scaling.cc.o.d"
+  "ext01_pnfs_scaling"
+  "ext01_pnfs_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_pnfs_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

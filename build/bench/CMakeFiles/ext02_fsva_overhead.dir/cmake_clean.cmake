@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext02_fsva_overhead.dir/ext02_fsva_overhead.cc.o"
+  "CMakeFiles/ext02_fsva_overhead.dir/ext02_fsva_overhead.cc.o.d"
+  "ext02_fsva_overhead"
+  "ext02_fsva_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext02_fsva_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

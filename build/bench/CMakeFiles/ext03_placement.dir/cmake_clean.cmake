@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext03_placement.dir/ext03_placement.cc.o"
+  "CMakeFiles/ext03_placement.dir/ext03_placement.cc.o.d"
+  "ext03_placement"
+  "ext03_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext03_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

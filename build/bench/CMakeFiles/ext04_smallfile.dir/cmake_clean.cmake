@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext04_smallfile.dir/ext04_smallfile.cc.o"
+  "CMakeFiles/ext04_smallfile.dir/ext04_smallfile.cc.o.d"
+  "ext04_smallfile"
+  "ext04_smallfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext04_smallfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

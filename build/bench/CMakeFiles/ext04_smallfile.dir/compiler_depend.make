@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext04_smallfile.
+# This may be replaced when dependencies are built.

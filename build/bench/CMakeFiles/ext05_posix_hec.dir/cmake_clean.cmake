@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext05_posix_hec.dir/ext05_posix_hec.cc.o"
+  "CMakeFiles/ext05_posix_hec.dir/ext05_posix_hec.cc.o.d"
+  "ext05_posix_hec"
+  "ext05_posix_hec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext05_posix_hec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext05_posix_hec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext06_spyglass_search.dir/ext06_spyglass_search.cc.o"
+  "CMakeFiles/ext06_spyglass_search.dir/ext06_spyglass_search.cc.o.d"
+  "ext06_spyglass_search"
+  "ext06_spyglass_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext06_spyglass_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext07_checkpoint_compression.dir/ext07_checkpoint_compression.cc.o"
+  "CMakeFiles/ext07_checkpoint_compression.dir/ext07_checkpoint_compression.cc.o.d"
+  "ext07_checkpoint_compression"
+  "ext07_checkpoint_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext07_checkpoint_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

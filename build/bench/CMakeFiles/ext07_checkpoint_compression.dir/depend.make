@@ -1,0 +1,2 @@
+# Empty dependencies file for ext07_checkpoint_compression.
+# This may be replaced when dependencies are built.

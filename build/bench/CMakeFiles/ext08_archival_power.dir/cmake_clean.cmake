@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext08_archival_power.dir/ext08_archival_power.cc.o"
+  "CMakeFiles/ext08_archival_power.dir/ext08_archival_power.cc.o.d"
+  "ext08_archival_power"
+  "ext08_archival_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext08_archival_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

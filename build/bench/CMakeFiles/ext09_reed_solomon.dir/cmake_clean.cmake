@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext09_reed_solomon.dir/ext09_reed_solomon.cc.o"
+  "CMakeFiles/ext09_reed_solomon.dir/ext09_reed_solomon.cc.o.d"
+  "ext09_reed_solomon"
+  "ext09_reed_solomon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext09_reed_solomon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

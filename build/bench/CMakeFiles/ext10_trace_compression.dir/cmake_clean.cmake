@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext10_trace_compression.dir/ext10_trace_compression.cc.o"
+  "CMakeFiles/ext10_trace_compression.dir/ext10_trace_compression.cc.o.d"
+  "ext10_trace_compression"
+  "ext10_trace_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext10_trace_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

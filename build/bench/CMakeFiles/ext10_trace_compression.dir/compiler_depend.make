@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext10_trace_compression.
+# This may be replaced when dependencies are built.

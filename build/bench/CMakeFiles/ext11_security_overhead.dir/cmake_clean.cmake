@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext11_security_overhead.dir/ext11_security_overhead.cc.o"
+  "CMakeFiles/ext11_security_overhead.dir/ext11_security_overhead.cc.o.d"
+  "ext11_security_overhead"
+  "ext11_security_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext11_security_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_s3d_checkpoint.dir/fig02_s3d_checkpoint.cc.o"
+  "CMakeFiles/fig02_s3d_checkpoint.dir/fig02_s3d_checkpoint.cc.o.d"
+  "fig02_s3d_checkpoint"
+  "fig02_s3d_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_s3d_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

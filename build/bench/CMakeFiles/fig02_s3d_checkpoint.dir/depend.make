@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_s3d_checkpoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mtti_projection.dir/fig04_mtti_projection.cc.o"
+  "CMakeFiles/fig04_mtti_projection.dir/fig04_mtti_projection.cc.o.d"
+  "fig04_mtti_projection"
+  "fig04_mtti_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mtti_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

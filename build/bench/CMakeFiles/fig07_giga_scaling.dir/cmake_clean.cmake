@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_giga_scaling.dir/fig07_giga_scaling.cc.o"
+  "CMakeFiles/fig07_giga_scaling.dir/fig07_giga_scaling.cc.o.d"
+  "fig07_giga_scaling"
+  "fig07_giga_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_giga_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_incast.dir/fig09_incast.cc.o"
+  "CMakeFiles/fig09_incast.dir/fig09_incast.cc.o.d"
+  "fig09_incast"
+  "fig09_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

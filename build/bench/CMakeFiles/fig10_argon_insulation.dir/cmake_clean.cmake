@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_argon_insulation.dir/fig10_argon_insulation.cc.o"
+  "CMakeFiles/fig10_argon_insulation.dir/fig10_argon_insulation.cc.o.d"
+  "fig10_argon_insulation"
+  "fig10_argon_insulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_argon_insulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_flash_microbench.dir/fig11_flash_microbench.cc.o"
+  "CMakeFiles/fig11_flash_microbench.dir/fig11_flash_microbench.cc.o.d"
+  "fig11_flash_microbench"
+  "fig11_flash_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_flash_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hadoop_pvfs.dir/fig12_hadoop_pvfs.cc.o"
+  "CMakeFiles/fig12_hadoop_pvfs.dir/fig12_hadoop_pvfs.cc.o.d"
+  "fig12_hadoop_pvfs"
+  "fig12_hadoop_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hadoop_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

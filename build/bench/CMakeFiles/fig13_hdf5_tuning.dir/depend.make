@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_hdf5_tuning.
+# This may be replaced when dependencies are built.

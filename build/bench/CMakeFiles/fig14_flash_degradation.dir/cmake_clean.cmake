@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_flash_degradation.dir/fig14_flash_degradation.cc.o"
+  "CMakeFiles/fig14_flash_degradation.dir/fig14_flash_degradation.cc.o.d"
+  "fig14_flash_degradation"
+  "fig14_flash_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_flash_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

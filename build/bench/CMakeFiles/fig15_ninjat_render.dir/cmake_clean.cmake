@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ninjat_render.dir/fig15_ninjat_render.cc.o"
+  "CMakeFiles/fig15_ninjat_render.dir/fig15_ninjat_render.cc.o.d"
+  "fig15_ninjat_render"
+  "fig15_ninjat_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ninjat_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_giga_lookup.dir/micro_giga_lookup.cc.o"
+  "CMakeFiles/micro_giga_lookup.dir/micro_giga_lookup.cc.o.d"
+  "micro_giga_lookup"
+  "micro_giga_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_giga_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

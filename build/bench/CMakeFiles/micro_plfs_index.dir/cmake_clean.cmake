@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_plfs_index.dir/micro_plfs_index.cc.o"
+  "CMakeFiles/micro_plfs_index.dir/micro_plfs_index.cc.o.d"
+  "micro_plfs_index"
+  "micro_plfs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_plfs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

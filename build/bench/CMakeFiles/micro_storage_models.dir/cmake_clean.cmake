@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_storage_models.dir/micro_storage_models.cc.o"
+  "CMakeFiles/micro_storage_models.dir/micro_storage_models.cc.o.d"
+  "micro_storage_models"
+  "micro_storage_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_storage_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_flash_devices.dir/tab01_flash_devices.cc.o"
+  "CMakeFiles/tab01_flash_devices.dir/tab01_flash_devices.cc.o.d"
+  "tab01_flash_devices"
+  "tab01_flash_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_flash_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

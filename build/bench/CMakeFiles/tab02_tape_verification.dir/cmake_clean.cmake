@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_tape_verification.dir/tab02_tape_verification.cc.o"
+  "CMakeFiles/tab02_tape_verification.dir/tab02_tape_verification.cc.o.d"
+  "tab02_tape_verification"
+  "tab02_tape_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_tape_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

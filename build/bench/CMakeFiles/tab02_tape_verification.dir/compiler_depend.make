@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab02_tape_verification.
+# This may be replaced when dependencies are built.

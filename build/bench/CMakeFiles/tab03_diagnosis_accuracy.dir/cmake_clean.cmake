@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_diagnosis_accuracy.dir/tab03_diagnosis_accuracy.cc.o"
+  "CMakeFiles/tab03_diagnosis_accuracy.dir/tab03_diagnosis_accuracy.cc.o.d"
+  "tab03_diagnosis_accuracy"
+  "tab03_diagnosis_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_diagnosis_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

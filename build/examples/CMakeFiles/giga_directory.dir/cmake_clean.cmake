@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giga_directory.dir/giga_directory.cpp.o"
+  "CMakeFiles/giga_directory.dir/giga_directory.cpp.o.d"
+  "giga_directory"
+  "giga_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giga_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninjat_visualize.dir/ninjat_visualize.cpp.o"
+  "CMakeFiles/ninjat_visualize.dir/ninjat_visualize.cpp.o.d"
+  "ninjat_visualize"
+  "ninjat_visualize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninjat_visualize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_archive.dir/pdsi/archive/archive.cc.o"
+  "CMakeFiles/pdsi_archive.dir/pdsi/archive/archive.cc.o.d"
+  "libpdsi_archive.a"
+  "libpdsi_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

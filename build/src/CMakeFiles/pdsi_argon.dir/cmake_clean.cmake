@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_argon.dir/pdsi/argon/argon.cc.o"
+  "CMakeFiles/pdsi_argon.dir/pdsi/argon/argon.cc.o.d"
+  "libpdsi_argon.a"
+  "libpdsi_argon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_argon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdsi/common/bytes.cc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/bytes.cc.o" "gcc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/bytes.cc.o.d"
+  "/root/repo/src/pdsi/common/result.cc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/result.cc.o" "gcc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/result.cc.o.d"
+  "/root/repo/src/pdsi/common/rng.cc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/rng.cc.o" "gcc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/rng.cc.o.d"
+  "/root/repo/src/pdsi/common/stats.cc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/stats.cc.o" "gcc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/stats.cc.o.d"
+  "/root/repo/src/pdsi/common/table.cc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/table.cc.o" "gcc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/table.cc.o.d"
+  "/root/repo/src/pdsi/common/units.cc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/units.cc.o" "gcc" "src/CMakeFiles/pdsi_common.dir/pdsi/common/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

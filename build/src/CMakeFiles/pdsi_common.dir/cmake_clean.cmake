@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_common.dir/pdsi/common/bytes.cc.o"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/bytes.cc.o.d"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/result.cc.o"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/result.cc.o.d"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/rng.cc.o"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/rng.cc.o.d"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/stats.cc.o"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/stats.cc.o.d"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/table.cc.o"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/table.cc.o.d"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/units.cc.o"
+  "CMakeFiles/pdsi_common.dir/pdsi/common/units.cc.o.d"
+  "libpdsi_common.a"
+  "libpdsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_diagnosis.dir/pdsi/diagnosis/diagnosis.cc.o"
+  "CMakeFiles/pdsi_diagnosis.dir/pdsi/diagnosis/diagnosis.cc.o.d"
+  "libpdsi_diagnosis.a"
+  "libpdsi_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_dsfs.dir/pdsi/dsfs/dsfs.cc.o"
+  "CMakeFiles/pdsi_dsfs.dir/pdsi/dsfs/dsfs.cc.o.d"
+  "libpdsi_dsfs.a"
+  "libpdsi_dsfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_dsfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_failure.dir/pdsi/failure/checkpoint_sim.cc.o"
+  "CMakeFiles/pdsi_failure.dir/pdsi/failure/checkpoint_sim.cc.o.d"
+  "CMakeFiles/pdsi_failure.dir/pdsi/failure/model.cc.o"
+  "CMakeFiles/pdsi_failure.dir/pdsi/failure/model.cc.o.d"
+  "CMakeFiles/pdsi_failure.dir/pdsi/failure/trace.cc.o"
+  "CMakeFiles/pdsi_failure.dir/pdsi/failure/trace.cc.o.d"
+  "libpdsi_failure.a"
+  "libpdsi_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_fsstats.dir/pdsi/fsstats/fsstats.cc.o"
+  "CMakeFiles/pdsi_fsstats.dir/pdsi/fsstats/fsstats.cc.o.d"
+  "libpdsi_fsstats.a"
+  "libpdsi_fsstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_fsstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

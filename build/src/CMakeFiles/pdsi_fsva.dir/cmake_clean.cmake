@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_fsva.dir/pdsi/fsva/fsva.cc.o"
+  "CMakeFiles/pdsi_fsva.dir/pdsi/fsva/fsva.cc.o.d"
+  "libpdsi_fsva.a"
+  "libpdsi_fsva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_fsva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_giga.dir/pdsi/giga/giga.cc.o"
+  "CMakeFiles/pdsi_giga.dir/pdsi/giga/giga.cc.o.d"
+  "libpdsi_giga.a"
+  "libpdsi_giga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_giga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_hdf5lite.dir/pdsi/hdf5lite/hdf5lite.cc.o"
+  "CMakeFiles/pdsi_hdf5lite.dir/pdsi/hdf5lite/hdf5lite.cc.o.d"
+  "libpdsi_hdf5lite.a"
+  "libpdsi_hdf5lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_hdf5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdsi_hdf5lite.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_huffman.dir/pdsi/huffman/huffman.cc.o"
+  "CMakeFiles/pdsi_huffman.dir/pdsi/huffman/huffman.cc.o.d"
+  "libpdsi_huffman.a"
+  "libpdsi_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_incast.dir/pdsi/incast/incast.cc.o"
+  "CMakeFiles/pdsi_incast.dir/pdsi/incast/incast.cc.o.d"
+  "libpdsi_incast.a"
+  "libpdsi_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

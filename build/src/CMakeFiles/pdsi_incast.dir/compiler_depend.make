@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdsi_incast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_mpix.dir/pdsi/mpix/mpix.cc.o"
+  "CMakeFiles/pdsi_mpix.dir/pdsi/mpix/mpix.cc.o.d"
+  "libpdsi_mpix.a"
+  "libpdsi_mpix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_mpix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

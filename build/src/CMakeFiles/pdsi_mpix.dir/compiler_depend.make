@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdsi_mpix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_ninjat.dir/pdsi/ninjat/ninjat.cc.o"
+  "CMakeFiles/pdsi_ninjat.dir/pdsi/ninjat/ninjat.cc.o.d"
+  "libpdsi_ninjat.a"
+  "libpdsi_ninjat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_ninjat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_pergamum.dir/pdsi/pergamum/pergamum.cc.o"
+  "CMakeFiles/pdsi_pergamum.dir/pdsi/pergamum/pergamum.cc.o.d"
+  "libpdsi_pergamum.a"
+  "libpdsi_pergamum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_pergamum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

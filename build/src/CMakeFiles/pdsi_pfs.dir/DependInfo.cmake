@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdsi/pfs/client.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/client.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/client.cc.o.d"
+  "/root/repo/src/pdsi/pfs/cluster.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/cluster.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/cluster.cc.o.d"
+  "/root/repo/src/pdsi/pfs/config.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/config.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/config.cc.o.d"
+  "/root/repo/src/pdsi/pfs/mds.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/mds.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/mds.cc.o.d"
+  "/root/repo/src/pdsi/pfs/oss.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/oss.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/oss.cc.o.d"
+  "/root/repo/src/pdsi/pfs/placement.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/placement.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/placement.cc.o.d"
+  "/root/repo/src/pdsi/pfs/sparse_buffer.cc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/sparse_buffer.cc.o" "gcc" "src/CMakeFiles/pdsi_pfs.dir/pdsi/pfs/sparse_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdsi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdsi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/client.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/client.cc.o.d"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/cluster.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/cluster.cc.o.d"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/config.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/config.cc.o.d"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/mds.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/mds.cc.o.d"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/oss.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/oss.cc.o.d"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/placement.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/placement.cc.o.d"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/sparse_buffer.cc.o"
+  "CMakeFiles/pdsi_pfs.dir/pdsi/pfs/sparse_buffer.cc.o.d"
+  "libpdsi_pfs.a"
+  "libpdsi_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

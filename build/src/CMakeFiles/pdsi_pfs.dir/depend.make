@@ -1,0 +1,2 @@
+# Empty dependencies file for pdsi_pfs.
+# This may be replaced when dependencies are built.

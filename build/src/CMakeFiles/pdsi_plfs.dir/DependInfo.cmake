@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdsi/plfs/container.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/container.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/container.cc.o.d"
+  "/root/repo/src/pdsi/plfs/index.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/index.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/index.cc.o.d"
+  "/root/repo/src/pdsi/plfs/mem_backend.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/mem_backend.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/mem_backend.cc.o.d"
+  "/root/repo/src/pdsi/plfs/pfs_backend.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/pfs_backend.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/pfs_backend.cc.o.d"
+  "/root/repo/src/pdsi/plfs/plfs.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/plfs.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/plfs.cc.o.d"
+  "/root/repo/src/pdsi/plfs/posix_backend.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/posix_backend.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/posix_backend.cc.o.d"
+  "/root/repo/src/pdsi/plfs/reader.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/reader.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/reader.cc.o.d"
+  "/root/repo/src/pdsi/plfs/smallfile.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/smallfile.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/smallfile.cc.o.d"
+  "/root/repo/src/pdsi/plfs/writer.cc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/writer.cc.o" "gcc" "src/CMakeFiles/pdsi_plfs.dir/pdsi/plfs/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdsi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdsi_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdsi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/container.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/container.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/index.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/index.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/mem_backend.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/mem_backend.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/pfs_backend.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/pfs_backend.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/plfs.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/plfs.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/posix_backend.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/posix_backend.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/reader.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/reader.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/smallfile.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/smallfile.cc.o.d"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/writer.cc.o"
+  "CMakeFiles/pdsi_plfs.dir/pdsi/plfs/writer.cc.o.d"
+  "libpdsi_plfs.a"
+  "libpdsi_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

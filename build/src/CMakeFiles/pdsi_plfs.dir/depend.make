@@ -1,0 +1,2 @@
+# Empty dependencies file for pdsi_plfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_pnfs.dir/pdsi/pnfs/pnfs.cc.o"
+  "CMakeFiles/pdsi_pnfs.dir/pdsi/pnfs/pnfs.cc.o.d"
+  "libpdsi_pnfs.a"
+  "libpdsi_pnfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_pnfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

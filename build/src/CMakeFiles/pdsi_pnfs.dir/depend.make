@@ -1,0 +1,2 @@
+# Empty dependencies file for pdsi_pnfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_reedsolomon.dir/pdsi/reedsolomon/reedsolomon.cc.o"
+  "CMakeFiles/pdsi_reedsolomon.dir/pdsi/reedsolomon/reedsolomon.cc.o.d"
+  "libpdsi_reedsolomon.a"
+  "libpdsi_reedsolomon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_reedsolomon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_scalatrace.dir/pdsi/scalatrace/scalatrace.cc.o"
+  "CMakeFiles/pdsi_scalatrace.dir/pdsi/scalatrace/scalatrace.cc.o.d"
+  "libpdsi_scalatrace.a"
+  "libpdsi_scalatrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_scalatrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

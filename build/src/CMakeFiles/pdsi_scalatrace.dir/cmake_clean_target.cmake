@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdsi_scalatrace.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_security.dir/pdsi/security/maat.cc.o"
+  "CMakeFiles/pdsi_security.dir/pdsi/security/maat.cc.o.d"
+  "libpdsi_security.a"
+  "libpdsi_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

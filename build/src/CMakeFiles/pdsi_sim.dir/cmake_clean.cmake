@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_sim.dir/pdsi/sim/event_queue.cc.o"
+  "CMakeFiles/pdsi_sim.dir/pdsi/sim/event_queue.cc.o.d"
+  "CMakeFiles/pdsi_sim.dir/pdsi/sim/virtual_time.cc.o"
+  "CMakeFiles/pdsi_sim.dir/pdsi/sim/virtual_time.cc.o.d"
+  "libpdsi_sim.a"
+  "libpdsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

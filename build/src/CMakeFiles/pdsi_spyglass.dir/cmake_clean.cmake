@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_spyglass.dir/pdsi/spyglass/spyglass.cc.o"
+  "CMakeFiles/pdsi_spyglass.dir/pdsi/spyglass/spyglass.cc.o.d"
+  "libpdsi_spyglass.a"
+  "libpdsi_spyglass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_spyglass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

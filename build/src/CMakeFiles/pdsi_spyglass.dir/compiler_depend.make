@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdsi_spyglass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_storage.dir/pdsi/storage/device_catalog.cc.o"
+  "CMakeFiles/pdsi_storage.dir/pdsi/storage/device_catalog.cc.o.d"
+  "CMakeFiles/pdsi_storage.dir/pdsi/storage/disk_model.cc.o"
+  "CMakeFiles/pdsi_storage.dir/pdsi/storage/disk_model.cc.o.d"
+  "CMakeFiles/pdsi_storage.dir/pdsi/storage/ssd_model.cc.o"
+  "CMakeFiles/pdsi_storage.dir/pdsi/storage/ssd_model.cc.o.d"
+  "libpdsi_storage.a"
+  "libpdsi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdsi_workload.dir/pdsi/workload/driver.cc.o"
+  "CMakeFiles/pdsi_workload.dir/pdsi/workload/driver.cc.o.d"
+  "CMakeFiles/pdsi_workload.dir/pdsi/workload/patterns.cc.o"
+  "CMakeFiles/pdsi_workload.dir/pdsi/workload/patterns.cc.o.d"
+  "libpdsi_workload.a"
+  "libpdsi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdsi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdsi_workload.a"
+)

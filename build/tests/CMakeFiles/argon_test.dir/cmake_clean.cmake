@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argon_test.dir/argon_test.cc.o"
+  "CMakeFiles/argon_test.dir/argon_test.cc.o.d"
+  "argon_test"
+  "argon_test.pdb"
+  "argon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

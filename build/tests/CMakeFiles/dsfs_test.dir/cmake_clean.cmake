@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsfs_test.dir/dsfs_test.cc.o"
+  "CMakeFiles/dsfs_test.dir/dsfs_test.cc.o.d"
+  "dsfs_test"
+  "dsfs_test.pdb"
+  "dsfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsstats_test.dir/fsstats_test.cc.o"
+  "CMakeFiles/fsstats_test.dir/fsstats_test.cc.o.d"
+  "fsstats_test"
+  "fsstats_test.pdb"
+  "fsstats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsstats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giga_test.dir/giga_test.cc.o"
+  "CMakeFiles/giga_test.dir/giga_test.cc.o.d"
+  "giga_test"
+  "giga_test.pdb"
+  "giga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_test.dir/incast_test.cc.o"
+  "CMakeFiles/incast_test.dir/incast_test.cc.o.d"
+  "incast_test"
+  "incast_test.pdb"
+  "incast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

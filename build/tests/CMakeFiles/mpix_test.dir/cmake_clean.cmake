@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpix_test.dir/mpix_test.cc.o"
+  "CMakeFiles/mpix_test.dir/mpix_test.cc.o.d"
+  "mpix_test"
+  "mpix_test.pdb"
+  "mpix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninjat_test.dir/ninjat_test.cc.o"
+  "CMakeFiles/ninjat_test.dir/ninjat_test.cc.o.d"
+  "ninjat_test"
+  "ninjat_test.pdb"
+  "ninjat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninjat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

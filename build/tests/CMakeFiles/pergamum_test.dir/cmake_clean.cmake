@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pergamum_test.dir/pergamum_test.cc.o"
+  "CMakeFiles/pergamum_test.dir/pergamum_test.cc.o.d"
+  "pergamum_test"
+  "pergamum_test.pdb"
+  "pergamum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pergamum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfs_test.dir/plfs_test.cc.o"
+  "CMakeFiles/plfs_test.dir/plfs_test.cc.o.d"
+  "plfs_test"
+  "plfs_test.pdb"
+  "plfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

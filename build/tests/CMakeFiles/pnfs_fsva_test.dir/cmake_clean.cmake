@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnfs_fsva_test.dir/pnfs_fsva_test.cc.o"
+  "CMakeFiles/pnfs_fsva_test.dir/pnfs_fsva_test.cc.o.d"
+  "pnfs_fsva_test"
+  "pnfs_fsva_test.pdb"
+  "pnfs_fsva_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnfs_fsva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

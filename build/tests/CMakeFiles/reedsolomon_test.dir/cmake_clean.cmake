@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reedsolomon_test.dir/reedsolomon_test.cc.o"
+  "CMakeFiles/reedsolomon_test.dir/reedsolomon_test.cc.o.d"
+  "reedsolomon_test"
+  "reedsolomon_test.pdb"
+  "reedsolomon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reedsolomon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalatrace_test.dir/scalatrace_test.cc.o"
+  "CMakeFiles/scalatrace_test.dir/scalatrace_test.cc.o.d"
+  "scalatrace_test"
+  "scalatrace_test.pdb"
+  "scalatrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalatrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

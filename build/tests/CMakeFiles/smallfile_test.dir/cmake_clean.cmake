@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallfile_test.dir/smallfile_test.cc.o"
+  "CMakeFiles/smallfile_test.dir/smallfile_test.cc.o.d"
+  "smallfile_test"
+  "smallfile_test.pdb"
+  "smallfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spyglass_test.dir/spyglass_test.cc.o"
+  "CMakeFiles/spyglass_test.dir/spyglass_test.cc.o.d"
+  "spyglass_test"
+  "spyglass_test.pdb"
+  "spyglass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spyglass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

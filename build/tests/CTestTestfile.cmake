@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_test[1]_include.cmake")
+include("/root/repo/build/tests/plfs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/ninjat_test[1]_include.cmake")
+include("/root/repo/build/tests/giga_test[1]_include.cmake")
+include("/root/repo/build/tests/incast_test[1]_include.cmake")
+include("/root/repo/build/tests/argon_test[1]_include.cmake")
+include("/root/repo/build/tests/fsstats_test[1]_include.cmake")
+include("/root/repo/build/tests/dsfs_test[1]_include.cmake")
+include("/root/repo/build/tests/diagnosis_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/mpix_test[1]_include.cmake")
+include("/root/repo/build/tests/pnfs_fsva_test[1]_include.cmake")
+include("/root/repo/build/tests/smallfile_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/spyglass_test[1]_include.cmake")
+include("/root/repo/build/tests/huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/pergamum_test[1]_include.cmake")
+include("/root/repo/build/tests/reedsolomon_test[1]_include.cmake")
+include("/root/repo/build/tests/scalatrace_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/hdf5lite_test[1]_include.cmake")
