@@ -3,7 +3,9 @@
 // straight into EXPERIMENTS.md.
 #pragma once
 
+#include <cmath>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "pdsi/common/table.h"
@@ -18,5 +20,54 @@ inline void Header(const std::string& experiment, const std::string& paper_claim
 }
 
 inline void Note(const std::string& text) { std::cout << "note: " << text << "\n"; }
+
+/// Machine-readable mirror of the table output: each emit() prints one
+/// line of the form
+///
+///   BENCH_<bench>.json {"key": value, ...}
+///
+/// so the perf trajectory can be tracked across PRs with
+/// `grep '^BENCH_' | cut -d' ' -f2-`. Keys insert in call order; values
+/// are JSON numbers or strings (non-finite numbers are emitted as
+/// strings, since JSON has no inf/nan).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  JsonReport& num(const std::string& key, double v) {
+    if (!std::isfinite(v)) return str(key, v > 0 ? "inf" : (v < 0 ? "-inf" : "nan"));
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    add(key, os.str());
+    return *this;
+  }
+
+  JsonReport& str(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    add(key, quoted);
+    return *this;
+  }
+
+  /// Prints the line and clears the fields for the next row.
+  void emit(std::ostream& os = std::cout) {
+    os << "BENCH_" << bench_ << ".json {" << fields_ << "}\n";
+    fields_.clear();
+  }
+
+ private:
+  void add(const std::string& key, const std::string& json_value) {
+    if (!fields_.empty()) fields_ += ", ";
+    fields_ += "\"" + key + "\": " + json_value;
+  }
+
+  std::string bench_;
+  std::string fields_;
+};
 
 }  // namespace pdsi::bench

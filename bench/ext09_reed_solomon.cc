@@ -27,7 +27,7 @@ int main() {
   PrintBanner(std::cout, "throughput by geometry (16 MiB of data per run)");
   Table t({"k+m", "tolerates", "overhead", "encode", "reconstruct(m lost)"});
   Rng rng(17);
-  for (const auto [k, m] : {std::pair<int, int>{4, 2}, {6, 3}, {10, 4},
+  for (const auto& [k, m] : {std::pair<int, int>{4, 2}, {6, 3}, {10, 4},
                             {12, 2}, {17, 3}}) {
     ReedSolomon rs(k, m);
     const std::size_t shard = (16 * MiB) / k;

@@ -46,7 +46,7 @@ int main() {
   std::cout << "aggregate media peak on this substrate: " << FormatRate(peak)
             << "\n";
 
-  for (const auto spec : {hdf5lite::ChomboSpec(kRanks), hdf5lite::GcrmSpec(kRanks)}) {
+  for (const auto& spec : {hdf5lite::ChomboSpec(kRanks), hdf5lite::GcrmSpec(kRanks)}) {
     PrintBanner(std::cout, spec.name + " (" + std::to_string(kRanks) + " ranks, " +
                                FormatBytes(static_cast<double>(spec.total_bytes())) + ")");
     Table t({"configuration", "bandwidth", "speedup", "% of peak"});

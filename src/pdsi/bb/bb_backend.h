@@ -1,0 +1,27 @@
+// PLFS backend staged through a burst buffer (see plfs/backend.h).
+//
+// Writes are absorbed into the burst buffer and become durable on the
+// inner backend only when the buffer's drain scheduler flushes them;
+// fsync() is the durability barrier. Reads are staged-first with
+// fall-through to the inner backend (safe because only drained data is
+// ever evicted). Namespace operations pass straight through, so PLFS
+// containers work transparently on top.
+#pragma once
+
+#include <memory>
+
+#include "pdsi/plfs/backend.h"
+
+namespace pdsi::bb {
+class BurstBuffer;
+}
+
+namespace pdsi::plfs {
+
+/// Couples `bb` to `inner` as its drain destination: the returned backend
+/// installs the buffer's drain sink and evict hook, so one BurstBuffer
+/// must not be shared between two backends.
+std::unique_ptr<Backend> MakeBbBackend(bb::BurstBuffer& bb,
+                                       std::unique_ptr<Backend> inner);
+
+}  // namespace pdsi::plfs

@@ -1,0 +1,183 @@
+// SSD burst-buffer tier: absorb checkpoints at flash speed, drain to the
+// parallel file system in the background.
+//
+// The PDSI report's central workload is the defensive checkpoint — the
+// machine is idle until the last byte is durable (Figs. 2 & 5) — and its
+// flash chapter (§4.2.6, Figs. 11/14) characterises exactly the device
+// that historically fixed it: an SSD staging tier in front of the PFS.
+// This class wires those pieces together. Rank writes are absorbed into a
+// log on a storage::SsdModel (sequential programs, so the FTL stays out
+// of the way until the device is nearly full); dirty extents queue FIFO;
+// an asynchronous drain scheduler on an owned sim::EventQueue flushes
+// them to a DrainTarget in large sequential drain units.
+//
+// Policies:
+//   * Backpressure — ingest stalls while un-drained bytes (dirty +
+//     in-flight) sit above `high_watermark` of capacity, and resumes once
+//     drains pull them below `low_watermark` (classic hysteresis, so a
+//     checkpoint larger than the buffer degrades to drain speed instead
+//     of deadlocking or thrashing).
+//   * Eviction — drained (clean) extents are dropped oldest-first when a
+//     new absorb needs space; dirty data is never evicted (it is the only
+//     copy). A single write larger than the staging device is rejected.
+//
+// Durability: a byte is durable on the PFS only after the drain op
+// carrying it completes; flush() is the checkpoint barrier that returns
+// the virtual time at which everything currently staged is durable. The
+// sink callback fires exactly once per drained run, in FIFO write order,
+// which is what plfs::MakeBbBackend uses to move the actual bytes.
+//
+// Threading: all methods must be externally serialised (the PLFS backend
+// wraps the buffer in its own mutex); determinism then follows from the
+// event queue's total order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "pdsi/bb/drain_target.h"
+#include "pdsi/common/units.h"
+#include "pdsi/sim/event_queue.h"
+#include "pdsi/storage/ssd_model.h"
+
+namespace pdsi::bb {
+
+struct BbParams {
+  storage::SsdParams ssd;       ///< staging device (absorb + staged reads)
+  double high_watermark = 0.70; ///< un-drained fraction that stalls ingest
+  double low_watermark = 0.40;  ///< un-drained fraction at which it resumes
+  std::uint64_t drain_unit = 64 * MiB;  ///< target bytes per drain op
+  bool evict_clean = true;      ///< drop drained data under space pressure
+};
+
+struct BbStats {
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_absorbed = 0;
+  std::uint64_t bytes_drained = 0;
+  std::uint64_t bytes_evicted = 0;
+  std::uint64_t drain_ops = 0;
+  std::uint64_t ingest_stalls = 0;     ///< writes that hit backpressure
+  double stall_seconds = 0.0;          ///< ingest time lost to backpressure
+  double absorb_seconds = 0.0;         ///< flash time charged to ingest
+  double drain_busy_seconds = 0.0;     ///< drain-stream busy time
+};
+
+class BurstBuffer {
+ public:
+  /// Fires once per drained contiguous run, at drain completion, in FIFO
+  /// write order: the moment those bytes are durable on the target.
+  using DrainSink =
+      std::function<void(std::uint64_t file, std::uint64_t off, std::uint64_t len)>;
+  /// Fires when a clean staged run is evicted (backing bytes may be freed;
+  /// the data is already durable on the target).
+  using EvictHook = DrainSink;
+
+  BurstBuffer(BbParams params, DrainTarget& target);
+
+  /// Absorbs `len` bytes of `file` at `off`, arriving at caller time
+  /// `now`; returns the completion time (absorb is blocking; any
+  /// backpressure stall is included and recorded in stats).
+  double write(std::uint64_t file, std::uint64_t off, std::uint64_t len, double now);
+
+  /// Staged read: if [off, off+len) is fully resident, sets *hit and
+  /// returns completion at flash speed; otherwise clears *hit and returns
+  /// `now` (caller falls through to the backing store).
+  double read(std::uint64_t file, std::uint64_t off, std::uint64_t len,
+              double now, bool* hit);
+
+  /// Checkpoint barrier: drains everything staged-but-not-durable and
+  /// returns the virtual time the last byte lands on the target.
+  double flush(double now);
+
+  /// Discards all staged state for `file` (unlink). In-flight drains for
+  /// it complete as no-ops (their sink is suppressed).
+  void drop_file(std::uint64_t file);
+
+  /// Advances background drains to time `t` (lets a caller model compute
+  /// time passing between writes).
+  void run_until(double t) { queue_.run_until(t); }
+
+  double now() const { return queue_.now(); }
+  /// Bytes whose only copy is the burst buffer (not yet handed to drain).
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  /// Dirty plus in-flight: the quantity the watermarks govern.
+  std::uint64_t undrained_bytes() const { return dirty_bytes_ + in_flight_bytes_; }
+  /// All staged bytes (dirty + in-flight + clean-but-resident).
+  std::uint64_t resident_bytes() const { return resident_bytes_; }
+  std::uint64_t capacity_bytes() const { return params_.ssd.capacity_bytes; }
+  bool drain_idle() const { return !drain_active_; }
+
+  const BbParams& params() const { return params_; }
+  const BbStats& stats() const { return stats_; }
+  const storage::SsdModel& ssd() const { return ssd_; }
+
+  void set_drain_sink(DrainSink sink) { sink_ = std::move(sink); }
+  void set_evict_hook(EvictHook hook) { evict_hook_ = std::move(hook); }
+
+ private:
+  /// Disjoint half-open byte ranges, start -> end.
+  using RangeMap = std::map<std::uint64_t, std::uint64_t>;
+
+  struct FileState {
+    RangeMap resident;   ///< readable from the staging device
+    RangeMap dirty;      ///< written, not yet picked up by a drain op
+    RangeMap in_flight;  ///< inside a drain op that has not completed
+  };
+
+  /// One absorbed write, queued for FIFO drain.
+  struct LogEntry {
+    std::uint64_t file;
+    std::uint64_t off;
+    std::uint64_t len;
+    double available_at;  ///< absorb completion; drain may not start earlier
+  };
+
+  struct Run {
+    std::uint64_t file;
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+
+  static std::uint64_t RangeAdd(RangeMap& m, std::uint64_t s, std::uint64_t e);
+  static std::uint64_t RangeRemove(RangeMap& m, std::uint64_t s, std::uint64_t e);
+  static bool RangeCovers(const RangeMap& m, std::uint64_t s, std::uint64_t e);
+  /// Sub-ranges of [s, e) present in `m`.
+  static std::vector<Run> RangePieces(const RangeMap& m, std::uint64_t file,
+                                      std::uint64_t s, std::uint64_t e);
+
+  FileState& state(std::uint64_t file) { return files_[file]; }
+
+  /// Sequential log write on the staging flash; wraps at capacity.
+  double absorb_to_flash(std::uint64_t len);
+  /// Flash read cost for a staged range (position folded into the log).
+  double staged_read_cost(std::uint64_t off, std::uint64_t len);
+
+  void maybe_schedule_drain(double not_before);
+  void drain_step();
+  void complete_drain(const std::vector<Run>& runs, std::uint64_t bytes);
+  /// Evicts clean runs oldest-first until `need` more bytes fit; returns
+  /// true if they now do.
+  bool evict_for(std::uint64_t need);
+
+  BbParams params_;
+  DrainTarget& target_;
+  sim::EventQueue queue_;
+  storage::SsdModel ssd_;
+  BbStats stats_;
+  DrainSink sink_;
+  EvictHook evict_hook_;
+
+  std::unordered_map<std::uint64_t, FileState> files_;
+  std::deque<LogEntry> drain_fifo_;
+  std::deque<Run> clean_fifo_;   ///< eviction order (drain completion order)
+  std::uint64_t dirty_bytes_ = 0;
+  std::uint64_t in_flight_bytes_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t log_cursor_ = 0;  ///< staging-flash append position
+  bool drain_active_ = false;
+};
+
+}  // namespace pdsi::bb

@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <memory>
+
+#include "pdsi/bb/drain_target.h"
+#include "pdsi/pfs/cluster.h"
+
+namespace pdsi::bb {
+namespace {
+
+// Stripes each drain unit across the cluster's object storage servers the
+// same way PfsClient's data path does, but without the client-side lock
+// protocol: the drain stream is a single sequential writer per file, which
+// is exactly the pattern the PFS serves at full speed (and the reason a
+// burst buffer converts N-to-1 checkpoint chaos into PFS-friendly I/O).
+class PfsDrainTarget final : public DrainTarget {
+ public:
+  explicit PfsDrainTarget(pfs::PfsCluster& cluster) : cluster_(cluster) {}
+
+  double drain(std::uint64_t file, std::uint64_t off, std::uint64_t len,
+               double now) override {
+    const pfs::PfsConfig& cfg = cluster_.config();
+    double done = now;
+    std::uint64_t pos = off;
+    std::uint64_t remaining = len;
+    while (remaining > 0) {
+      const std::uint64_t stripe = pos / cfg.stripe_unit;
+      const std::uint64_t in_stripe = pos % cfg.stripe_unit;
+      const std::uint64_t n =
+          std::min<std::uint64_t>(cfg.stripe_unit - in_stripe, remaining);
+      const std::uint32_t server =
+          cluster_.placement().server_for(file, stripe, cluster_.num_oss());
+      done = std::max(done, cluster_.oss(server).serve_write(file, pos, n, now));
+      pos += n;
+      remaining -= n;
+    }
+    return done;
+  }
+
+ private:
+  pfs::PfsCluster& cluster_;
+};
+
+}  // namespace
+
+std::unique_ptr<DrainTarget> MakePfsDrainTarget(pfs::PfsCluster& cluster) {
+  return std::make_unique<PfsDrainTarget>(cluster);
+}
+
+}  // namespace pdsi::bb

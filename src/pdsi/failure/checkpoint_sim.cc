@@ -1,10 +1,91 @@
 #include "pdsi/failure/checkpoint_sim.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pdsi::failure {
+namespace {
+
+// Burst-buffer staging mode: absorb blocks the application, the drain
+// overlaps the next compute segment, and durability arrives only at drain
+// completion. At most one checkpoint is ever in flight (single staging
+// slot), so the next absorb stalls while the previous drain is running —
+// that stall is the visible symptom of a drain-bandwidth bottleneck.
+CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& rng) {
+  CheckpointSimResult r;
+  const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
+  const double scale = p.mtti_seconds / gamma_term;
+
+  double done = 0.0;     // durable (drained) work
+  double pending = 0.0;  // absorbed work whose drain has not completed
+  double pending_durable_at = 0.0;
+  double now = 0.0;
+  double next_failure = rng.weibull(p.weibull_shape, scale);
+  auto next_failure_after = [&](double t) {
+    while (next_failure <= t) next_failure += rng.weibull(p.weibull_shape, scale);
+  };
+
+  while (done + pending < p.work_seconds || pending > 0.0) {
+    // Commit an in-flight checkpoint whose drain has finished.
+    if (pending > 0.0 && pending_durable_at <= now) {
+      done += pending;
+      pending = 0.0;
+    }
+    const double segment = std::min(p.interval, p.work_seconds - done - pending);
+    if (segment <= 0.0) {
+      // All work absorbed; just wait out the final drain (or a failure).
+      if (next_failure < pending_durable_at) {
+        ++r.failures;
+        ++r.lost_drains;
+        pending = 0.0;
+        now = next_failure + p.restart_seconds;
+        next_failure_after(now);
+        continue;
+      }
+      now = pending_durable_at;
+      continue;
+    }
+    const double compute_end = now + segment;
+    // Backpressure: the single staging slot frees when the previous drain
+    // finishes; only then can the next absorb start.
+    const double absorb_start =
+        pending > 0.0 ? std::max(compute_end, pending_durable_at) : compute_end;
+    const double absorb_end = absorb_start + p.bb_absorb_seconds;
+    if (next_failure < absorb_end) {
+      ++r.failures;
+      if (pending > 0.0) {
+        if (next_failure < pending_durable_at) {
+          ++r.lost_drains;  // died before the previous drain finished
+        } else {
+          done += pending;  // previous checkpoint made it to the PFS
+        }
+        pending = 0.0;
+      }
+      now = next_failure + p.restart_seconds;
+      next_failure_after(now);
+      continue;
+    }
+    r.stall_seconds += absorb_start - compute_end;
+    if (pending > 0.0) {  // drained strictly before absorb_start
+      done += pending;
+      pending = 0.0;
+    }
+    ++r.checkpoints;
+    now = absorb_end;
+    pending = segment;
+    pending_durable_at = absorb_end + p.bb_drain_seconds;
+  }
+  r.wall_seconds = now;
+  r.utilization = p.work_seconds / now;
+  return r;
+}
+
+}  // namespace
 
 CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng) {
+  if (p.bb_absorb_seconds > 0.0 || p.bb_drain_seconds > 0.0) {
+    return SimulateWithBurstBuffer(p, rng);
+  }
   CheckpointSimResult r;
   const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
   const double scale = p.mtti_seconds / gamma_term;

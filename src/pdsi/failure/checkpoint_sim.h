@@ -18,6 +18,19 @@ struct CheckpointSimParams {
   double restart_seconds = 600.0;          ///< reboot + read last checkpoint
   double mtti_seconds = 24.0 * 3600;       ///< failure process mean
   double weibull_shape = 1.0;              ///< 1.0 = Poisson failures
+
+  // -- Burst-buffer staging (pdsi::bb). When either field is positive the
+  // checkpoint cost splits in two: the application blocks only for the
+  // absorb into the burst buffer, then resumes compute while the buffer
+  // drains to the parallel file system in the background. The drain
+  // channel is serial with a single staging slot, so absorb k stalls until
+  // drain k-1 has finished (the backpressure regime once drain bandwidth
+  // is the bottleneck). A checkpoint is durable only when its drain
+  // completes: a failure that strikes mid-drain loses that checkpoint and
+  // rolls back to the previous durable one. With both fields zero the
+  // classic direct-to-PFS model below is used unchanged.
+  double bb_absorb_seconds = 0.0;  ///< blocking absorb into the burst buffer
+  double bb_drain_seconds = 0.0;   ///< background drain to the PFS
 };
 
 struct CheckpointSimResult {
@@ -25,11 +38,15 @@ struct CheckpointSimResult {
   std::uint64_t failures = 0;
   std::uint64_t checkpoints = 0;
   double utilization = 0.0;  ///< work_seconds / wall_seconds
+  // Burst-buffer mode only:
+  std::uint64_t lost_drains = 0;  ///< failures that caught a checkpoint mid-drain
+  double stall_seconds = 0.0;     ///< absorb time spent waiting on the drain channel
 };
 
 /// Simulates until the work completes. Failures strike at Weibull times;
-/// a failure mid-segment loses progress since the last checkpoint and
-/// pays the restart cost.
+/// a failure mid-segment loses progress since the last *durable*
+/// checkpoint and pays the restart cost. See CheckpointSimParams for the
+/// burst-buffer staging mode.
 CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& params, Rng& rng);
 
 }  // namespace pdsi::failure

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -53,9 +54,20 @@ struct SsdStats {
   std::uint64_t relocations = 0;          ///< GC page copies
   std::uint64_t erases = 0;
 
+  /// Pages programmed on behalf of the host (excludes GC relocations).
+  std::uint64_t host_pages() const { return pages_programmed - relocations; }
+
+  /// total programs / host programs. A fresh device (no programs at all)
+  /// reports 1.0; programs with zero host pages — pure GC churn, e.g. a
+  /// windowed delta taken across an idle-grooming pass — report infinity
+  /// rather than masking pathological GC as 1.0.
   double write_amplification() const {
-    const double host = static_cast<double>(pages_programmed - relocations);
-    return host > 0 ? static_cast<double>(pages_programmed) / host : 1.0;
+    if (host_pages() > 0) {
+      return static_cast<double>(pages_programmed) /
+             static_cast<double>(host_pages());
+    }
+    return pages_programmed == 0 ? 1.0
+                                 : std::numeric_limits<double>::infinity();
   }
 };
 

@@ -1,0 +1,515 @@
+// Tests for the pdsi::bb burst-buffer tier: watermark backpressure,
+// FIFO drain ordering, durability semantics (including failure-during-
+// drain in the checkpoint simulator), clean-data eviction, the PLFS
+// staging backend, and the two acceptance numbers the ext12 bench
+// reports (absorb speedup over direct-to-PFS, utilization uplift vs
+// drain overlap). Everything runs on virtual time and is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "pdsi/bb/bb_backend.h"
+#include "pdsi/bb/burst_buffer.h"
+#include "pdsi/bb/drain_target.h"
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/units.h"
+#include "pdsi/failure/checkpoint_sim.h"
+#include "pdsi/pfs/cluster.h"
+#include "pdsi/plfs/plfs.h"
+#include "pdsi/storage/device_catalog.h"
+
+namespace pdsi {
+namespace {
+
+using bb::BbParams;
+using bb::BurstBuffer;
+using bb::FixedRateDrainTarget;
+
+BbParams FastDevice(std::uint64_t capacity) {
+  BbParams p;
+  p.ssd = storage::FlashDevice("fusionio-iodrive-duo");
+  p.ssd.capacity_bytes = capacity;
+  return p;
+}
+
+// -- Core: absorb + background drain ---------------------------------------
+
+TEST(BurstBuffer, AbsorbsAtFlashSpeedAndDrainsInBackground) {
+  BbParams p = FastDevice(512 * MiB);
+  FixedRateDrainTarget pfs(100e6);  // 100 MB/s backing store
+  BurstBuffer buf(p, pfs);
+
+  const std::uint64_t total = 128 * MiB;
+  double t = 0.0;
+  for (std::uint64_t off = 0; off < total; off += MiB) {
+    t = buf.write(1, off, MiB, t);
+  }
+  const double absorb_bw = static_cast<double>(total) / t;
+  EXPECT_GT(absorb_bw, 400e6);  // near the device's 690 MB/s rating
+  EXPECT_EQ(buf.stats().ingest_stalls, 0u);
+
+  // Drains proceed in the background and finish around total/100MB/s.
+  EXPECT_GT(buf.undrained_bytes(), 0u);
+  const double durable_at = buf.flush(t);
+  EXPECT_EQ(buf.undrained_bytes(), 0u);
+  EXPECT_EQ(buf.stats().bytes_drained, total);
+  EXPECT_NEAR(durable_at, static_cast<double>(total) / 100e6, 0.5);
+  EXPECT_GT(durable_at, t);  // the PFS, not the flash, is the bottleneck
+}
+
+TEST(BurstBuffer, RejectsWritesLargerThanTheDevice) {
+  BbParams p = FastDevice(64 * MiB);
+  FixedRateDrainTarget pfs(100e6);
+  BurstBuffer buf(p, pfs);
+  EXPECT_THROW(buf.write(1, 0, 65 * MiB, 0.0), std::invalid_argument);
+  BbParams bad = FastDevice(64 * MiB);
+  bad.high_watermark = 0.2;
+  bad.low_watermark = 0.5;  // inverted hysteresis
+  EXPECT_THROW(BurstBuffer(bad, pfs), std::invalid_argument);
+}
+
+// -- Backpressure -----------------------------------------------------------
+
+TEST(BurstBuffer, IngestStallsAtHighWatermarkAndResumesAtLow) {
+  BbParams p = FastDevice(64 * MiB);
+  p.high_watermark = 0.50;
+  p.low_watermark = 0.25;
+  FixedRateDrainTarget slow_pfs(10e6);  // drain far slower than absorb
+  BurstBuffer buf(p, slow_pfs);
+
+  double t = 0.0;
+  double slowest_write = 0.0;
+  for (std::uint64_t off = 0; off < 48 * MiB; off += MiB) {
+    const double start = t;
+    t = buf.write(1, off, MiB, t);
+    slowest_write = std::max(slowest_write, t - start);
+  }
+  ASSERT_GE(buf.stats().ingest_stalls, 1u);
+  EXPECT_GT(buf.stats().stall_seconds, 0.5);
+  // Hysteresis: the stalled writes resumed only once drains pulled the
+  // backlog to the low watermark, so it now sits at/below low + one write.
+  EXPECT_LE(buf.undrained_bytes(),
+            static_cast<std::uint64_t>(p.low_watermark * 64 * MiB) + MiB);
+  // A stalled write is served at drain speed: it waits out on the order of
+  // (high-low)*capacity / drain_bw, far above any absorb time.
+  EXPECT_GT(slowest_write, 0.1);
+
+  // Identical ingest against a drain faster than absorb never stalls.
+  BbParams q = FastDevice(64 * MiB);
+  q.high_watermark = 0.50;
+  q.low_watermark = 0.25;
+  FixedRateDrainTarget fast_pfs(2000e6);
+  BurstBuffer unstalled(q, fast_pfs);
+  double u = 0.0;
+  for (std::uint64_t off = 0; off < 48 * MiB; off += MiB) {
+    u = unstalled.write(1, off, MiB, u);
+  }
+  EXPECT_EQ(unstalled.stats().ingest_stalls, 0u);
+  EXPECT_EQ(unstalled.stats().stall_seconds, 0.0);
+}
+
+// -- Drain ordering ---------------------------------------------------------
+
+TEST(BurstBuffer, DrainsInFifoWriteOrderWithCoalescing) {
+  BbParams p = FastDevice(256 * MiB);
+  p.drain_unit = 16 * MiB;
+  FixedRateDrainTarget pfs(50e6);
+  BurstBuffer buf(p, pfs);
+
+  struct Sunk {
+    std::uint64_t file, off, len;
+  };
+  std::vector<Sunk> sunk;
+  buf.set_drain_sink([&](std::uint64_t f, std::uint64_t off, std::uint64_t len) {
+    sunk.push_back({f, off, len});
+  });
+
+  // Shuffled offsets: FIFO order is write order, not offset order.
+  const std::vector<std::uint64_t> chunks = {5, 0, 3, 1, 4, 2, 6, 7};
+  double t = 0.0;
+  for (std::uint64_t c : chunks) t = buf.write(1, c * MiB, MiB, t);
+  buf.flush(t);
+
+  ASSERT_FALSE(sunk.empty());
+  EXPECT_EQ(sunk.front().off, 5 * MiB);  // first write drains first
+  std::uint64_t total = 0;
+  for (const auto& s : sunk) total += s.len;
+  EXPECT_EQ(total, chunks.size() * MiB);
+
+  // Contiguous writes coalesce into fewer, larger drain ops.
+  BurstBuffer seq(p, pfs);
+  std::uint64_t sink_calls = 0, sink_bytes = 0;
+  seq.set_drain_sink([&](std::uint64_t, std::uint64_t, std::uint64_t len) {
+    ++sink_calls;
+    sink_bytes += len;
+  });
+  double s = 0.0;
+  const int kChunks = 64;
+  for (int c = 0; c < kChunks; ++c) s = seq.write(1, c * MiB, MiB, s);
+  seq.flush(s);
+  EXPECT_EQ(sink_bytes, static_cast<std::uint64_t>(kChunks) * MiB);
+  EXPECT_LT(sink_calls, static_cast<std::uint64_t>(kChunks) / 2);
+  EXPECT_EQ(seq.stats().drain_ops, sink_calls);
+}
+
+// -- Eviction ---------------------------------------------------------------
+
+TEST(BurstBuffer, EvictsOnlyCleanDataUnderCapacityPressure) {
+  BbParams p = FastDevice(64 * MiB);
+  p.high_watermark = 0.95;  // keep watermark backpressure out of the way
+  p.low_watermark = 0.20;
+  FixedRateDrainTarget pfs(300e6);
+  BurstBuffer buf(p, pfs);
+
+  std::vector<std::uint64_t> evicted_files;
+  buf.set_evict_hook([&](std::uint64_t f, std::uint64_t, std::uint64_t) {
+    evicted_files.push_back(f);
+  });
+
+  double t = 0.0;
+  for (std::uint64_t off = 0; off < 48 * MiB; off += MiB) t = buf.write(1, off, MiB, t);
+  t = buf.flush(t);  // file 1 fully drained: clean
+  ASSERT_EQ(buf.dirty_bytes(), 0u);
+  ASSERT_EQ(buf.stats().bytes_evicted, 0u);
+
+  for (std::uint64_t off = 0; off < 48 * MiB; off += MiB) t = buf.write(2, off, MiB, t);
+  // File 2 needed more space than was free: clean file-1 data went.
+  EXPECT_GE(buf.stats().bytes_evicted, 32 * MiB);
+  EXPECT_LE(buf.resident_bytes(), buf.capacity_bytes());
+  ASSERT_FALSE(evicted_files.empty());
+  EXPECT_EQ(evicted_files.front(), 1u);  // oldest clean data first
+
+  // Evicted ranges are gone; recently staged file-2 data is resident.
+  bool hit = true;
+  buf.read(1, 0, MiB, t, &hit);
+  EXPECT_FALSE(hit);
+  buf.read(2, 47 * MiB, MiB, t, &hit);
+  EXPECT_TRUE(hit);
+
+  // Disabling eviction turns the same pressure into a hard stop once
+  // nothing clean may be dropped and no drain can free space.
+  BbParams ne = FastDevice(32 * MiB);
+  ne.evict_clean = false;
+  FixedRateDrainTarget pfs2(300e6);
+  BurstBuffer strict(ne, pfs2);
+  double u = 0.0;
+  for (std::uint64_t off = 0; off < 30 * MiB; off += MiB) u = strict.write(1, off, MiB, u);
+  u = strict.flush(u);  // all clean, but not evictable
+  EXPECT_THROW(strict.write(2, 0, 8 * MiB, u), std::logic_error);
+}
+
+// -- PLFS staging backend ---------------------------------------------------
+
+Bytes Pattern(std::uint64_t seed, std::size_t n) {
+  Bytes b(n);
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    b[i] = static_cast<std::uint8_t>(x >> 56);
+  }
+  return b;
+}
+
+TEST(BbBackend, StagesWritesAndDrainsToInnerOnFsync) {
+  BbParams p = FastDevice(256 * MiB);
+  FixedRateDrainTarget pfs(200e6);
+  BurstBuffer buf(p, pfs);
+  auto inner = plfs::MakeMemBackend();
+  plfs::Backend* inner_raw = inner.get();
+  auto backend = plfs::MakeBbBackend(buf, std::move(inner));
+
+  auto h = backend->create("/ckpt");
+  ASSERT_TRUE(h.ok());
+  const Bytes data = Pattern(7, 8 * MiB);
+  ASSERT_TRUE(backend->write(*h, 0, data).ok());
+  ASSERT_TRUE(backend->write(*h, 12 * MiB, data).ok());  // leave a hole
+
+  // Staged-first read returns the freshly written bytes immediately.
+  Bytes back(8 * MiB);
+  auto n = backend->read(*h, 12 * MiB, back);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, back.size());
+  EXPECT_EQ(back, data);
+
+  // The hole reads as zeros.
+  Bytes hole(MiB);
+  auto hn = backend->read(*h, 9 * MiB, hole);
+  ASSERT_TRUE(hn.ok());
+  EXPECT_TRUE(std::all_of(hole.begin(), hole.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+
+  auto sz = backend->size(*h);
+  ASSERT_TRUE(sz.ok());
+  EXPECT_EQ(*sz, 20 * MiB);
+
+  // fsync is the durability barrier: afterwards the inner backend holds
+  // every byte.
+  ASSERT_TRUE(backend->fsync(*h).ok());
+  EXPECT_EQ(buf.undrained_bytes(), 0u);
+  auto ih = inner_raw->open("/ckpt");
+  ASSERT_TRUE(ih.ok());
+  Bytes durable(8 * MiB);
+  auto dn = inner_raw->read(*ih, 12 * MiB, durable);
+  ASSERT_TRUE(dn.ok());
+  ASSERT_EQ(*dn, durable.size());
+  EXPECT_EQ(durable, data);
+  ASSERT_TRUE(backend->close(*h).ok());
+}
+
+TEST(BbBackend, ReadsFallThroughAfterEviction) {
+  // Tiny staging device: writing B evicts A's drained bytes; reads of A
+  // must then come from the inner store, byte-identical.
+  BbParams p = FastDevice(32 * MiB);
+  p.high_watermark = 0.9;
+  p.low_watermark = 0.3;
+  FixedRateDrainTarget pfs(300e6);
+  BurstBuffer buf(p, pfs);
+  auto backend = plfs::MakeBbBackend(buf, plfs::MakeMemBackend());
+
+  auto a = backend->create("/a");
+  auto b = backend->create("/b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Bytes da = Pattern(1, 24 * MiB);
+  ASSERT_TRUE(backend->write(*a, 0, da).ok());
+  ASSERT_TRUE(backend->fsync(*a).ok());
+  const Bytes db = Pattern(2, 24 * MiB);
+  ASSERT_TRUE(backend->write(*b, 0, db).ok());
+  EXPECT_GE(buf.stats().bytes_evicted, 8 * MiB);
+
+  Bytes back(24 * MiB);
+  auto n = backend->read(*a, 0, back);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, back.size());
+  EXPECT_EQ(back, da);
+  auto nb = backend->read(*b, 0, back);
+  ASSERT_TRUE(nb.ok());
+  ASSERT_EQ(*nb, back.size());
+  EXPECT_EQ(back, db);
+}
+
+TEST(BbBackend, RenameAndUnlinkKeepStagingConsistent) {
+  BbParams p = FastDevice(64 * MiB);
+  FixedRateDrainTarget pfs(200e6);
+  BurstBuffer buf(p, pfs);
+  auto backend = plfs::MakeBbBackend(buf, plfs::MakeMemBackend());
+
+  auto h = backend->create("/old");
+  ASSERT_TRUE(h.ok());
+  const Bytes data = Pattern(3, 2 * MiB);
+  ASSERT_TRUE(backend->write(*h, 0, data).ok());
+  ASSERT_TRUE(backend->rename("/old", "/new").ok());
+
+  Bytes back(2 * MiB);
+  auto n = backend->read(*h, 0, back);  // open handle follows the rename
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(backend->close(*h).ok());
+
+  auto h2 = backend->open("/new");
+  ASSERT_TRUE(h2.ok());
+  ASSERT_TRUE(backend->unlink("/new").ok());
+  EXPECT_FALSE(backend->exists("/new").value_or(true));
+  EXPECT_EQ(buf.dirty_bytes(), 0u);  // staged dirty data discarded
+}
+
+TEST(BbBackend, PlfsContainerRoundTripThroughBurstBuffer) {
+  // The whole point of the backend: PLFS containers stage transparently.
+  BbParams p = FastDevice(256 * MiB);
+  FixedRateDrainTarget pfs(200e6);
+  BurstBuffer buf(p, pfs);
+  plfs::Plfs fs(plfs::MakeBbBackend(buf, plfs::MakeMemBackend()));
+
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kRecord = 4801;  // unaligned
+  constexpr int kSteps = 10;
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      auto w = fs.open_write("/ckpt", r);
+      ASSERT_TRUE(w.ok());
+      for (int k = 0; k < kSteps; ++k) {
+        const std::uint64_t off =
+            (static_cast<std::uint64_t>(k) * kRanks + r) * kRecord;
+        ASSERT_TRUE((*w)->write(off, Pattern(r * 100 + k, kRecord)).ok());
+      }
+      ASSERT_TRUE((*w)->close().ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(buf.stats().bytes_absorbed, kRanks * kRecord * kSteps);
+
+  auto reader = fs.open_read("/ckpt");
+  ASSERT_TRUE(reader.ok());
+  const std::uint64_t total = kRecord * kRanks * kSteps;
+  EXPECT_EQ((*reader)->size(), total);
+  Bytes out(total);
+  auto n = (*reader)->read(0, out);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, total);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    for (int k = 0; k < kSteps; ++k) {
+      const std::uint64_t off =
+          (static_cast<std::uint64_t>(k) * kRanks + r) * kRecord;
+      const Bytes expect = Pattern(r * 100 + k, kRecord);
+      ASSERT_TRUE(std::equal(expect.begin(), expect.end(), out.begin() + off))
+          << "rank " << r << " step " << k;
+    }
+  }
+}
+
+// -- Checkpoint simulation: durability on failure ---------------------------
+
+TEST(CheckpointSimBb, ZeroDrainMatchesClassicModelExactly) {
+  // With an instant drain, "absorb" is a plain blocking checkpoint: the
+  // staged model must reproduce the classic one failure for failure.
+  failure::CheckpointSimParams classic;
+  classic.work_seconds = 10 * kDay;
+  classic.mtti_seconds = 12 * kHour;
+  failure::CheckpointSimParams staged = classic;
+  staged.bb_absorb_seconds = classic.checkpoint_seconds;
+  staged.bb_drain_seconds = 0.0;
+
+  Rng a(42), b(42);
+  const auto rc = failure::SimulateCheckpointing(classic, a);
+  const auto rs = failure::SimulateCheckpointing(staged, b);
+  EXPECT_DOUBLE_EQ(rc.wall_seconds, rs.wall_seconds);
+  EXPECT_EQ(rc.failures, rs.failures);
+  EXPECT_EQ(rc.checkpoints, rs.checkpoints);
+  EXPECT_EQ(rs.lost_drains, 0u);
+}
+
+TEST(CheckpointSimBb, FailureDuringDrainLosesTheCheckpoint) {
+  failure::CheckpointSimParams p;
+  p.work_seconds = 20 * kDay;
+  p.interval = kHour;
+  p.mtti_seconds = 6 * kHour;
+  p.bb_absorb_seconds = 30.0;
+  p.bb_drain_seconds = 30 * kMinute;  // long vulnerable window
+  Rng rng(7);
+  const auto r = failure::SimulateCheckpointing(p, rng);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_GT(r.lost_drains, 0u);      // some failures struck mid-drain
+  EXPECT_LT(r.lost_drains, r.failures);  // ... but not all
+  EXPECT_GT(r.utilization, 0.0);
+}
+
+TEST(CheckpointSimBb, UtilizationUpliftMonotoneUntilDrainBottleneck) {
+  // Acceptance (b): failure-free sweep — as drain bandwidth rises (drain
+  // time falls), utilization rises monotonically, then plateaus once the
+  // drain fits inside the compute interval.
+  failure::CheckpointSimParams base;
+  base.work_seconds = 10 * kDay;
+  base.interval = kHour;
+  base.checkpoint_seconds = 300.0;
+  base.mtti_seconds = 1e18;  // no failures: isolate the overlap effect
+  Rng rng(1);
+  const double direct = failure::SimulateCheckpointing(base, rng).utilization;
+
+  const std::vector<double> drain_seconds = {4 * kHour,  2 * kHour, kHour,
+                                             30 * kMinute, 10 * kMinute, kMinute};
+  std::vector<double> util;
+  for (double d : drain_seconds) {
+    failure::CheckpointSimParams p = base;
+    p.bb_absorb_seconds = 30.0;
+    p.bb_drain_seconds = d;
+    Rng r2(1);
+    const auto r = failure::SimulateCheckpointing(p, r2);
+    util.push_back(r.utilization);
+    // Steady state: cycle = max(interval, drain) + absorb.
+    const double expect =
+        base.interval / (std::max(base.interval, d) + p.bb_absorb_seconds);
+    EXPECT_NEAR(r.utilization, expect, 0.01) << "drain " << d;
+  }
+  for (std::size_t i = 1; i < util.size(); ++i) {
+    EXPECT_GE(util[i] + 1e-9, util[i - 1]) << "not monotone at " << i;
+  }
+  // Plateau: once drain <= interval the drain is free; further bandwidth
+  // buys nothing.
+  EXPECT_NEAR(util[util.size() - 1], util[util.size() - 2], 1e-3);
+  // Uplift over direct-to-PFS everywhere the drain is not the bottleneck.
+  EXPECT_GT(util.back(), direct);
+  // Bottleneck regime: drain 4x the interval throttles below direct, and
+  // the simulator reports the stalls that explain it.
+  failure::CheckpointSimParams slow = base;
+  slow.bb_absorb_seconds = 30.0;
+  slow.bb_drain_seconds = 4 * kHour;
+  Rng r3(1);
+  const auto rslow = failure::SimulateCheckpointing(slow, r3);
+  EXPECT_GT(rslow.stall_seconds, 0.0);
+  EXPECT_LT(rslow.utilization, direct);
+}
+
+// -- Acceptance (a): absorb >= 5x direct-to-PFS -----------------------------
+
+// Issues the N-1 strided checkpoint pattern: `ranks` writers, `chunk`
+// bytes per record, records interleaved rank-major, each writer modelled
+// by its own clock (min-clock issue order preserves FIFO arrival).
+template <typename WriteFn>
+double StridedCheckpointTime(std::uint32_t ranks, std::uint64_t chunk,
+                             std::uint64_t per_rank, WriteFn&& write) {
+  std::vector<double> clock(ranks, 0.0);
+  std::vector<std::uint64_t> next(ranks, 0);
+  const std::uint64_t records = per_rank / chunk;
+  double end = 0.0;
+  while (true) {
+    std::uint32_t r = ranks;
+    for (std::uint32_t i = 0; i < ranks; ++i) {
+      if (next[i] < records && (r == ranks || clock[i] < clock[r])) r = i;
+    }
+    if (r == ranks) break;
+    const std::uint64_t off = (next[r] * ranks + r) * chunk;
+    clock[r] = write(off, chunk, clock[r]);
+    end = std::max(end, clock[r]);
+    ++next[r];
+  }
+  return end;
+}
+
+TEST(BurstBufferPfs, AbsorbAtLeastFiveTimesDirectPfsBandwidth) {
+  constexpr std::uint32_t kRanks = 8;
+  constexpr std::uint64_t kChunk = 47 * KiB;  // unaligned, LANL-app-like
+  constexpr std::uint64_t kPerRank = 8 * MiB;
+  const std::uint64_t total = kRanks * kPerRank / kChunk * kChunk;
+
+  // Direct: every rank writes its strided records straight at the PFS.
+  sim::VirtualScheduler sched(1);
+  pfs::PfsCluster direct_cluster(pfs::PfsConfig{}, sched);
+  auto direct_target = bb::MakePfsDrainTarget(direct_cluster);
+  const double direct_time = StridedCheckpointTime(
+      kRanks, kChunk, kPerRank,
+      [&](std::uint64_t off, std::uint64_t len, double now) {
+        return direct_target->drain(1, off, len, now);
+      });
+
+  // Staged: the same records absorb into the burst buffer, which drains
+  // to an identical PFS in large sequential units in the background.
+  sim::VirtualScheduler sched2(1);
+  pfs::PfsCluster bb_cluster(pfs::PfsConfig{}, sched2);
+  auto bb_target = bb::MakePfsDrainTarget(bb_cluster);
+  BbParams p = FastDevice(512 * MiB);
+  BurstBuffer buf(p, *bb_target);
+  const double absorb_time = StridedCheckpointTime(
+      kRanks, kChunk, kPerRank,
+      [&](std::uint64_t off, std::uint64_t len, double now) {
+        return buf.write(1, off, len, now);
+      });
+
+  const double direct_bw = static_cast<double>(total) / direct_time;
+  const double absorb_bw = static_cast<double>(total) / absorb_time;
+  EXPECT_GE(absorb_bw, 5.0 * direct_bw)
+      << "absorb " << absorb_bw / 1e6 << " MB/s vs direct " << direct_bw / 1e6
+      << " MB/s";
+
+  // And the drain itself beats the strided direct write: large sequential
+  // units are the PFS-friendly pattern.
+  const double durable = buf.flush(absorb_time);
+  EXPECT_LT(durable, direct_time);
+  // The staging log is sequential on flash: no GC amplification.
+  EXPECT_LT(buf.ssd().stats().write_amplification(), 1.05);
+}
+
+}  // namespace
+}  // namespace pdsi

@@ -70,8 +70,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, FaultMatrix,
                          ::testing::Values(FaultKind::disk_hog,
                                            FaultKind::network_loss,
                                            FaultKind::cpu_hog),
-                         [](const auto& info) {
-                           std::string n(FaultKindName(info.param));
+                         [](const auto& param_info) {
+                           std::string n(FaultKindName(param_info.param));
                            for (auto& c : n)
                              if (!isalnum(static_cast<unsigned char>(c))) c = '_';
                            return n;

@@ -2,6 +2,8 @@
 // against the published Table 1 rates and the Fig. 14 collapse mechanics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "pdsi/common/rng.h"
 #include "pdsi/common/units.h"
 #include "pdsi/storage/device_catalog.h"
@@ -223,6 +225,61 @@ TEST(SsdModel, WriteAmplificationIsOneForSequentialFill) {
     ssd.write(off, 128 * KiB);
   }
   EXPECT_DOUBLE_EQ(ssd.stats().write_amplification(), 1.0);
+}
+
+TEST(SsdStats, WriteAmplificationOfPureGcWindowIsInfinite) {
+  // A fresh device (no programs at all) reports 1.0 ...
+  SsdStats fresh;
+  EXPECT_EQ(fresh.host_pages(), 0u);
+  EXPECT_DOUBLE_EQ(fresh.write_amplification(), 1.0);
+
+  // ... but a stats window containing only GC relocations — e.g. the
+  // delta across an idle-grooming pass — must report infinity, not
+  // masquerade as a perfect 1.0.
+  SsdParams p = CollapseProneDevice(64 * MiB);
+  SsdModel ssd(p);
+  Rng rng(11);
+  const std::uint64_t pages = p.capacity_bytes / 4096;
+  for (std::uint64_t i = 0; i < pages * 2; ++i) {
+    ssd.write(rng.below(pages) * 4096, 4096);
+  }
+  const SsdStats before = ssd.stats();
+  ssd.idle(10.0);
+  const SsdStats after = ssd.stats();
+  ASSERT_GT(after.relocations, before.relocations);  // grooming did work
+  EXPECT_EQ(after.host_pages(), before.host_pages());
+  SsdStats window;
+  window.pages_programmed = after.pages_programmed - before.pages_programmed;
+  window.relocations = after.relocations - before.relocations;
+  EXPECT_EQ(window.host_pages(), 0u);
+  EXPECT_TRUE(std::isinf(window.write_amplification()));
+}
+
+TEST(SsdModel, IdleGroomingIsIncrementalAndBounded) {
+  // idle() consumes a time budget block-by-block: a short slice makes
+  // partial progress, repeated slices accumulate, and a device whose pool
+  // is already at the grooming target treats idle time as a no-op.
+  SsdParams p = CollapseProneDevice(64 * MiB);
+  p.over_provision = 0.30;
+  SsdModel ssd(p);
+  Rng rng(13);
+  const std::uint64_t pages = p.capacity_bytes * 9 / 10 / 4096;
+  for (std::uint64_t i = 0; i < pages * 3; ++i) {
+    ssd.write(rng.below(pages) * 4096, 4096);
+  }
+  const double depleted = ssd.free_fraction();
+  const double slice = 2 * p.erase_block_ms * 1e-3;  // a couple of blocks' worth
+  ssd.idle(slice);
+  const double after_one = ssd.free_fraction();
+  EXPECT_GT(after_one, depleted);
+  for (int i = 0; i < 10000; ++i) ssd.idle(slice);
+  const double groomed = ssd.free_fraction();
+  EXPECT_GT(groomed, after_one);
+  // Converged at the grooming target: more idle time changes nothing.
+  ssd.idle(3600.0);
+  EXPECT_DOUBLE_EQ(ssd.free_fraction(), groomed);
+  const double target = 0.9 * p.over_provision / (1.0 + p.over_provision);
+  EXPECT_GE(ssd.free_fraction(), target * 0.9);
 }
 
 TEST(SsdModel, OutOfRangeAccessThrows) {
