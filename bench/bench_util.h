@@ -4,11 +4,15 @@
 #pragma once
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "pdsi/common/table.h"
+#include "pdsi/obs/obs.h"
 
 namespace pdsi::bench {
 
@@ -46,8 +50,22 @@ class JsonReport {
   JsonReport& str(const std::string& key, const std::string& v) {
     std::string quoted = "\"";
     for (char c : v) {
-      if (c == '"' || c == '\\') quoted += '\\';
-      quoted += c;
+      switch (c) {
+        case '"': quoted += "\\\""; break;
+        case '\\': quoted += "\\\\"; break;
+        case '\n': quoted += "\\n"; break;
+        case '\r': quoted += "\\r"; break;
+        case '\t': quoted += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            quoted += buf;
+          } else {
+            quoted += c;
+          }
+      }
     }
     quoted += '"';
     add(key, quoted);
@@ -68,6 +86,62 @@ class JsonReport {
 
   std::string bench_;
   std::string fields_;
+};
+
+/// Parses `--trace <path>` / `--trace=<path>` out of argv; returns the
+/// path or "" when absent (tracing stays disabled, the default).
+inline std::string TraceFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind("--trace=", 0) == 0) return a.substr(8);
+  }
+  return "";
+}
+
+/// Per-bench observability bundle: owns a Registry + Tracer and hands a
+/// Context to instrumented code, or stays inert (ctx() == nullptr, the
+/// zero-overhead path) when constructed with an empty path. On
+/// destruction writes the Chrome trace_event JSON to the path.
+class BenchObs {
+ public:
+  explicit BenchObs(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) {
+      state_ = std::make_unique<State>();
+      state_->ctx.tracer = &state_->tracer;
+      state_->ctx.registry = &state_->registry;
+    }
+  }
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  ~BenchObs() {
+    if (!state_) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "trace: cannot open " << path_ << "\n";
+      return;
+    }
+    state_->tracer.write_chrome(out);
+    std::cout << "trace: wrote " << state_->tracer.size() << " events to "
+              << path_ << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+
+  /// Null when tracing is disabled — pass straight through to the
+  /// instrumented constructors.
+  obs::Context* ctx() { return state_ ? &state_->ctx : nullptr; }
+  obs::Tracer* tracer() { return state_ ? &state_->tracer : nullptr; }
+  obs::Registry* registry() { return state_ ? &state_->registry : nullptr; }
+
+ private:
+  struct State {
+    obs::Registry registry;
+    obs::Tracer tracer;
+    obs::Context ctx;
+  };
+  std::string path_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace pdsi::bench

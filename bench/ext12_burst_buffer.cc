@@ -51,12 +51,16 @@ double StridedCheckpointTime(std::uint32_t ranks, std::uint64_t chunk,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Burst buffer: flash staging tier for defensive checkpoints",
                 "§4.2.6 flash + Figs. 2/5: the machine idles until the last "
                 "checkpoint byte is durable; staging on flash shrinks that "
                 "window to the absorb time");
   bench::JsonReport json("ext12_burst_buffer");
+  // --trace <path>: part 1's buffer traces onto the bb.* tracks and one
+  // part-2 checkpoint sim (the fastest drain) onto the ckpt.* tracks; the
+  // other runs stay untraced so each track holds a single unambiguous run.
+  bench::BenchObs trace(bench::TraceFlag(argc, argv));
 
   // ---- 1. absorb bandwidth vs direct-to-PFS --------------------------------
   PrintBanner(std::cout, "N-1 strided checkpoint: direct PFS vs flash absorb");
@@ -80,7 +84,7 @@ int main() {
   bb::BbParams bp;
   bp.ssd = storage::FlashDevice("fusionio-iodrive-duo");
   bp.ssd.capacity_bytes = 512 * MiB;
-  bb::BurstBuffer buf(bp, *bb_target);
+  bb::BurstBuffer buf(bp, *bb_target, trace.ctx());
   const double absorb_time = StridedCheckpointTime(
       kRanks, kChunk, kPerRank,
       [&](std::uint64_t off, std::uint64_t len, double now) {
@@ -132,6 +136,7 @@ int main() {
     failure::CheckpointSimParams p = base;
     p.bb_absorb_seconds = 30.0;
     p.bb_drain_seconds = drain;
+    if (drain == kMinute) p.obs = trace.ctx();
     Rng r(2026);
     const auto res = failure::SimulateCheckpointing(p, r);
     t2.row({FormatDuration(drain),

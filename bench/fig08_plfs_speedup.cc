@@ -16,10 +16,14 @@
 
 using namespace pdsi;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Fig. 8: PLFS vs direct N-1 checkpoint bandwidth",
                 "Chombo ~10x, FLASH ~100x, LANL apps 5-28x; gains on "
                 "PanFS, Lustre and GPFS alike");
+  // With --trace <path>, the first (PanFS-like) PLFS run of the app table
+  // is traced; one run per file keeps its tracks unambiguous.
+  bench::BenchObs trace(bench::TraceFlag(argc, argv));
+  bool traced = false;
 
   constexpr std::uint32_t kRanks = 64;
   const std::vector<pfs::PfsConfig> systems = {
@@ -35,7 +39,10 @@ int main() {
              "paper"});
     for (const auto& app : workload::PaperApps(kRanks)) {
       const auto direct = workload::RunDirectCheckpoint(cfg, app.spec);
-      const auto plfs = workload::RunPlfsCheckpoint(cfg, app.spec);
+      obs::Context* ctx = traced ? nullptr : trace.ctx();
+      traced = traced || ctx != nullptr;
+      const auto plfs =
+          workload::RunPlfsCheckpoint(cfg, app.spec, {}, nullptr, ctx);
       t.row({app.name, std::string(workload::PatternName(app.spec.pattern)),
              FormatBytes(static_cast<double>(app.spec.record_bytes)),
              FormatRate(direct.bandwidth()), FormatRate(plfs.bandwidth()),

@@ -136,6 +136,19 @@ class BbBackend final : public Backend {
                   static_cast<std::size_t>(se - ss));
       n = std::max<std::size_t>(n, static_cast<std::size_t>(se - off));
     }
+    // Trailing hole before the logical EOF (a staged write past this range
+    // extended the file): reads return zeros there, matching size().
+    auto inner_sz = inner_->size(f->inner_h);
+    const std::uint64_t fsize =
+        std::max(inner_sz ? *inner_sz : 0, f->staged_size);
+    if (off < fsize) {
+      const auto want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(out.size(), fsize - off));
+      if (want > n) {
+        std::memset(out.data() + n, 0, want - n);
+        n = want;
+      }
+    }
     return n;
   }
 
@@ -230,6 +243,11 @@ class BbBackend final : public Backend {
     inner_->compute(seconds);
   }
 
+  double now() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return bb_.now();
+  }
+
  private:
   struct FileState {
     std::uint64_t id = 0;
@@ -293,7 +311,7 @@ class BbBackend final : public Backend {
     return static_cast<BackendHandle>(handles_.size() - 1);
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   bb::BurstBuffer& bb_;
   std::unique_ptr<Backend> inner_;
   std::map<std::string, FileState> files_;

@@ -5,14 +5,27 @@
 
 namespace pdsi::bb {
 
-BurstBuffer::BurstBuffer(BbParams params, DrainTarget& target)
-    : params_(params), target_(target), ssd_(params.ssd) {
+BurstBuffer::BurstBuffer(BbParams params, DrainTarget& target, obs::Context* obs)
+    : params_(params), target_(target), ssd_(params.ssd), ctx_(obs) {
   if (params_.low_watermark < 0.0 || params_.high_watermark > 1.0 ||
       params_.low_watermark >= params_.high_watermark) {
     throw std::invalid_argument("BurstBuffer: watermarks must satisfy 0 <= low < high <= 1");
   }
   if (params_.drain_unit == 0) {
     throw std::invalid_argument("BurstBuffer: drain_unit must be positive");
+  }
+  if (ctx_) {
+    if (ctx_->tracer) {
+      ctx_->tracer->track(obs::kBbIngestTrack, "bb.ingest");
+      ctx_->tracer->track(obs::kBbDrainTrack, "bb.drain");
+    }
+    if (ctx_->registry) {
+      c_absorbed_ = &ctx_->registry->counter("bb.bytes_absorbed");
+      c_drained_ = &ctx_->registry->counter("bb.bytes_drained");
+      c_evicted_ = &ctx_->registry->counter("bb.bytes_evicted");
+      c_stalls_ = &ctx_->registry->counter("bb.ingest_stalls");
+      h_absorb_s_ = &ctx_->registry->histogram("bb.absorb_s", obs::LatencyBuckets());
+    }
   }
 }
 
@@ -167,13 +180,27 @@ double BurstBuffer::write(std::uint64_t file, std::uint64_t off,
   }
 
   const double start = std::max(now, queue_.now());
-  if (stalled) stats_.stall_seconds += start - now;
+  if (stalled) {
+    stats_.stall_seconds += start - now;
+    if (c_stalls_) c_stalls_->add(1);
+    if (ctx_ && ctx_->tracer && start > now) {
+      ctx_->tracer->complete(obs::kBbIngestTrack, "stall", "bb", now, start,
+                             {obs::Arg::Int("file", file)});
+    }
+  }
 
   const double dt = absorb_to_flash(len);
   const double done = start + dt;
   ++stats_.writes;
   stats_.bytes_absorbed += len;
   stats_.absorb_seconds += dt;
+  if (c_absorbed_) c_absorbed_->add(len);
+  if (h_absorb_s_) h_absorb_s_->add(dt);
+  if (ctx_ && ctx_->tracer) {
+    ctx_->tracer->complete(obs::kBbIngestTrack, "absorb", "bb", start, done,
+                           {obs::Arg::Int("file", file), obs::Arg::Int("off", off),
+                            obs::Arg::Int("len", len)});
+  }
 
   FileState& fs = state(file);
   resident_bytes_ += RangeAdd(fs.resident, off, off + len);
@@ -205,7 +232,15 @@ bool BurstBuffer::evict_for(std::uint64_t need) {
       resident_bytes_ -= n;
       freed += n;
       stats_.bytes_evicted += n;
-      if (evict_hook_ && n > 0) evict_hook_(r.file, s, e - s);
+      if (n > 0) {
+        if (c_evicted_) c_evicted_->add(n);
+        if (ctx_ && ctx_->tracer) {
+          ctx_->tracer->instant(obs::kBbIngestTrack, "evict", "bb", queue_.now(),
+                                {obs::Arg::Int("file", r.file),
+                                 obs::Arg::Int("off", s), obs::Arg::Int("len", n)});
+        }
+        if (evict_hook_) evict_hook_(r.file, s, e - s);
+      }
     }
   }
   return freed >= need;
@@ -265,6 +300,12 @@ void BurstBuffer::drain_step() {
     const double end = std::max(t + flash, tcur);
     ++stats_.drain_ops;
     stats_.drain_busy_seconds += end - t;
+    if (ctx_ && ctx_->tracer) {
+      ctx_->tracer->complete(obs::kBbDrainTrack, "drain", "bb", t, end,
+                             {obs::Arg::Int("file", file),
+                              obs::Arg::Int("bytes", bytes),
+                              obs::Arg::Int("runs", runs.size())});
+    }
     queue_.at(end, [this, runs = std::move(runs), bytes] {
       complete_drain(runs, bytes);
       drain_step();
@@ -281,6 +322,7 @@ void BurstBuffer::complete_drain(const std::vector<Run>& runs, std::uint64_t byt
     if (it == files_.end()) continue;  // dropped while in flight
     RangeRemove(it->second.in_flight, r.off, r.off + r.len);
     stats_.bytes_drained += r.len;
+    if (c_drained_) c_drained_->add(r.len);
     clean_fifo_.push_back(r);
     if (sink_) sink_(r.file, r.off, r.len);
   }
@@ -307,7 +349,11 @@ double BurstBuffer::flush(double now) {
       throw std::logic_error("BurstBuffer: flush cannot make drain progress");
     }
   }
-  return std::max(now, queue_.now());
+  const double done = std::max(now, queue_.now());
+  if (ctx_ && ctx_->tracer && done > now) {
+    ctx_->tracer->complete(obs::kBbIngestTrack, "flush_barrier", "bb", now, done);
+  }
+  return done;
 }
 
 void BurstBuffer::drop_file(std::uint64_t file) {

@@ -12,11 +12,15 @@
 // them to a DrainTarget in large sequential drain units.
 //
 // Policies:
-//   * Backpressure — ingest stalls while un-drained bytes (dirty +
-//     in-flight) sit above `high_watermark` of capacity, and resumes once
-//     drains pull them below `low_watermark` (classic hysteresis, so a
-//     checkpoint larger than the buffer degrades to drain speed instead
-//     of deadlocking or thrashing).
+//   * Backpressure — classic watermark hysteresis over un-drained bytes
+//     (dirty + in-flight). The boundaries are exact and inclusive on both
+//     sides: ingest stalls when `undrained_bytes() >= high_watermark *
+//     capacity` (hitting the mark exactly engages backpressure) and
+//     resumes only once drains pull un-drained bytes to
+//     `<= low_watermark * capacity` (reaching the low mark exactly
+//     releases; one byte above it does not). The gap between the marks is
+//     what prevents thrashing, and a checkpoint larger than the buffer
+//     degrades to drain speed instead of deadlocking.
 //   * Eviction — drained (clean) extents are dropped oldest-first when a
 //     new absorb needs space; dirty data is never evicted (it is the only
 //     copy). A single write larger than the staging device is rejected.
@@ -40,6 +44,7 @@
 
 #include "pdsi/bb/drain_target.h"
 #include "pdsi/common/units.h"
+#include "pdsi/obs/obs.h"
 #include "pdsi/sim/event_queue.h"
 #include "pdsi/storage/ssd_model.h"
 
@@ -75,7 +80,9 @@ class BurstBuffer {
   /// the data is already durable on the target).
   using EvictHook = DrainSink;
 
-  BurstBuffer(BbParams params, DrainTarget& target);
+  /// `obs` (optional, must outlive the buffer) traces absorb/stall spans
+  /// on obs::kBbIngestTrack and drain ops on obs::kBbDrainTrack.
+  BurstBuffer(BbParams params, DrainTarget& target, obs::Context* obs = nullptr);
 
   /// Absorbs `len` bytes of `file` at `off`, arriving at caller time
   /// `now`; returns the completion time (absorb is blocking; any
@@ -169,6 +176,12 @@ class BurstBuffer {
   BbStats stats_;
   DrainSink sink_;
   EvictHook evict_hook_;
+  obs::Context* ctx_;
+  obs::Counter* c_absorbed_ = nullptr;
+  obs::Counter* c_drained_ = nullptr;
+  obs::Counter* c_evicted_ = nullptr;
+  obs::Counter* c_stalls_ = nullptr;
+  obs::Histogram* h_absorb_s_ = nullptr;
 
   std::unordered_map<std::uint64_t, FileState> files_;
   std::deque<LogEntry> drain_fifo_;

@@ -3,8 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pdsi/obs/obs.h"
+
 namespace pdsi::failure {
 namespace {
+
+obs::Tracer* PhaseTracer(const CheckpointSimParams& p) {
+  obs::Tracer* t = p.obs ? p.obs->tracer : nullptr;
+  if (t) {
+    t->track(obs::kCheckpointTrack, "ckpt");
+    t->track(obs::kCheckpointDrainTrack, "ckpt.drain");
+  }
+  return t;
+}
 
 // Burst-buffer staging mode: absorb blocks the application, the drain
 // overlaps the next compute segment, and durability arrives only at drain
@@ -13,6 +24,7 @@ namespace {
 // that stall is the visible symptom of a drain-bandwidth bottleneck.
 CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& rng) {
   CheckpointSimResult r;
+  obs::Tracer* tracer = PhaseTracer(p);
   const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
   const double scale = p.mtti_seconds / gamma_term;
 
@@ -38,6 +50,13 @@ CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& r
         ++r.failures;
         ++r.lost_drains;
         pending = 0.0;
+        if (tracer) {
+          tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", next_failure);
+          tracer->instant(obs::kCheckpointDrainTrack, "lost_drain", "ckpt",
+                          next_failure);
+          tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", next_failure,
+                           next_failure + p.restart_seconds);
+        }
         now = next_failure + p.restart_seconds;
         next_failure_after(now);
         continue;
@@ -56,10 +75,19 @@ CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& r
       if (pending > 0.0) {
         if (next_failure < pending_durable_at) {
           ++r.lost_drains;  // died before the previous drain finished
+          if (tracer) {
+            tracer->instant(obs::kCheckpointDrainTrack, "lost_drain", "ckpt",
+                            next_failure);
+          }
         } else {
           done += pending;  // previous checkpoint made it to the PFS
         }
         pending = 0.0;
+      }
+      if (tracer) {
+        tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", next_failure);
+        tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", next_failure,
+                         next_failure + p.restart_seconds);
       }
       now = next_failure + p.restart_seconds;
       next_failure_after(now);
@@ -71,6 +99,17 @@ CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& r
       pending = 0.0;
     }
     ++r.checkpoints;
+    if (tracer) {
+      tracer->complete(obs::kCheckpointTrack, "compute", "ckpt", now, compute_end);
+      if (absorb_start > compute_end) {
+        tracer->complete(obs::kCheckpointTrack, "stall", "ckpt", compute_end,
+                         absorb_start);
+      }
+      tracer->complete(obs::kCheckpointTrack, "absorb", "ckpt", absorb_start,
+                       absorb_end);
+      tracer->complete(obs::kCheckpointDrainTrack, "drain", "ckpt", absorb_end,
+                       absorb_end + p.bb_drain_seconds);
+    }
     now = absorb_end;
     pending = segment;
     pending_durable_at = absorb_end + p.bb_drain_seconds;
@@ -87,6 +126,7 @@ CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng
     return SimulateWithBurstBuffer(p, rng);
   }
   CheckpointSimResult r;
+  obs::Tracer* tracer = PhaseTracer(p);
   const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
   const double scale = p.mtti_seconds / gamma_term;
 
@@ -100,6 +140,12 @@ CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng
     const double segment = std::min(p.interval, p.work_seconds - done);
     const double attempt_end = now + segment + p.checkpoint_seconds;
     if (next_failure >= attempt_end) {
+      if (tracer) {
+        tracer->complete(obs::kCheckpointTrack, "compute", "ckpt", now,
+                         now + segment);
+        tracer->complete(obs::kCheckpointTrack, "checkpoint", "ckpt",
+                         now + segment, attempt_end);
+      }
       now = attempt_end;
       done += segment;
       ++r.checkpoints;
@@ -108,6 +154,11 @@ CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng
     // Failure mid-segment (or mid-checkpoint): progress since the last
     // checkpoint is lost, pay the restart.
     ++r.failures;
+    if (tracer) {
+      tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", next_failure);
+      tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", next_failure,
+                       next_failure + p.restart_seconds);
+    }
     now = next_failure + p.restart_seconds;
     while (next_failure <= now) {
       next_failure += rng.weibull(p.weibull_shape, scale);

@@ -9,6 +9,10 @@
 
 #include "pdsi/common/rng.h"
 
+namespace pdsi::obs {
+struct Context;
+}
+
 namespace pdsi::failure {
 
 struct CheckpointSimParams {
@@ -31,6 +35,12 @@ struct CheckpointSimParams {
   // classic direct-to-PFS model below is used unchanged.
   double bb_absorb_seconds = 0.0;  ///< blocking absorb into the burst buffer
   double bb_drain_seconds = 0.0;   ///< background drain to the PFS
+
+  /// Optional tracing/metrics sink (must outlive the call): phase spans
+  /// (compute/checkpoint/absorb/stall/restart, drains on their own track)
+  /// and failure instants land on obs::kCheckpointTrack /
+  /// obs::kCheckpointDrainTrack.
+  obs::Context* obs = nullptr;
 };
 
 struct CheckpointSimResult {

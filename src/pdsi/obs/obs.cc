@@ -1,0 +1,242 @@
+#include "pdsi/obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+namespace pdsi::obs {
+namespace {
+
+// Fixed-precision numeric formatting so exports are byte-stable: the same
+// doubles always print the same characters.
+std::string FmtFixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FmtG(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// -- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::add(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counts_[i];
+}
+
+std::uint64_t Histogram::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t t = 0;
+  for (std::uint64_t c : counts_) t += c;
+  return t;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counts_;
+}
+
+// -- Registry ----------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    // Histogram owns a mutex, so it must be built in place.
+    it = histograms_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple(std::move(upper_bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+void Registry::write_text(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge " << name << ' ' << FmtG(g.value()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "hist " << name;
+    const auto counts = h.counts();
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      os << " le" << FmtG(h.bounds()[i]) << '=' << counts[i];
+    }
+    os << " inf=" << counts.back() << '\n';
+  }
+}
+
+std::vector<double> LatencyBuckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+}
+
+// -- Tracer ------------------------------------------------------------------
+
+void Tracer::track(std::uint32_t id, const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  track_names_.emplace(id, name);
+}
+
+void Tracer::push(std::uint32_t track, const char* name, const char* cat,
+                  double ts, double dur, std::initializer_list<Arg> args) {
+  Event e;
+  e.ts = ts;
+  e.dur = dur;
+  e.track = track;
+  e.name = name;
+  e.cat = cat;
+  e.nargs = 0;
+  for (const Arg& a : args) {
+    if (e.nargs == kMaxArgs) break;
+    e.args[e.nargs++] = a;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  e.seq = track_seq_[track]++;
+  events_.push_back(e);
+}
+
+void Tracer::complete(std::uint32_t track, const char* name, const char* cat,
+                      double start, double end, std::initializer_list<Arg> args) {
+  push(track, name, cat, start, end >= start ? end - start : 0.0, args);
+}
+
+void Tracer::instant(std::uint32_t track, const char* name, const char* cat,
+                     double ts, std::initializer_list<Arg> args) {
+  push(track, name, cat, ts, -1.0, args);
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::vector<const Tracer::Event*> Tracer::sorted() const {
+  std::vector<const Event*> order;
+  order.reserve(events_.size());
+  for (const Event& e : events_) order.push_back(&e);
+  std::sort(order.begin(), order.end(), [](const Event* a, const Event* b) {
+    if (a->ts != b->ts) return a->ts < b->ts;
+    if (a->track != b->track) return a->track < b->track;
+    return a->seq < b->seq;
+  });
+  return order;
+}
+
+void Tracer::write_chrome(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [id, name] : track_names_) {
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": " << id
+       << ", \"args\": {\"name\": \"" << EscapeJson(name) << "\"}}";
+  }
+  for (const Event* e : sorted()) {
+    sep();
+    // Virtual seconds -> trace microseconds.
+    os << "{\"name\": \"" << EscapeJson(e->name) << "\", \"cat\": \""
+       << EscapeJson(e->cat) << "\", \"ph\": \"" << (e->dur < 0 ? 'i' : 'X')
+       << "\", \"pid\": 0, \"tid\": " << e->track << ", \"ts\": "
+       << FmtFixed(e->ts * 1e6, 3);
+    if (e->dur < 0) {
+      os << ", \"s\": \"t\"";
+    } else {
+      os << ", \"dur\": " << FmtFixed(e->dur * 1e6, 3);
+    }
+    if (e->nargs > 0) {
+      os << ", \"args\": {";
+      for (std::uint32_t i = 0; i < e->nargs; ++i) {
+        if (i) os << ", ";
+        os << "\"" << EscapeJson(e->args[i].key) << "\": ";
+        if (e->args[i].integral) {
+          os << e->args[i].u;
+        } else {
+          os << FmtG(e->args[i].d);
+        }
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::write_compact(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Event* e : sorted()) {
+    os << FmtFixed(e->ts, 9) << ' ';
+    auto it = track_names_.find(e->track);
+    if (it != track_names_.end()) {
+      os << it->second;
+    } else {
+      os << "track" << e->track;
+    }
+    os << ' ' << (e->dur < 0 ? 'i' : 'X') << ' ' << e->cat << ':' << e->name;
+    if (e->dur >= 0) os << " dur=" << FmtFixed(e->dur, 9);
+    for (std::uint32_t i = 0; i < e->nargs; ++i) {
+      os << ' ' << e->args[i].key << '=';
+      if (e->args[i].integral) {
+        os << e->args[i].u;
+      } else {
+        os << FmtG(e->args[i].d);
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace pdsi::obs

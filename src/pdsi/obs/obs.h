@@ -1,0 +1,197 @@
+// pdsi::obs — virtual-time tracing and metrics for the simulator.
+//
+// The PDSI report's method is explaining *why* parallel I/O collapses
+// (lock convoys, seek storms, incast); a number without its event
+// timeline cannot do that. This layer records begin/end spans and instant
+// events stamped with sim virtual time plus named counters / gauges /
+// fixed-bucket histograms, and exports them two ways:
+//   * Chrome trace_event JSON  — load in chrome://tracing or Perfetto;
+//   * compact text             — canonical, sorted, fixed-precision, used
+//                                as a golden-file regression oracle (same
+//                                seed => byte-identical trace).
+//
+// Zero overhead when disabled: instrumented subsystems hold an
+// `obs::Context*` that defaults to nullptr, and every instrumentation
+// site is a branch-on-null. Nothing is allocated, hashed or locked unless
+// a context is installed.
+//
+// Determinism: events may be appended from many rank threads, so the
+// global append order is not reproducible — but each event carries a
+// per-track sequence number, and exporters sort by (time, track, seq).
+// Appends to one track happen either from that track's own thread in
+// program order or inside VirtualScheduler::atomically sections (which
+// are totally ordered by the scheduler), so per-track sequences are
+// exact across reruns and the sorted export is byte-stable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pdsi::obs {
+
+// -- Metric instruments ------------------------------------------------------
+
+/// Monotonic integer counter. Lock-free; sums are order-independent, so
+/// concurrent increments stay deterministic.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Double-valued gauge/accumulator (queue depths, busy seconds). add() is
+/// order-sensitive in floating point; call it only from deterministic
+/// contexts (inside atomically sections or a single thread) if the value
+/// feeds a golden file.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double dv) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + dv, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples in (bounds[i-1],
+/// bounds[i]], plus one overflow bucket. Integer counts, so concurrent
+/// adds are order-independent.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double v);
+  std::uint64_t total() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts()[i] pairs with bounds()[i]; the final element is overflow.
+  std::vector<std::uint64_t> counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Named instruments. Instances are created on first use and their
+/// addresses are stable for the registry's lifetime — instrumented
+/// objects look up once at construction and then poke the raw pointer.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies on first creation only (ascending).
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// Canonical text dump, sorted by instrument name:
+  ///   counter <name> <value>
+  ///   gauge <name> <%.9g>
+  ///   hist <name> le<bound>=<count> ... inf=<count>
+  void write_text(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// -- Tracing -----------------------------------------------------------------
+
+/// A numeric span/instant argument. Keys must be string literals (the
+/// tracer stores the pointer, not a copy).
+struct Arg {
+  const char* key;
+  bool integral;
+  std::uint64_t u;
+  double d;
+
+  static Arg Int(const char* k, std::uint64_t v) { return {k, true, v, 0.0}; }
+  static Arg Num(const char* k, double v) { return {k, false, 0, v}; }
+};
+
+/// Well-known track (Chrome "tid") assignments. Ranks own [0, 500).
+inline constexpr std::uint32_t kRankTrackBase = 0;
+inline constexpr std::uint32_t kMdsTrack = 500;
+inline constexpr std::uint32_t kBbIngestTrack = 600;
+inline constexpr std::uint32_t kBbDrainTrack = 601;
+inline constexpr std::uint32_t kReaderTrackBase = 700;
+inline constexpr std::uint32_t kCheckpointTrack = 800;
+inline constexpr std::uint32_t kCheckpointDrainTrack = 801;
+inline constexpr std::uint32_t kOssTrackBase = 1000;
+
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxArgs = 4;
+
+  /// Names a track (idempotent; first name wins). Unnamed tracks export
+  /// as "track<id>".
+  void track(std::uint32_t id, const std::string& name);
+
+  /// A span [start, end] on `track`. Chrome phase 'X'.
+  void complete(std::uint32_t track, const char* name, const char* cat,
+                double start, double end, std::initializer_list<Arg> args = {});
+
+  /// A point event at `ts`. Chrome phase 'i'.
+  void instant(std::uint32_t track, const char* name, const char* cat, double ts,
+               std::initializer_list<Arg> args = {});
+
+  std::size_t size() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}; ts/dur in
+  /// microseconds of virtual time). Sorted like the compact export.
+  void write_chrome(std::ostream& os) const;
+
+  /// Canonical golden-file format, one event per line sorted by
+  /// (ts, track, per-track seq), fixed-precision timestamps:
+  ///   <ts %.9f> <track-name> <X|i> <cat>:<name> [dur=<%.9f>] [k=v ...]
+  void write_compact(std::ostream& os) const;
+
+ private:
+  struct Event {
+    double ts;
+    double dur;  ///< < 0 for instants
+    std::uint32_t track;
+    std::uint64_t seq;  ///< per-track append index
+    const char* name;
+    const char* cat;
+    Arg args[kMaxArgs];
+    std::uint32_t nargs;
+  };
+
+  void push(std::uint32_t track, const char* name, const char* cat, double ts,
+            double dur, std::initializer_list<Arg> args);
+  std::vector<const Event*> sorted() const;  ///< callers must hold mu_
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::uint32_t, std::string> track_names_;
+  std::map<std::uint32_t, std::uint64_t> track_seq_;
+};
+
+// -- The switch --------------------------------------------------------------
+
+/// One pointer threaded through construction turns the stack observable;
+/// nullptr (the default everywhere) compiles instrumentation down to a
+/// skipped branch. Either member may be null independently.
+struct Context {
+  Tracer* tracer = nullptr;
+  Registry* registry = nullptr;
+};
+
+/// Convenience latency bucket set (seconds, log-spaced) shared by the
+/// subsystem histograms so dumps line up.
+std::vector<double> LatencyBuckets();
+
+}  // namespace pdsi::obs

@@ -5,7 +5,18 @@
 namespace pdsi::pfs {
 
 PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
-    : cluster_(cluster), actor_(actor) {}
+    : cluster_(cluster), actor_(actor) {
+  if (obs::Context* ctx = cluster_.obs_ctx()) {
+    if (ctx->tracer) {
+      ctx->tracer->track(obs::kRankTrackBase + static_cast<std::uint32_t>(actor),
+                         "rank" + std::to_string(actor));
+    }
+    if (ctx->registry) {
+      c_lock_conflicts_ = &ctx->registry->counter("pfs.lock_conflicts");
+      h_lock_wait_ = &ctx->registry->histogram("pfs.lock_wait_s", obs::LatencyBuckets());
+    }
+  }
+}
 
 double PfsClient::now() const { return cluster_.scheduler().now(actor_); }
 
@@ -189,9 +200,17 @@ double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
   if (cfg.locking == LockProtocol::whole_file) {
     auto& unit = cluster_.lock_unit(file_id, 0);
     double start = std::max(t, unit.free);
-    if (unit.holder != static_cast<std::uint32_t>(actor_) &&
-        unit.holder != PfsCluster::kNoHolder) {
-      start += cfg.lock_revoke_s;
+    const bool revoked = unit.holder != static_cast<std::uint32_t>(actor_) &&
+                         unit.holder != PfsCluster::kNoHolder;
+    if (revoked) start += cfg.lock_revoke_s;
+    if (start > t) {
+      if (revoked && c_lock_conflicts_) c_lock_conflicts_->add(1);
+      if (h_lock_wait_) h_lock_wait_->add(start - t);
+      if (obs::Context* ctx = cluster_.obs_ctx(); ctx && ctx->tracer) {
+        ctx->tracer->complete(
+            obs::kRankTrackBase + static_cast<std::uint32_t>(actor_), "lock_wait",
+            "pfs", t, start, {obs::Arg::Int("file", file_id)});
+      }
     }
     unit.holder = static_cast<std::uint32_t>(actor_);
     *whole_file_unit = &unit;  // caller stamps unit.free = completion
@@ -217,6 +236,16 @@ double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
   }
   double granted = transferable;
   if (conflict) granted += cfg.lock_revoke_s;
+  if (granted > t) {
+    if (c_lock_conflicts_) c_lock_conflicts_->add(1);
+    if (h_lock_wait_) h_lock_wait_->add(granted - t);
+    if (obs::Context* ctx = cluster_.obs_ctx(); ctx && ctx->tracer) {
+      ctx->tracer->complete(
+          obs::kRankTrackBase + static_cast<std::uint32_t>(actor_), "lock_wait",
+          "pfs", t, granted,
+          {obs::Arg::Int("file", file_id), obs::Arg::Int("units", last - first + 1)});
+    }
+  }
   for (std::uint64_t u = first; u <= last; ++u) {
     auto& unit = cluster_.lock_unit(file_id, u);
     unit.holder = static_cast<std::uint32_t>(actor_);

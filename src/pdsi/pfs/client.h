@@ -91,6 +91,8 @@ class PfsClient {
   PfsCluster& cluster_;
   std::size_t actor_;
   std::vector<OpenFile> open_files_;
+  obs::Counter* c_lock_conflicts_ = nullptr;
+  obs::Histogram* h_lock_wait_ = nullptr;
 };
 
 }  // namespace pdsi::pfs

@@ -3,14 +3,16 @@
 namespace pdsi::pfs {
 
 PfsCluster::PfsCluster(PfsConfig cfg, sim::VirtualScheduler& sched,
-                       std::unique_ptr<PlacementStrategy> placement)
+                       std::unique_ptr<PlacementStrategy> placement,
+                       obs::Context* obs)
     : cfg_(std::move(cfg)),
       sched_(sched),
       placement_(placement ? std::move(placement) : MakeRoundRobinPlacement()),
-      mds_(cfg_) {
+      obs_(obs),
+      mds_(cfg_, obs_) {
   servers_.reserve(cfg_.num_oss);
   for (std::uint32_t i = 0; i < cfg_.num_oss; ++i) {
-    servers_.push_back(std::make_unique<Oss>(cfg_, i));
+    servers_.push_back(std::make_unique<Oss>(cfg_, i, obs_));
   }
 }
 

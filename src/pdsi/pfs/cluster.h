@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "pdsi/obs/obs.h"
 #include "pdsi/pfs/config.h"
 #include "pdsi/pfs/mds.h"
 #include "pdsi/pfs/oss.h"
@@ -23,8 +24,12 @@ namespace pdsi::pfs {
 
 class PfsCluster {
  public:
+  /// `obs` (optional, must outlive the cluster) turns the whole substrate
+  /// observable: the MDS, every OSS, and the clients constructed on this
+  /// cluster all trace into it.
   PfsCluster(PfsConfig cfg, sim::VirtualScheduler& sched,
-             std::unique_ptr<PlacementStrategy> placement = nullptr);
+             std::unique_ptr<PlacementStrategy> placement = nullptr,
+             obs::Context* obs = nullptr);
 
   PfsCluster(const PfsCluster&) = delete;
   PfsCluster& operator=(const PfsCluster&) = delete;
@@ -35,6 +40,7 @@ class PfsCluster {
   Oss& oss(std::uint32_t i) { return *servers_[i]; }
   std::uint32_t num_oss() const { return static_cast<std::uint32_t>(servers_.size()); }
   const PlacementStrategy& placement() const { return *placement_; }
+  obs::Context* obs_ctx() const { return obs_; }
 
   /// Aggregate disk busy-time across servers (utilisation reporting).
   double total_disk_busy() const;
@@ -61,6 +67,7 @@ class PfsCluster {
   PfsConfig cfg_;
   sim::VirtualScheduler& sched_;
   std::unique_ptr<PlacementStrategy> placement_;
+  obs::Context* obs_;
   Mds mds_;
   std::vector<std::unique_ptr<Oss>> servers_;
   std::unordered_map<std::uint64_t, SparseBuffer> file_data_;

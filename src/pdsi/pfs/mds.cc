@@ -31,20 +31,51 @@ std::string ParentPath(const std::string& normalized) {
   return normalized.substr(0, pos);
 }
 
-Mds::Mds(const PfsConfig& cfg) : cfg_(cfg) {
+Mds::Mds(const PfsConfig& cfg, obs::Context* ctx) : cfg_(cfg), ctx_(ctx) {
   Inode root;
   root.is_dir = true;
   namespace_.emplace("/", root);
+  if (ctx_ && ctx_->registry) {
+    c_ops_ = &ctx_->registry->counter("mds.ops");
+    h_lat_ = &ctx_->registry->histogram("mds.op_latency_s", obs::LatencyBuckets());
+  }
+  if (ctx_ && ctx_->tracer) ctx_->tracer->track(obs::kMdsTrack, "mds");
 }
 
-double Mds::charge(double now) { return service_.reserve(now, cfg_.mds_op_s); }
+double Mds::charge(double now) {
+  const double done = service_.reserve(now, cfg_.mds_op_s);
+  if (ctx_) {
+    if (c_ops_) c_ops_->add(1);
+    if (h_lat_) h_lat_->add(done - now);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kMdsTrack, "op", "mds", done - cfg_.mds_op_s, done);
+    }
+  }
+  return done;
+}
 
 double Mds::charge_fraction(double now, double fraction) {
-  return service_.reserve(now, cfg_.mds_op_s * fraction);
+  const double done = service_.reserve(now, cfg_.mds_op_s * fraction);
+  if (ctx_) {
+    if (c_ops_) c_ops_->add(1);
+    if (h_lat_) h_lat_->add(done - now);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kMdsTrack, "group_op", "mds",
+                             done - cfg_.mds_op_s * fraction, done,
+                             {obs::Arg::Num("fraction", fraction)});
+    }
+  }
+  return done;
 }
 
 double Mds::charge_dir(const std::string& parent, double now) {
-  return dir_locks_[parent].reserve(now, cfg_.mds_dir_lock_s);
+  const double done = dir_locks_[parent].reserve(now, cfg_.mds_dir_lock_s);
+  if (ctx_ && ctx_->tracer) {
+    // The span covers the lock hold; queueing shows as the gap from `now`.
+    ctx_->tracer->complete(obs::kMdsTrack, "dir_lock", "mds",
+                           done - cfg_.mds_dir_lock_s, done);
+  }
+  return done;
 }
 
 Result<Inode> Mds::create(const std::string& path, double mtime) {

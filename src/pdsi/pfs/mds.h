@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "pdsi/common/result.h"
+#include "pdsi/obs/obs.h"
 #include "pdsi/sim/virtual_time.h"
 #include "pdsi/pfs/config.h"
 
@@ -34,7 +35,9 @@ std::string ParentPath(const std::string& normalized);
 
 class Mds {
  public:
-  explicit Mds(const PfsConfig& cfg);
+  /// `ctx` (optional) traces every charged op on track obs::kMdsTrack and
+  /// feeds the mds.* instruments.
+  explicit Mds(const PfsConfig& cfg, obs::Context* ctx = nullptr);
 
   // -- Timed RPC wrappers: charge one metadata service slot and return
   //    the completion time. Call only inside scheduler atomically blocks.
@@ -69,6 +72,10 @@ class Mds {
   std::unordered_map<std::string, sim::SimResource> dir_locks_;
   std::uint64_t next_file_id_ = 1;
   std::map<std::string, Inode> namespace_;  ///< ordered for readdir scans
+
+  obs::Context* ctx_ = nullptr;
+  obs::Counter* c_ops_ = nullptr;
+  obs::Histogram* h_lat_ = nullptr;
 };
 
 }  // namespace pdsi::pfs

@@ -4,34 +4,70 @@
 
 namespace pdsi::pfs {
 
-Oss::Oss(const PfsConfig& cfg, std::uint32_t index)
-    : cfg_(cfg), index_(index), disk_(cfg.disk) {}
+Oss::Oss(const PfsConfig& cfg, std::uint32_t index, obs::Context* ctx)
+    : cfg_(cfg), index_(index), disk_(cfg.disk), ctx_(ctx) {
+  if (ctx_ && ctx_->registry) {
+    auto& r = *ctx_->registry;
+    c_bytes_written_ = &r.counter("oss.bytes_written");
+    c_bytes_read_ = &r.counter("oss.bytes_read");
+    c_ops_ = &r.counter("oss.ops");
+    g_seek_s_ = &r.gauge("oss.seek_seconds");
+    g_transfer_s_ = &r.gauge("oss.transfer_seconds");
+    h_write_lat_ = &r.histogram("oss.write_latency_s", obs::LatencyBuckets());
+    h_read_lat_ = &r.histogram("oss.read_latency_s", obs::LatencyBuckets());
+  }
+  if (ctx_ && ctx_->tracer) {
+    ctx_->tracer->track(obs::kOssTrackBase + index_, "oss" + std::to_string(index_));
+  }
+}
 
 void Oss::record(double start, double end, std::uint64_t len) {
   ++metrics_.ops;
   metrics_.bytes += len;
   metrics_.latency.add(end - start);
+  if (ctx_ && c_ops_) c_ops_->add(1);
+}
+
+double Oss::disk_charge(std::uint64_t object_id, std::uint64_t off,
+                        std::uint64_t len, double t, const char* what) {
+  const double service = disk_.access(object_id, off, len) * perturb_.disk_factor;
+  const double done = disk_res_.reserve(t, service);
+  if (ctx_) {
+    // Seek-vs-transfer attribution: streaming time is the irreducible
+    // part, everything above it is head positioning (the quantity PLFS
+    // exists to eliminate).
+    const double transfer =
+        std::min(service, disk_.stream_time(len) * perturb_.disk_factor);
+    if (g_transfer_s_) g_transfer_s_->add(transfer);
+    if (g_seek_s_) g_seek_s_->add(service - transfer);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kOssTrackBase + index_, what, "disk",
+                             done - service, done,
+                             {obs::Arg::Int("obj", object_id),
+                              obs::Arg::Int("len", len),
+                              obs::Arg::Num("seek_s", service - transfer)});
+    }
+  }
+  return done;
 }
 
 double Oss::flush_pending(ObjectState& st, std::uint64_t object_id, double t) {
   if (st.pending_len == 0) return t;
-  const double service =
-      disk_.access(object_id, st.pending_start, st.pending_len) * perturb_.disk_factor;
+  const std::uint64_t len = st.pending_len;
   st.pending_len = 0;
-  return disk_res_.reserve(t, service);
+  return disk_charge(object_id, st.pending_start, len, t, "flush");
 }
 
 double Oss::rmw_charge(std::uint64_t object_id, std::uint64_t off, double t) {
   // Unaligned write into a cold region: read the containing RAID/block
   // unit before it can be modified.
   const std::uint64_t unit_start = off / cfg_.rmw_unit * cfg_.rmw_unit;
-  const double service =
-      disk_.access(object_id, unit_start, cfg_.rmw_unit) * perturb_.disk_factor;
-  return disk_res_.reserve(t, service);
+  return disk_charge(object_id, unit_start, cfg_.rmw_unit, t, "rmw");
 }
 
 double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
                         std::uint64_t len, double now) {
+  const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
                               perturb_.cpu_factor);
@@ -59,11 +95,22 @@ double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
     st.pending_start = off + len;
   }
   record(now, t, len);
+  if (ctx_) {
+    if (c_bytes_written_) c_bytes_written_->add(len);
+    if (h_write_lat_) h_write_lat_->add(t - now);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kOssTrackBase + index_, "write", "oss", now, t,
+                             {obs::Arg::Int("obj", object_id),
+                              obs::Arg::Int("off", off), obs::Arg::Int("len", len),
+                              obs::Arg::Num("disk_q_s", disk_q)});
+    }
+  }
   return t;
 }
 
 double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
                        std::uint64_t len, double now) {
+  const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
                               perturb_.cpu_factor);
@@ -79,15 +126,23 @@ double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
     std::uint64_t window = std::max<std::uint64_t>(len, cfg_.flush_chunk);
     if (st.size > off) window = std::min(window, st.size - off);
     window = std::max(window, len);
-    const double service =
-        disk_.access(object_id, off, window) * perturb_.disk_factor;
-    t = disk_res_.reserve(t, service);
+    t = disk_charge(object_id, off, window, t, "readahead");
     st.ra_start = off;
     st.ra_len = window;
   }
   t = nic_res_.reserve(
       t, static_cast<double>(len) / cfg_.net_bw_bytes * perturb_.net_factor);
   record(now, t, len);
+  if (ctx_) {
+    if (c_bytes_read_) c_bytes_read_->add(len);
+    if (h_read_lat_) h_read_lat_->add(t - now);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kOssTrackBase + index_, "read", "oss", now, t,
+                             {obs::Arg::Int("obj", object_id),
+                              obs::Arg::Int("off", off), obs::Arg::Int("len", len),
+                              obs::Arg::Num("disk_q_s", disk_q)});
+    }
+  }
   return t;
 }
 
@@ -95,6 +150,9 @@ double Oss::serve_small_op(double now) {
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, cfg_.server_cpu_per_op_s * perturb_.cpu_factor);
   record(now, t, 0);
+  if (ctx_ && ctx_->tracer) {
+    ctx_->tracer->complete(obs::kOssTrackBase + index_, "small_op", "oss", now, t);
+  }
   return t;
 }
 

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "pdsi/common/stats.h"
+#include "pdsi/obs/obs.h"
 #include "pdsi/sim/virtual_time.h"
 #include "pdsi/storage/disk_model.h"
 #include "pdsi/pfs/config.h"
@@ -39,7 +40,9 @@ struct OssMetrics {
 
 class Oss {
  public:
-  Oss(const PfsConfig& cfg, std::uint32_t index);
+  /// `ctx` (optional) makes every request emit a span on track
+  /// obs::kOssTrackBase + index and feed the oss.* instruments.
+  Oss(const PfsConfig& cfg, std::uint32_t index, obs::Context* ctx = nullptr);
 
   std::uint32_t index() const { return index_; }
 
@@ -83,6 +86,10 @@ class Oss {
   double rmw_charge(std::uint64_t object_id, std::uint64_t off, double t);
   double flush_pending(ObjectState& st, std::uint64_t object_id, double t);
   void record(double start, double end, std::uint64_t len);
+  /// Charges a disk access and splits the service into seek vs transfer
+  /// time for the obs gauges; emits a "disk" span when tracing.
+  double disk_charge(std::uint64_t object_id, std::uint64_t off,
+                     std::uint64_t len, double t, const char* what);
 
   const PfsConfig& cfg_;
   std::uint32_t index_;
@@ -93,6 +100,16 @@ class Oss {
   OssPerturbation perturb_;
   OssMetrics metrics_;
   std::unordered_map<std::uint64_t, ObjectState> objects_;
+
+  // Observability (all null when no context is installed).
+  obs::Context* ctx_ = nullptr;
+  obs::Counter* c_bytes_written_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_ops_ = nullptr;
+  obs::Gauge* g_seek_s_ = nullptr;
+  obs::Gauge* g_transfer_s_ = nullptr;
+  obs::Histogram* h_write_lat_ = nullptr;
+  obs::Histogram* h_read_lat_ = nullptr;
 };
 
 }  // namespace pdsi::pfs

@@ -57,6 +57,11 @@ class Backend {
   /// this backend lives on. Real backends ignore it (wall time is
   /// measured directly); the simulated backend advances virtual time.
   virtual void compute(double /*seconds*/) {}
+
+  /// The clock this backend lives on, for middleware instrumentation.
+  /// Simulated backends report virtual time; real backends have no
+  /// meaningful shared clock and return 0 (spans collapse to instants).
+  virtual double now() const { return 0.0; }
 };
 
 /// In-memory backend (tests). Internally synchronised.

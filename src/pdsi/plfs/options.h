@@ -4,6 +4,10 @@
 
 #include <cstdint>
 
+namespace pdsi::obs {
+struct Context;
+}
+
 namespace pdsi::plfs {
 
 struct Options {
@@ -36,6 +40,14 @@ struct Options {
   /// (decode + sort + interval-map insert). This is why index
   /// compression pays off at restart: pattern records shrink the merge.
   double index_merge_cost_per_entry_s = 3e-6;
+
+  /// Optional tracing/metrics sink (must outlive the Writer/Reader).
+  /// Timestamps come from Backend::now(), so spans are only meaningful
+  /// over simulated backends; null disables instrumentation entirely.
+  obs::Context* obs = nullptr;
+
+  /// Tracer track for Reader spans (Writer uses the rank's track).
+  std::uint32_t obs_track = 700;  // obs::kReaderTrackBase
 };
 
 }  // namespace pdsi::plfs

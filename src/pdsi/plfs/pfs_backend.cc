@@ -60,6 +60,8 @@ class PfsBackend final : public Backend {
 
   void compute(double seconds) override { client_.compute(seconds); }
 
+  double now() const override { return client_.now(); }
+
   Result<bool> exists(const std::string& path) override {
     auto st = client_.stat(path);
     if (!st.ok() && st.error() == Errc::not_found) return false;

@@ -22,7 +22,21 @@ Result<std::unique_ptr<Reader>> Reader::Open(Backend& backend,
 }
 
 Reader::Reader(Backend& backend, Options options)
-    : backend_(backend), options_(options) {}
+    : backend_(backend), options_(options) {
+  if (options_.obs) {
+    if (options_.obs->tracer) {
+      const std::uint32_t n = options_.obs_track >= obs::kReaderTrackBase
+                                  ? options_.obs_track - obs::kReaderTrackBase
+                                  : options_.obs_track;
+      options_.obs->tracer->track(options_.obs_track,
+                                  "reader" + std::to_string(n));
+    }
+    if (options_.obs->registry) {
+      c_reads_ = &options_.obs->registry->counter("plfs.reads");
+      c_segments_ = &options_.obs->registry->counter("plfs.read_segments");
+    }
+  }
+}
 
 Reader::~Reader() {
   for (auto& [id, h] : handles_) backend_.close(h);
@@ -30,6 +44,8 @@ Reader::~Reader() {
 
 Status Reader::build(const std::string& path) {
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
+  const double v0 = tracer ? backend_.now() : 0.0;
 
   // Discover index droppings across hostdirs.
   struct IndexFile {
@@ -132,6 +148,12 @@ Status Reader::build(const std::string& path) {
   backend_.compute(static_cast<double>(raw_entries_.size()) *
                    options_.index_merge_cost_per_entry_s);
 
+  if (tracer) {
+    tracer->complete(options_.obs_track, "index_merge", "plfs", v0, backend_.now(),
+                     {obs::Arg::Int("droppings", droppings_.size()),
+                      obs::Arg::Int("entries", raw_entries_.size()),
+                      obs::Arg::Int("bytes", index_bytes_read_)});
+  }
   index_build_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return Status::Ok();
@@ -149,8 +171,11 @@ Result<BackendHandle> Reader::data_handle(std::uint32_t dropping) {
 Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out) {
   if (off >= index_.size() || out.empty()) return static_cast<std::size_t>(0);
   const std::uint64_t len = std::min<std::uint64_t>(out.size(), index_.size() - off);
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
+  const double v0 = tracer ? backend_.now() : 0.0;
 
-  for (const auto& seg : index_.lookup(off, len)) {
+  const auto segs = index_.lookup(off, len);
+  for (const auto& seg : segs) {
     auto dst = out.subspan(seg.logical - off, seg.length);
     if (seg.dropping == GlobalIndex::kHole) {
       std::memset(dst.data(), 0, dst.size());
@@ -164,6 +189,13 @@ Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out)
       // Data dropping shorter than its index claims: corrupt container.
       return Errc::io_error;
     }
+  }
+  if (c_reads_) c_reads_->add(1);
+  if (c_segments_) c_segments_->add(segs.size());
+  if (tracer) {
+    tracer->complete(options_.obs_track, "read", "plfs", v0, backend_.now(),
+                     {obs::Arg::Int("off", off), obs::Arg::Int("len", len),
+                      obs::Arg::Int("segments", segs.size())});
   }
   return static_cast<std::size_t>(len);
 }

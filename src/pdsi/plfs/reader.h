@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "pdsi/common/result.h"
+#include "pdsi/obs/obs.h"
 #include "pdsi/plfs/backend.h"
 #include "pdsi/plfs/index.h"
 #include "pdsi/plfs/options.h"
@@ -59,6 +60,8 @@ class Reader {
   std::unordered_map<std::uint32_t, BackendHandle> handles_;
   std::uint64_t index_bytes_read_ = 0;
   double index_build_seconds_ = 0.0;            ///< wall time (real backends)
+  obs::Counter* c_reads_ = nullptr;
+  obs::Counter* c_segments_ = nullptr;
 };
 
 }  // namespace pdsi::plfs

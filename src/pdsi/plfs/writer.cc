@@ -37,6 +37,17 @@ Writer::Writer(Backend& backend, std::string path, std::uint32_t rank,
   if (options_.write_buffer_bytes > 0) {
     data_buffer_.reserve(options_.write_buffer_bytes);
   }
+  if (options_.obs) {
+    track_ = obs::kRankTrackBase + rank_;
+    if (options_.obs->tracer) {
+      options_.obs->tracer->track(track_, "rank" + std::to_string(rank_));
+    }
+    if (options_.obs->registry) {
+      c_records_ = &options_.obs->registry->counter("plfs.records");
+      c_bytes_logged_ = &options_.obs->registry->counter("plfs.bytes_logged");
+      c_index_flushes_ = &options_.obs->registry->counter("plfs.index_flushes");
+    }
+  }
 }
 
 Writer::~Writer() {
@@ -46,6 +57,9 @@ Writer::~Writer() {
 Status Writer::write(std::uint64_t off, std::span<const std::uint8_t> data) {
   if (!open_) return Errc::bad_handle;
   if (data.empty()) return Status::Ok();
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
+  const double t0 = tracer ? backend_.now() : 0.0;
+  const std::uint64_t phys = physical_end_;
 
   IndexEntry e;
   e.logical = off;
@@ -75,15 +89,29 @@ Status Writer::write(std::uint64_t off, std::span<const std::uint8_t> data) {
   }
   ++records_;
   max_logical_end_ = std::max(max_logical_end_, off + data.size());
+  if (c_records_) c_records_->add(1);
+  if (c_bytes_logged_) c_bytes_logged_->add(data.size());
+  if (tracer) {
+    tracer->complete(track_, "append", "plfs", t0, backend_.now(),
+                     {obs::Arg::Int("off", off), obs::Arg::Int("len", data.size()),
+                      obs::Arg::Int("phys", phys)});
+  }
   return Status::Ok();
 }
 
 Status Writer::flush_data_buffer() {
   if (data_buffer_.empty()) return Status::Ok();
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
+  const double t0 = tracer ? backend_.now() : 0.0;
+  const std::uint64_t bytes = data_buffer_.size();
   auto st = backend_.write(data_h_, buffer_base_, data_buffer_);
   if (!st.ok()) return st;
   buffer_base_ += data_buffer_.size();
   data_buffer_.clear();
+  if (tracer) {
+    tracer->complete(track_, "data_flush", "plfs", t0, backend_.now(),
+                     {obs::Arg::Int("bytes", bytes)});
+  }
   return Status::Ok();
 }
 
@@ -96,11 +124,19 @@ Status Writer::flush_index() {
     batch.swap(unbuffered_);
   }
   if (batch.empty()) return Status::Ok();
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
+  const double t0 = tracer ? backend_.now() : 0.0;
   const Bytes raw = SerializeEntries(batch);
   if (auto st = backend_.write(index_h_, index_off_, raw); !st.ok()) return st;
   index_off_ += raw.size();
   index_entries_flushed_ += batch.size();
   index_bytes_flushed_ += raw.size();
+  if (c_index_flushes_) c_index_flushes_->add(1);
+  if (tracer) {
+    tracer->complete(track_, "index_flush", "plfs", t0, backend_.now(),
+                     {obs::Arg::Int("entries", batch.size()),
+                      obs::Arg::Int("bytes", raw.size())});
+  }
   return Status::Ok();
 }
 
@@ -114,6 +150,8 @@ Status Writer::sync() {
 
 Status Writer::close() {
   if (!open_) return Errc::bad_handle;
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
+  const double t0 = tracer ? backend_.now() : 0.0;
   Status st = sync();
   open_ = false;
   backend_.close(data_h_);
@@ -127,6 +165,7 @@ Status Writer::close() {
       return meta.error();
     }
   }
+  if (tracer) tracer->complete(track_, "close", "plfs", t0, backend_.now());
   return st;
 }
 

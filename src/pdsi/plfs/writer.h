@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pdsi/common/result.h"
+#include "pdsi/obs/obs.h"
 #include "pdsi/plfs/backend.h"
 #include "pdsi/plfs/index.h"
 #include "pdsi/plfs/options.h"
@@ -80,6 +81,11 @@ class Writer {
   std::uint64_t records_ = 0;
   std::uint64_t index_entries_flushed_ = 0;
   std::uint64_t index_bytes_flushed_ = 0;
+
+  std::uint32_t track_ = 0;  ///< tracer track (the rank's track)
+  obs::Counter* c_records_ = nullptr;
+  obs::Counter* c_bytes_logged_ = nullptr;
+  obs::Counter* c_index_flushes_ = nullptr;
 };
 
 }  // namespace pdsi::plfs

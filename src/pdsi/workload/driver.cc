@@ -33,11 +33,11 @@ struct RankHarness {
 
 CheckpointResult RunDirectCheckpoint(const pfs::PfsConfig& cfg,
                                      const CheckpointSpec& spec,
-                                     WriteTrace* trace) {
+                                     WriteTrace* trace, obs::Context* obs) {
   pfs::PfsConfig config = cfg;
   config.store_data = false;  // timing-only at benchmark scales
   RankHarness h(spec.ranks);
-  pfs::PfsCluster cluster(config, h.sched);
+  pfs::PfsCluster cluster(config, h.sched, nullptr, obs);
 
   double t_begin = 0.0, t_end = 0.0;
   std::mutex trace_mu;
@@ -88,11 +88,13 @@ CheckpointResult RunDirectCheckpoint(const pfs::PfsConfig& cfg,
 CheckpointResult RunPlfsCheckpoint(const pfs::PfsConfig& cfg,
                                    const CheckpointSpec& spec,
                                    const plfs::Options& options,
-                                   WriteTrace* trace) {
+                                   WriteTrace* trace, obs::Context* obs) {
   pfs::PfsConfig config = cfg;
   config.store_data = false;
   RankHarness h(spec.ranks);
-  pfs::PfsCluster cluster(config, h.sched);
+  pfs::PfsCluster cluster(config, h.sched, nullptr, obs);
+  plfs::Options opts = options;
+  opts.obs = obs;
   plfs::WriteClock clock{1};
 
   double t_begin = 0.0, t_end = 0.0;
@@ -107,7 +109,7 @@ CheckpointResult RunPlfsCheckpoint(const pfs::PfsConfig& cfg,
 
       // N-N through PLFS still gets a container per rank; N-1 shares one.
       const std::string path = TargetPath(spec, r);
-      auto writer = plfs::Writer::Open(*backend, path, r, options, clock);
+      auto writer = plfs::Writer::Open(*backend, path, r, opts, clock);
       assert(writer.ok());
 
       Bytes payload(spec.record_bytes);
@@ -137,12 +139,15 @@ CheckpointResult RunPlfsCheckpoint(const pfs::PfsConfig& cfg,
 
 PlfsRoundTripResult RunPlfsRoundTrip(const pfs::PfsConfig& cfg,
                                      const CheckpointSpec& spec,
-                                     const plfs::Options& options) {
+                                     const plfs::Options& options,
+                                     obs::Context* obs) {
   assert(spec.pattern != Pattern::nn && "round trip reads the shared file");
   pfs::PfsConfig config = cfg;
   config.store_data = true;  // restart must read real bytes
   RankHarness h(spec.ranks);
-  pfs::PfsCluster cluster(config, h.sched);
+  pfs::PfsCluster cluster(config, h.sched, nullptr, obs);
+  plfs::Options base_opts = options;
+  base_opts.obs = obs;
   plfs::WriteClock clock{1};
 
   PlfsRoundTripResult result;
@@ -159,7 +164,7 @@ PlfsRoundTripResult RunPlfsRoundTrip(const pfs::PfsConfig& cfg,
       if (r == 0) tw0 = t0;
 
       {
-        auto writer = plfs::Writer::Open(*backend, "/ckpt", r, options, clock);
+        auto writer = plfs::Writer::Open(*backend, "/ckpt", r, base_opts, clock);
         assert(writer.ok());
         Bytes payload(spec.record_bytes);
         for (const WriteOp& op : WritesForRank(spec, r)) {
@@ -172,7 +177,9 @@ PlfsRoundTripResult RunPlfsRoundTrip(const pfs::PfsConfig& cfg,
 
       // Restart: every rank merges the index and reads its 1/N slice.
       {
-        auto reader = plfs::Reader::Open(*backend, "/ckpt", options);
+        plfs::Options ropts = base_opts;
+        ropts.obs_track = obs::kReaderTrackBase + r;
+        auto reader = plfs::Reader::Open(*backend, "/ckpt", ropts);
         assert(reader.ok());
         const std::uint64_t total = (*reader)->size();
         const std::uint64_t slice = total / spec.ranks;

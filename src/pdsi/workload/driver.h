@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "pdsi/obs/obs.h"
 #include "pdsi/pfs/config.h"
 #include "pdsi/plfs/options.h"
 #include "pdsi/workload/patterns.h"
@@ -32,15 +33,19 @@ struct CheckpointResult {
 };
 
 /// Direct writes through PfsClient (what the unmodified application does).
+/// `obs` (optional, must outlive the call) observes the whole run: PFS
+/// server spans plus per-rank client activity.
 CheckpointResult RunDirectCheckpoint(const pfs::PfsConfig& cfg,
                                      const CheckpointSpec& spec,
-                                     WriteTrace* trace = nullptr);
+                                     WriteTrace* trace = nullptr,
+                                     obs::Context* obs = nullptr);
 
 /// The same logical writes routed through PLFS containers.
 CheckpointResult RunPlfsCheckpoint(const pfs::PfsConfig& cfg,
                                    const CheckpointSpec& spec,
                                    const plfs::Options& options = {},
-                                   WriteTrace* trace = nullptr);
+                                   WriteTrace* trace = nullptr,
+                                   obs::Context* obs = nullptr);
 
 /// Reads the whole logical file back N-way after a PLFS checkpoint
 /// (restart path); returns the read phase result.
@@ -50,6 +55,7 @@ struct PlfsRoundTripResult {
 };
 PlfsRoundTripResult RunPlfsRoundTrip(const pfs::PfsConfig& cfg,
                                      const CheckpointSpec& spec,
-                                     const plfs::Options& options = {});
+                                     const plfs::Options& options = {},
+                                     obs::Context* obs = nullptr);
 
 }  // namespace pdsi::workload

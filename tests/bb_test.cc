@@ -73,6 +73,39 @@ TEST(BurstBuffer, RejectsWritesLargerThanTheDevice) {
 
 // -- Backpressure -----------------------------------------------------------
 
+// Exact-boundary regression for the watermark hysteresis documented in
+// burst_buffer.h: backpressure engages when un-drained bytes reach the
+// high mark exactly (>=), and releases only once they reach the low mark
+// exactly (<=) — not one drain op earlier or later.
+TEST(BurstBuffer, WatermarkHysteresisBoundariesAreInclusive) {
+  BbParams p = FastDevice(64 * MiB);
+  p.high_watermark = 0.50;  // 32 MiB exactly
+  p.low_watermark = 0.25;   // 16 MiB exactly
+  p.drain_unit = 16 * MiB;
+  FixedRateDrainTarget slow_pfs(1e6);  // drains take ~17 s; absorbs take ms
+  BurstBuffer buf(p, slow_pfs);
+
+  const std::uint64_t high = 32 * MiB, low = 16 * MiB;
+  // Two 16 MiB writes land un-drained bytes exactly on the high mark
+  // without crossing it mid-write (the watermark check precedes absorb).
+  double t = buf.write(1, 0, 16 * MiB, 0.0);
+  t = buf.write(1, 16 * MiB, 16 * MiB, t);
+  ASSERT_EQ(buf.undrained_bytes(), high);
+  ASSERT_EQ(buf.stats().ingest_stalls, 0u);
+
+  // undrained == high exactly: a further write must stall (engage at >=,
+  // not >). The stall drains 16 MiB-unit ops until undrained == low
+  // exactly, then resumes (release at <= low, not < low) — so afterwards
+  // exactly low + len bytes are un-drained. Had release required < low,
+  // a second drain op would have completed first and left only `len`.
+  const std::uint64_t len = 1024;
+  const double t2 = buf.write(1, high, len, t);
+  EXPECT_EQ(buf.stats().ingest_stalls, 1u);
+  EXPECT_GT(buf.stats().stall_seconds, 1.0);  // waited on a ~17 s drain op
+  EXPECT_GT(t2, t + 1.0);
+  EXPECT_EQ(buf.undrained_bytes(), low + len);
+}
+
 TEST(BurstBuffer, IngestStallsAtHighWatermarkAndResumesAtLow) {
   BbParams p = FastDevice(64 * MiB);
   p.high_watermark = 0.50;

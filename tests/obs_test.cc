@@ -1,0 +1,432 @@
+// Tests for pdsi::obs — registry instruments, tracer export formats
+// (compact golden text + Chrome trace_event JSON, validated by parsing it
+// back), end-to-end golden-trace determinism of an instrumented fig08
+// scenario, and the observer-effect-zero guarantee (tracing on vs off
+// changes nothing the simulation computes).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdsi/bb/burst_buffer.h"
+#include "pdsi/bb/drain_target.h"
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/units.h"
+#include "pdsi/obs/obs.h"
+#include "pdsi/plfs/plfs.h"
+#include "pdsi/storage/device_catalog.h"
+#include "pdsi/workload/driver.h"
+
+namespace pdsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader used to validate the Chrome exporter round-trips.
+struct Json {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+  const Json& at(const std::string& key) const { return obj.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool lit(const char* word, std::size_t n) {
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->kind = Json::kStr; return string(&out->str);
+      case 't': out->kind = Json::kBool; out->b = true; return lit("true", 4);
+      case 'f': out->kind = Json::kBool; out->b = false; return lit("false", 5);
+      case 'n': out->kind = Json::kNull; return lit("null", 4);
+      default: return number(out);
+    }
+  }
+
+  bool number(Json* out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out->num = std::strtod(start, &end);
+    if (end == start) return false;
+    out->kind = Json::kNum;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // must be escaped
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (code > 0x7f) return false;  // exporter only escapes ASCII
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool array(Json* out) {
+    out->kind = Json::kArr;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      Json v;
+      if (!value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool object(Json* out) {
+    out->kind = Json::kObj;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      Json v;
+      if (!value(&v)) return false;
+      out->obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry instruments.
+
+TEST(Registry, CountersGaugesAndLookupStability) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("a.ops");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&reg.counter("a.ops"), &c);  // stable address, same instance
+
+  obs::Gauge& g = reg.gauge("a.depth");
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Registry, HistogramBucketEdgesAreInclusiveOnTheRight) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.add(1.0);    // lands in le1 (right-inclusive)
+  h.add(1.0001); // le10
+  h.add(10.0);   // le10
+  h.add(10.5);   // overflow
+  h.add(-3.0);   // below every bound -> first bucket
+  EXPECT_EQ(h.total(), 5u);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Registry, WriteTextIsSortedAndStable) {
+  obs::Registry reg;
+  reg.counter("z.count").add(7);
+  reg.counter("a.count").add(1);
+  reg.gauge("m.gauge").set(1.5);
+  reg.histogram("h.lat", {0.5}).add(0.25);
+  std::ostringstream os;
+  reg.write_text(os);
+  EXPECT_EQ(os.str(),
+            "counter a.count 1\n"
+            "counter z.count 7\n"
+            "gauge m.gauge 1.5\n"
+            "hist h.lat le0.5=1 inf=0\n");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer export formats.
+
+TEST(Tracer, CompactExportSortsByTimeTrackAndSequence) {
+  obs::Tracer tr;
+  tr.track(3, "late");
+  tr.track(1, "early");
+  // Appended out of time order on purpose; same-timestamp events on one
+  // track must keep append order via the per-track sequence number.
+  tr.complete(3, "b", "t", 2.0, 3.0);
+  tr.instant(1, "i2", "t", 1.0);
+  tr.instant(1, "i1", "t", 1.0);
+  tr.complete(1, "a", "t", 0.5, 1.0, {obs::Arg::Int("k", 9)});
+  ASSERT_EQ(tr.size(), 4u);
+
+  std::ostringstream os;
+  tr.write_compact(os);
+  EXPECT_EQ(os.str(),
+            "0.500000000 early X t:a dur=0.500000000 k=9\n"
+            "1.000000000 early i t:i2\n"
+            "1.000000000 early i t:i1\n"
+            "2.000000000 late X t:b dur=1.000000000\n");
+}
+
+TEST(Tracer, ChromeExportParsesBackWithTracksAndArgs) {
+  obs::Tracer tr;
+  tr.track(7, "oss\"0\\back\ntier");  // exporter must escape all of these
+  tr.complete(7, "write", "disk", 1.5e-3, 2.5e-3,
+              {obs::Arg::Int("len", 4096), obs::Arg::Num("seek_s", 0.25)});
+  tr.instant(7, "evict", "bb", 3e-3);
+
+  std::ostringstream os;
+  tr.write_chrome(os);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(&root)) << os.str();
+  ASSERT_EQ(root.kind, Json::kObj);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::kArr);
+
+  std::size_t metadata = 0, spans = 0, instants = 0;
+  for (const Json& e : events.arr) {
+    ASSERT_EQ(e.kind, Json::kObj);
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    const std::string& ph = e.at("ph").str;
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(e.at("name").str, "thread_name");
+      EXPECT_EQ(e.at("args").at("name").str, "oss\"0\\back\ntier");
+      EXPECT_EQ(e.at("tid").num, 7.0);
+    } else if (ph == "X") {
+      ++spans;
+      EXPECT_EQ(e.at("name").str, "write");
+      EXPECT_EQ(e.at("cat").str, "disk");
+      EXPECT_NEAR(e.at("ts").num, 1500.0, 1e-9);   // microseconds
+      EXPECT_NEAR(e.at("dur").num, 1000.0, 1e-9);
+      EXPECT_EQ(e.at("args").at("len").num, 4096.0);
+      EXPECT_NEAR(e.at("args").at("seek_s").num, 0.25, 1e-12);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(e.at("name").str, "evict");
+      EXPECT_NEAR(e.at("ts").num, 3000.0, 1e-9);
+    } else {
+      ADD_FAILURE() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_EQ(metadata, 1u);
+  EXPECT_EQ(spans, 1u);
+  EXPECT_EQ(instants, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-trace determinism: the instrumented fig08 N-1 strided scenario,
+// run twice with identical inputs, must export byte-identical compact
+// traces and metric dumps even though rank threads race to append.
+
+std::string GoldenScenarioDump(std::string* chrome_out = nullptr) {
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  const pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(4);
+  const workload::CheckpointSpec spec{workload::Pattern::n1_strided, 4, 47 * KiB, 8};
+  workload::RunDirectCheckpoint(cfg, spec, nullptr, &ctx);
+  workload::RunPlfsCheckpoint(cfg, spec, {}, nullptr, &ctx);
+  std::ostringstream os;
+  tr.write_compact(os);
+  reg.write_text(os);
+  if (chrome_out) {
+    std::ostringstream cs;
+    tr.write_chrome(cs);
+    *chrome_out = cs.str();
+  }
+  return os.str();
+}
+
+TEST(GoldenTrace, Fig08ScenarioIsByteIdenticalAcrossRuns) {
+  const std::string a = GoldenScenarioDump();
+  const std::string b = GoldenScenarioDump();
+  ASSERT_FALSE(a.empty());
+  EXPECT_NE(a.find(" oss0 X "), std::string::npos);  // server spans present
+  EXPECT_NE(a.find("counter mds.ops"), std::string::npos);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GoldenTrace, Fig08ChromeExportParsesBack) {
+  std::string chrome;
+  GoldenScenarioDump(&chrome);
+  Json root;
+  ASSERT_TRUE(JsonParser(chrome).parse(&root));
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::kArr);
+  EXPECT_GT(events.arr.size(), 100u);
+  for (const Json& e : events.arr) {
+    ASSERT_EQ(e.kind, Json::kObj);
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    if (e.at("ph").str != "M") {
+      ASSERT_TRUE(e.has("ts"));
+      ASSERT_TRUE(e.has("name"));
+    }
+    if (e.at("ph").str == "X") {
+      ASSERT_TRUE(e.has("dur"));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observer effect must be zero: running with tracing installed computes
+// exactly the same virtual-time results (and the same bytes) as running
+// with the null context.
+
+TEST(ObserverEffect, TracedPfsRunsMatchUntracedExactly) {
+  const pfs::PfsConfig cfg = pfs::PfsConfig::LustreLike(2);
+  const workload::CheckpointSpec spec{workload::Pattern::n1_strided, 2, 13 * KiB, 6};
+
+  const auto direct_off = workload::RunDirectCheckpoint(cfg, spec);
+  const auto round_off = workload::RunPlfsRoundTrip(cfg, spec);
+
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  const auto direct_on = workload::RunDirectCheckpoint(cfg, spec, nullptr, &ctx);
+  const auto round_on = workload::RunPlfsRoundTrip(cfg, spec, {}, &ctx);
+  ASSERT_GT(tr.size(), 0u);  // tracing actually happened
+
+  EXPECT_EQ(direct_on.seconds, direct_off.seconds);
+  EXPECT_EQ(direct_on.bytes, direct_off.bytes);
+  EXPECT_EQ(round_on.write.seconds, round_off.write.seconds);
+  EXPECT_EQ(round_on.read.seconds, round_off.read.seconds);
+}
+
+TEST(ObserverEffect, TracedPlfsReadBackBytesMatchUntraced) {
+  auto run = [](obs::Context* ctx) {
+    plfs::Options opts;
+    opts.obs = ctx;
+    plfs::Plfs fs(plfs::MakeMemBackend(), opts);
+    auto w0 = fs.open_write("/f", 0);
+    auto w1 = fs.open_write("/f", 1);
+    EXPECT_TRUE(w0 && w1);
+    Bytes a(5000), b(3000);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint8_t>(i);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::uint8_t>(251 - i % 97);
+    EXPECT_TRUE((*w0)->write(0, a).ok());
+    EXPECT_TRUE((*w1)->write(2500, b).ok());
+    EXPECT_TRUE((*w0)->write(4000, std::span<const std::uint8_t>(a).first(2000)).ok());
+    EXPECT_TRUE((*w0)->close().ok());
+    EXPECT_TRUE((*w1)->close().ok());
+    auto r = fs.open_read("/f");
+    EXPECT_TRUE(bool(r));
+    Bytes got((*r)->size());
+    EXPECT_TRUE((*r)->read(0, got).ok());
+    return HashBytes(got);
+  };
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  EXPECT_EQ(run(nullptr), run(&ctx));
+  EXPECT_GT(reg.counter("plfs.records").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Burst-buffer instrumentation: spans appear without changing timing.
+
+TEST(ObserverEffect, TracedBurstBufferMatchesUntraced) {
+  auto run = [](obs::Context* ctx) {
+    bb::BbParams p;
+    p.ssd = storage::FlashDevice("fusionio-iodrive-duo");
+    p.ssd.capacity_bytes = 64 * MiB;
+    p.high_watermark = 0.50;
+    p.low_watermark = 0.25;
+    bb::FixedRateDrainTarget pfs(25e6);
+    bb::BurstBuffer buf(p, pfs, ctx);
+    double t = 0.0;
+    for (std::uint64_t off = 0; off < 96 * MiB; off += MiB) {
+      t = buf.write(1, off, MiB, t);
+    }
+    return buf.flush(t);
+  };
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  EXPECT_EQ(run(nullptr), run(&ctx));
+  EXPECT_GT(tr.size(), 0u);
+  EXPECT_EQ(reg.counter("bb.bytes_absorbed").value(), 96 * MiB);
+  EXPECT_GT(reg.counter("bb.ingest_stalls").value(), 0u);
+}
+
+}  // namespace
+}  // namespace pdsi

@@ -5,6 +5,11 @@
 
 #include <thread>
 
+#include <map>
+
+#include "pdsi/bb/bb_backend.h"
+#include "pdsi/bb/burst_buffer.h"
+#include "pdsi/bb/drain_target.h"
 #include "pdsi/common/bytes.h"
 #include "pdsi/common/rng.h"
 #include "pdsi/common/units.h"
@@ -12,6 +17,7 @@
 #include "pdsi/pfs/cluster.h"
 #include "pdsi/pfs/sparse_buffer.h"
 #include "pdsi/plfs/plfs.h"
+#include "pdsi/storage/device_catalog.h"
 
 namespace pdsi {
 namespace {
@@ -136,6 +142,80 @@ TEST(PfsConcurrency, StridedWritersReconstructExactly) {
   }
   for (auto& t : threads) t.join();
 }
+
+// ---------------------------------------------------------------------------
+// Burst-buffer backend fuzz: random write/read/fsync interleavings through
+// MakeBbBackend(MemBackend) — drains, evictions and backpressure stalls
+// firing at arbitrary points — checked byte-for-byte against a trivial
+// shadow model (offset -> byte). Small capacity relative to the write
+// volume so the watermark/evict machinery actually engages.
+class BbFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BbFuzz, BackendMatchesShadowModelUnderRandomOps) {
+  Rng rng(GetParam());
+  bb::BbParams bp;
+  bp.ssd = storage::FlashDevice("fusionio-iodrive-duo");
+  bp.ssd.capacity_bytes = (1u << rng.below(3)) * 4 * MiB;  // 4/8/16 MiB
+  bp.high_watermark = 0.50;
+  bp.low_watermark = 0.25;
+  bp.drain_unit = 64 * KiB << rng.below(5);  // 64 KiB .. 1 MiB
+  bb::FixedRateDrainTarget pfs(1e7 * (1 + rng.below(10)));  // 10-100 MB/s
+  bb::BurstBuffer buf(bp, pfs);
+  auto be = plfs::MakeBbBackend(buf, plfs::MakeMemBackend());
+
+  auto h = be->create("/bbfuzz");
+  ASSERT_TRUE(h.ok()) << "seed " << GetParam();
+  std::map<std::uint64_t, std::uint8_t> model;
+  std::uint64_t fsize = 0;
+
+  auto expect_at = [&](std::uint64_t off) -> std::uint8_t {
+    auto it = model.find(off);
+    return it == model.end() ? 0 : it->second;  // holes read as zeros
+  };
+  auto check_read = [&](std::uint64_t off, std::size_t len) {
+    Bytes out(len, 0xAA);
+    auto n = be->read(*h, off, out);
+    ASSERT_TRUE(n.ok()) << "seed " << GetParam();
+    const std::size_t want = off >= fsize
+        ? 0
+        : static_cast<std::size_t>(std::min<std::uint64_t>(len, fsize - off));
+    ASSERT_EQ(*n, want) << "seed " << GetParam() << " off " << off;
+    for (std::size_t i = 0; i < want; ++i) {
+      ASSERT_EQ(out[i], expect_at(off + i))
+          << "seed " << GetParam() << " at " << off + i;
+    }
+  };
+
+  const int ops = 300;
+  for (int i = 0; i < ops; ++i) {
+    const double dice = rng.uniform();
+    if (dice < 0.60) {
+      const std::uint64_t off = rng.below(2 * MiB);
+      const std::size_t len = 1 + rng.below(64 * KiB);
+      Bytes data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+      ASSERT_TRUE(be->write(*h, off, data).ok()) << "seed " << GetParam();
+      for (std::size_t k = 0; k < len; ++k) model[off + k] = data[k];
+      fsize = std::max(fsize, off + len);
+      ASSERT_EQ(*be->size(*h), fsize) << "seed " << GetParam();
+    } else if (dice < 0.90) {
+      if (fsize == 0) continue;
+      // Mix interior reads with reads straddling or past the EOF.
+      const std::uint64_t off = rng.below(fsize + fsize / 4 + 1);
+      check_read(off, 1 + rng.below(48 * KiB));
+    } else {
+      ASSERT_TRUE(be->fsync(*h).ok()) << "seed " << GetParam();
+    }
+  }
+
+  // Drain everything, then the durable image must still match the model.
+  ASSERT_TRUE(be->fsync(*h).ok()) << "seed " << GetParam();
+  check_read(0, static_cast<std::size_t>(fsize));
+  check_read(fsize / 3, static_cast<std::size_t>(fsize));  // tail + past-EOF
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BbFuzz,
+                         ::testing::Values(7, 21, 42, 63, 84, 105, 126, 147));
 
 // ---------------------------------------------------------------------------
 // Scheduler stress: 24 actors doing seeded random advances and barriers
