@@ -2,6 +2,7 @@
 #include <memory>
 
 #include "pdsi/bb/drain_target.h"
+#include "pdsi/fault/fault.h"
 #include "pdsi/pfs/cluster.h"
 
 namespace pdsi::bb {
@@ -29,7 +30,17 @@ class PfsDrainTarget final : public DrainTarget {
           std::min<std::uint64_t>(cfg.stripe_unit - in_stripe, remaining);
       const std::uint32_t server =
           cluster_.placement().server_for(file, stripe, cluster_.num_oss());
-      done = std::max(done, cluster_.oss(server).serve_write(file, pos, n, now));
+      double issue = now;
+      // The drain is not latency-sensitive, so an injected OSS crash just
+      // parks this chunk until the server restarts (plus one RPC timeout
+      // for the failed attempt that detected the crash).
+      if (fault::FaultInjector* inj = cluster_.fault();
+          inj && inj->down(server, issue)) {
+        const double resume = inj->next_up(server, issue) + inj->plan().rpc_timeout_s;
+        inj->note_drain_retry(server, issue, resume);
+        issue = resume;
+      }
+      done = std::max(done, cluster_.oss(server).serve_write(file, pos, n, issue));
       pos += n;
       remaining -= n;
     }

@@ -2,11 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "pdsi/obs/obs.h"
 
 namespace pdsi::failure {
 namespace {
+
+// The failure process, behind one interface for both sources: analytic
+// Weibull draws (the default) or an injected schedule of interrupt
+// instants (p.interrupts). The analytic path reproduces the historical
+// draw sequence exactly — same scale computation, same "accumulate while
+// next <= t" advance — so existing seeded results are unchanged.
+class FailureClock {
+ public:
+  FailureClock(const CheckpointSimParams& p, Rng& rng)
+      : injected_(p.interrupts),
+        rng_(rng),
+        shape_(p.weibull_shape),
+        scale_(p.mtti_seconds / std::tgamma(1.0 + 1.0 / p.weibull_shape)) {
+    next_ = injected_ ? pop() : rng_.weibull(shape_, scale_);
+  }
+
+  /// The next failure instant (infinity once an injected schedule runs dry).
+  double next() const { return next_; }
+
+  /// Advances the process past `t`: instants at or before `t` struck a
+  /// machine that was already down (mid-restart) and are absorbed.
+  void advance_past(double t) {
+    if (injected_) {
+      while (next_ <= t) next_ = pop();
+    } else {
+      while (next_ <= t) next_ += rng_.weibull(shape_, scale_);
+    }
+  }
+
+ private:
+  double pop() {
+    return idx_ < injected_->size()
+               ? (*injected_)[idx_++]
+               : std::numeric_limits<double>::infinity();
+  }
+
+  const std::vector<double>* injected_;
+  std::size_t idx_ = 0;
+  Rng& rng_;
+  double shape_;
+  double scale_;
+  double next_;
+};
 
 obs::Tracer* PhaseTracer(const CheckpointSimParams& p) {
   obs::Tracer* t = p.obs ? p.obs->tracer : nullptr;
@@ -25,17 +69,12 @@ obs::Tracer* PhaseTracer(const CheckpointSimParams& p) {
 CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& rng) {
   CheckpointSimResult r;
   obs::Tracer* tracer = PhaseTracer(p);
-  const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
-  const double scale = p.mtti_seconds / gamma_term;
+  FailureClock fail(p, rng);
 
   double done = 0.0;     // durable (drained) work
   double pending = 0.0;  // absorbed work whose drain has not completed
   double pending_durable_at = 0.0;
   double now = 0.0;
-  double next_failure = rng.weibull(p.weibull_shape, scale);
-  auto next_failure_after = [&](double t) {
-    while (next_failure <= t) next_failure += rng.weibull(p.weibull_shape, scale);
-  };
 
   while (done + pending < p.work_seconds || pending > 0.0) {
     // Commit an in-flight checkpoint whose drain has finished.
@@ -46,19 +85,20 @@ CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& r
     const double segment = std::min(p.interval, p.work_seconds - done - pending);
     if (segment <= 0.0) {
       // All work absorbed; just wait out the final drain (or a failure).
-      if (next_failure < pending_durable_at) {
+      if (fail.next() < pending_durable_at) {
+        const double failed_at = fail.next();
         ++r.failures;
         ++r.lost_drains;
         pending = 0.0;
         if (tracer) {
-          tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", next_failure);
+          tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", failed_at);
           tracer->instant(obs::kCheckpointDrainTrack, "lost_drain", "ckpt",
-                          next_failure);
-          tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", next_failure,
-                           next_failure + p.restart_seconds);
+                          failed_at);
+          tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", failed_at,
+                           failed_at + p.restart_seconds);
         }
-        now = next_failure + p.restart_seconds;
-        next_failure_after(now);
+        now = failed_at + p.restart_seconds;
+        fail.advance_past(now);
         continue;
       }
       now = pending_durable_at;
@@ -70,14 +110,15 @@ CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& r
     const double absorb_start =
         pending > 0.0 ? std::max(compute_end, pending_durable_at) : compute_end;
     const double absorb_end = absorb_start + p.bb_absorb_seconds;
-    if (next_failure < absorb_end) {
+    if (fail.next() < absorb_end) {
+      const double failed_at = fail.next();
       ++r.failures;
       if (pending > 0.0) {
-        if (next_failure < pending_durable_at) {
+        if (failed_at < pending_durable_at) {
           ++r.lost_drains;  // died before the previous drain finished
           if (tracer) {
             tracer->instant(obs::kCheckpointDrainTrack, "lost_drain", "ckpt",
-                            next_failure);
+                            failed_at);
           }
         } else {
           done += pending;  // previous checkpoint made it to the PFS
@@ -85,12 +126,12 @@ CheckpointSimResult SimulateWithBurstBuffer(const CheckpointSimParams& p, Rng& r
         pending = 0.0;
       }
       if (tracer) {
-        tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", next_failure);
-        tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", next_failure,
-                         next_failure + p.restart_seconds);
+        tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", failed_at);
+        tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", failed_at,
+                         failed_at + p.restart_seconds);
       }
-      now = next_failure + p.restart_seconds;
-      next_failure_after(now);
+      now = failed_at + p.restart_seconds;
+      fail.advance_past(now);
       continue;
     }
     r.stall_seconds += absorb_start - compute_end;
@@ -127,19 +168,17 @@ CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng
   }
   CheckpointSimResult r;
   obs::Tracer* tracer = PhaseTracer(p);
-  const double gamma_term = std::tgamma(1.0 + 1.0 / p.weibull_shape);
-  const double scale = p.mtti_seconds / gamma_term;
+  FailureClock fail(p, rng);
 
   double done = 0.0;        // committed (checkpointed) work
   double now = 0.0;
-  double next_failure = rng.weibull(p.weibull_shape, scale);
 
   while (done < p.work_seconds) {
     // Attempt one segment: compute `interval` (or the remainder) and then
     // checkpoint it. Progress only commits when the checkpoint finishes.
     const double segment = std::min(p.interval, p.work_seconds - done);
     const double attempt_end = now + segment + p.checkpoint_seconds;
-    if (next_failure >= attempt_end) {
+    if (fail.next() >= attempt_end) {
       if (tracer) {
         tracer->complete(obs::kCheckpointTrack, "compute", "ckpt", now,
                          now + segment);
@@ -153,16 +192,15 @@ CheckpointSimResult SimulateCheckpointing(const CheckpointSimParams& p, Rng& rng
     }
     // Failure mid-segment (or mid-checkpoint): progress since the last
     // checkpoint is lost, pay the restart.
+    const double failed_at = fail.next();
     ++r.failures;
     if (tracer) {
-      tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", next_failure);
-      tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", next_failure,
-                       next_failure + p.restart_seconds);
+      tracer->instant(obs::kCheckpointTrack, "failure", "ckpt", failed_at);
+      tracer->complete(obs::kCheckpointTrack, "restart", "ckpt", failed_at,
+                       failed_at + p.restart_seconds);
     }
-    now = next_failure + p.restart_seconds;
-    while (next_failure <= now) {
-      next_failure += rng.weibull(p.weibull_shape, scale);
-    }
+    now = failed_at + p.restart_seconds;
+    fail.advance_past(now);
   }
   r.wall_seconds = now;
   r.utilization = p.work_seconds / now;

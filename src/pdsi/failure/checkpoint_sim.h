@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "pdsi/common/rng.h"
 
@@ -35,6 +36,16 @@ struct CheckpointSimParams {
   // classic direct-to-PFS model below is used unchanged.
   double bb_absorb_seconds = 0.0;  ///< blocking absorb into the burst buffer
   double bb_drain_seconds = 0.0;   ///< background drain to the PFS
+
+  /// Optional injected interrupt schedule (virtual seconds, ascending;
+  /// must outlive the call). When set, failures strike at exactly these
+  /// instants instead of the analytic Weibull process — the hook
+  /// pdsi::fault uses to couple lost work to actually-injected faults
+  /// (FaultInjector::interrupt_times()). Instants landing during a
+  /// restart are absorbed by it (the machine is already down), matching
+  /// how the analytic process skips draws inside restarts. With nullptr
+  /// the analytic model runs unchanged, draw-for-draw.
+  const std::vector<double>* interrupts = nullptr;
 
   /// Optional tracing/metrics sink (must outlive the call): phase spans
   /// (compute/checkpoint/absorb/stall/restart, drains on their own track)

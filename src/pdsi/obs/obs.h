@@ -129,6 +129,7 @@ inline constexpr std::uint32_t kBbDrainTrack = 601;
 inline constexpr std::uint32_t kReaderTrackBase = 700;
 inline constexpr std::uint32_t kCheckpointTrack = 800;
 inline constexpr std::uint32_t kCheckpointDrainTrack = 801;
+inline constexpr std::uint32_t kFaultTrack = 900;
 inline constexpr std::uint32_t kOssTrackBase = 1000;
 
 class Tracer {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pdsi/fault/fault.h"
+
 namespace pdsi::pfs {
 
 PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
@@ -254,12 +256,73 @@ double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
   return granted;
 }
 
+double PfsClient::serve_chunk(std::uint32_t server, std::uint64_t file_id,
+                              std::uint64_t off, std::uint64_t len, bool is_read,
+                              double t, bool* ok) {
+  *ok = true;
+  Oss& oss = cluster_.oss(server);
+  fault::FaultInjector* inj = cluster_.fault();
+  if (!inj) {
+    return is_read ? oss.serve_read(file_id, off, len, t)
+                   : oss.serve_write(file_id, off, len, t);
+  }
+  const fault::FaultPlan& plan = inj->plan();
+  double at = t;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool is_down = inj->down(server, at);
+    if (!is_down && !inj->drop_rpc(server)) {
+      return is_read ? oss.serve_read(file_id, off, len, at)
+                     : oss.serve_write(file_id, off, len, at);
+    }
+    if (!is_down) inj->note_drop(server, at);
+    // Reads from a crashed server go to a surviving server once the first
+    // attempt has timed out (the crash is detected, never predicted).
+    if (is_down && is_read && plan.read_failover && attempt > 0) {
+      for (std::uint32_t step = 1; step < cluster_.num_oss(); ++step) {
+        const std::uint32_t cand = (server + step) % cluster_.num_oss();
+        if (!inj->down(cand, at)) {
+          inj->note_failover(server, cand, at);
+          return cluster_.oss(cand).serve_failover_read(file_id, off, len, at);
+        }
+      }
+    }
+    if (attempt >= plan.max_retries) break;
+    const double penalty =
+        plan.rpc_timeout_s +
+        plan.retry_backoff_s * static_cast<double>(1u << std::min(attempt, 20u));
+    inj->note_retry(server, at, at + penalty);
+    at += penalty;
+  }
+  *ok = false;
+  return at;
+}
+
+double PfsClient::await_server(std::uint32_t server, double t, bool* ok) {
+  *ok = true;
+  fault::FaultInjector* inj = cluster_.fault();
+  if (!inj) return t;
+  const fault::FaultPlan& plan = inj->plan();
+  double at = t;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (!inj->down(server, at)) return at;
+    if (attempt >= plan.max_retries) break;
+    const double penalty =
+        plan.rpc_timeout_s +
+        plan.retry_backoff_s * static_cast<double>(1u << std::min(attempt, 20u));
+    inj->note_retry(server, at, at + penalty);
+    at += penalty;
+  }
+  *ok = false;
+  return at;
+}
+
 Status PfsClient::write(FileHandle fh, std::uint64_t off,
                         std::span<const std::uint8_t> data) {
   OpenFile* f = get(fh);
   if (!f) return Errc::bad_handle;
   if (data.empty()) return Status::Ok();
   const PfsConfig& cfg = cluster_.config();
+  Status st = Status::Ok();
 
   cluster_.scheduler().atomically(actor_, [&](double t0) {
     PfsCluster::LockUnit* whole = nullptr;
@@ -278,17 +341,28 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
       const std::uint32_t server =
           cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
       touched.insert(server);
-      done = std::max(done, cluster_.oss(server).serve_write(f->file_id, pos, n, t));
+      bool ok = true;
+      done = std::max(done,
+                      serve_chunk(server, f->file_id, pos, n, /*is_read=*/false,
+                                  t, &ok));
+      if (!ok) {
+        st = Errc::io_error;
+        break;
+      }
       pos += n;
       i += n;
     }
     if (whole) whole->free = done;
 
-    if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
-    cluster_.mds().extend(f->path, off + data.size(), done);
+    // A failed write is failed wholesale: no payload lands and the MDS
+    // size is not extended (the time spent trying is still charged).
+    if (st.ok()) {
+      if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
+      cluster_.mds().extend(f->path, off + data.size(), done);
+    }
     return done;
   });
-  return Status::Ok();
+  return st;
 }
 
 Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
@@ -320,7 +394,13 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
       const std::uint64_t n = std::min(cfg.stripe_unit - in_stripe, remaining);
       const std::uint32_t server =
           cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
-      done = std::max(done, cluster_.oss(server).serve_read(f->file_id, pos, n, t0));
+      bool ok = true;
+      done = std::max(done, serve_chunk(server, f->file_id, pos, n,
+                                        /*is_read=*/true, t0, &ok));
+      if (!ok) {
+        result = Errc::io_error;
+        return done;
+      }
       pos += n;
       remaining -= n;
     }
@@ -336,14 +416,24 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
 Status PfsClient::fsync(FileHandle fh) {
   OpenFile* f = get(fh);
   if (!f) return Errc::bad_handle;
+  Status st = Status::Ok();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     double done = t;
     for (std::uint32_t s : cluster_.touched_servers(f->file_id)) {
-      done = std::max(done, cluster_.oss(s).flush(f->file_id, t));
+      bool ok = true;
+      const double at = await_server(s, t, &ok);
+      done = std::max(done, at);
+      if (!ok) {
+        // This server's dirty data cannot be forced out; keep flushing
+        // the others so their state is durable, but report the failure.
+        st = Errc::io_error;
+        continue;
+      }
+      done = std::max(done, cluster_.oss(s).flush(f->file_id, at));
     }
     return done;
   });
-  return Status::Ok();
+  return st;
 }
 
 Status PfsClient::close(FileHandle fh) {

@@ -88,6 +88,21 @@ class PfsClient {
   double acquire_locks(std::uint64_t file_id, std::uint64_t off, std::uint64_t len,
                        double t, PfsCluster::LockUnit** whole_file_unit);
 
+  /// One striped chunk, through the injected-fault path when the cluster
+  /// has a fault injector: timeout + exponential-backoff retries on a
+  /// down server or dropped RPC, and read failover to a surviving server.
+  /// Returns the chunk's completion time; clears *ok once the plan's
+  /// retry budget is exhausted. Without an injector this is exactly one
+  /// serve_read/serve_write call.
+  double serve_chunk(std::uint32_t server, std::uint64_t file_id,
+                     std::uint64_t off, std::uint64_t len, bool is_read,
+                     double t, bool* ok);
+
+  /// Waits out injected unavailability of `server` starting at `t` (the
+  /// fsync path: flushes cannot fail over). Returns the instant the
+  /// server answers; clears *ok after the retry budget is exhausted.
+  double await_server(std::uint32_t server, double t, bool* ok);
+
   PfsCluster& cluster_;
   std::size_t actor_;
   std::vector<OpenFile> open_files_;

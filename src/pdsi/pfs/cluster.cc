@@ -16,6 +16,11 @@ PfsCluster::PfsCluster(PfsConfig cfg, sim::VirtualScheduler& sched,
   }
 }
 
+void PfsCluster::set_fault(fault::FaultInjector* f) {
+  fault_ = f;
+  for (auto& s : servers_) s->set_fault(f);
+}
+
 double PfsCluster::total_disk_busy() const {
   double t = 0.0;
   for (const auto& s : servers_) t += s->disk_busy_seconds();

@@ -20,6 +20,10 @@
 #include "pdsi/pfs/sparse_buffer.h"
 #include "pdsi/sim/virtual_time.h"
 
+namespace pdsi::fault {
+class FaultInjector;
+}  // namespace pdsi::fault
+
 namespace pdsi::pfs {
 
 class PfsCluster {
@@ -45,6 +49,13 @@ class PfsCluster {
   /// Aggregate disk busy-time across servers (utilisation reporting).
   double total_disk_busy() const;
 
+  /// Installs (or clears, with nullptr) the fault injector consulted by
+  /// clients, servers and drain targets. Install before traffic starts;
+  /// the injector must outlive its use. nullptr (the default) keeps every
+  /// data path byte-identical to a fault-free build.
+  void set_fault(fault::FaultInjector* f);
+  fault::FaultInjector* fault() const { return fault_; }
+
   // -- File payload (present when cfg.store_data) --
   SparseBuffer* data_for(std::uint64_t file_id, bool create_if_missing);
   void drop_data(std::uint64_t file_id);
@@ -68,6 +79,7 @@ class PfsCluster {
   sim::VirtualScheduler& sched_;
   std::unique_ptr<PlacementStrategy> placement_;
   obs::Context* obs_;
+  fault::FaultInjector* fault_ = nullptr;
   Mds mds_;
   std::vector<std::unique_ptr<Oss>> servers_;
   std::unordered_map<std::uint64_t, SparseBuffer> file_data_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pdsi/fault/fault.h"
+
 namespace pdsi::pfs {
 
 Oss::Oss(const PfsConfig& cfg, std::uint32_t index, obs::Context* ctx)
@@ -28,16 +30,32 @@ void Oss::record(double start, double end, std::uint64_t len) {
   if (ctx_ && c_ops_) c_ops_->add(1);
 }
 
+void Oss::maybe_crash_reset(double now) {
+  if (!fault_) return;
+  if (fault_->crashes_between(index_, fault_checked_, now) > 0) {
+    // The restarted server lost volatile state: dirty write-back runs and
+    // readahead windows. Object sizes survive — the extent map is on disk
+    // (and payload integrity lives in the cluster-level SparseBuffer).
+    for (auto& kv : objects_) {
+      kv.second.pending_len = 0;
+      kv.second.ra_len = 0;
+    }
+  }
+  fault_checked_ = std::max(fault_checked_, now);
+}
+
 double Oss::disk_charge(std::uint64_t object_id, std::uint64_t off,
                         std::uint64_t len, double t, const char* what) {
-  const double service = disk_.access(object_id, off, len) * perturb_.disk_factor;
+  const double dfac =
+      perturb_.disk_factor * (fault_ ? fault_->disk_factor(index_) : 1.0);
+  const double service = disk_.access(object_id, off, len) * dfac;
   const double done = disk_res_.reserve(t, service);
   if (ctx_) {
     // Seek-vs-transfer attribution: streaming time is the irreducible
     // part, everything above it is head positioning (the quantity PLFS
     // exists to eliminate).
     const double transfer =
-        std::min(service, disk_.stream_time(len) * perturb_.disk_factor);
+        std::min(service, disk_.stream_time(len) * dfac);
     if (g_transfer_s_) g_transfer_s_->add(transfer);
     if (g_seek_s_) g_seek_s_->add(service - transfer);
     if (ctx_->tracer) {
@@ -67,6 +85,7 @@ double Oss::rmw_charge(std::uint64_t object_id, std::uint64_t off, double t) {
 
 double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
                         std::uint64_t len, double now) {
+  maybe_crash_reset(now);
   const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
@@ -76,6 +95,12 @@ double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
 
   ObjectState& st = objects_[object_id];
   st.size = std::max(st.size, off + len);
+  // An overlapping write invalidates the readahead window: the cached
+  // pages no longer match what a subsequent read must observe, so only
+  // the untouched prefix may keep serving hits.
+  if (st.ra_len > 0 && off < st.ra_start + st.ra_len && off + len > st.ra_start) {
+    st.ra_len = off > st.ra_start ? off - st.ra_start : 0;
+  }
   const bool extends =
       st.pending_len > 0 && off == st.pending_start + st.pending_len;
   if (extends) {
@@ -110,6 +135,7 @@ double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
 
 double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
                        std::uint64_t len, double now) {
+  maybe_crash_reset(now);
   const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
@@ -118,13 +144,19 @@ double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
   ObjectState& st = objects_[object_id];
   const bool hit =
       st.ra_len > 0 && off >= st.ra_start && off + len <= st.ra_start + st.ra_len;
-  if (!hit) {
+  if (!hit && off >= st.size) {
+    // Hole on this server: nothing is stored at or beyond `off` (the
+    // client clamps against the MDS size, which spans all stripes), so
+    // the extent map answers without disk I/O and no readahead window is
+    // installed — previously this charged a full flush_chunk transfer
+    // for data that was never written.
+  } else if (!hit) {
     // Fetch a readahead window starting at the request, clamped to the
     // object's stored size (no point prefetching past EOF). Dirty pending
     // data must reach disk first so the read observes it.
     t = flush_pending(st, object_id, t);
     std::uint64_t window = std::max<std::uint64_t>(len, cfg_.flush_chunk);
-    if (st.size > off) window = std::min(window, st.size - off);
+    window = std::min(window, st.size - off);
     window = std::max(window, len);
     t = disk_charge(object_id, off, window, t, "readahead");
     st.ra_start = off;
@@ -146,7 +178,33 @@ double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
   return t;
 }
 
+double Oss::serve_failover_read(std::uint64_t object_id, std::uint64_t off,
+                                std::uint64_t len, double now) {
+  maybe_crash_reset(now);
+  double t = now + cfg_.rpc_latency_s;
+  t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
+                              perturb_.cpu_factor);
+  // Always a cold disk read: the replica copy's cache is not modelled and
+  // this server's own readahead window must not be disturbed.
+  t = disk_charge(object_id, off, len, t, "failover_read");
+  t = nic_res_.reserve(
+      t, static_cast<double>(len) / cfg_.net_bw_bytes * perturb_.net_factor);
+  record(now, t, len);
+  if (ctx_) {
+    if (c_bytes_read_) c_bytes_read_->add(len);
+    if (h_read_lat_) h_read_lat_->add(t - now);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kOssTrackBase + index_, "failover_read", "oss",
+                             now, t,
+                             {obs::Arg::Int("obj", object_id),
+                              obs::Arg::Int("off", off), obs::Arg::Int("len", len)});
+    }
+  }
+  return t;
+}
+
 double Oss::serve_small_op(double now) {
+  maybe_crash_reset(now);
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, cfg_.server_cpu_per_op_s * perturb_.cpu_factor);
   record(now, t, 0);
@@ -157,6 +215,7 @@ double Oss::serve_small_op(double now) {
 }
 
 double Oss::flush(std::uint64_t object_id, double now) {
+  maybe_crash_reset(now);
   auto it = objects_.find(object_id);
   if (it == objects_.end()) return now;
   return flush_pending(it->second, object_id, now);

@@ -21,6 +21,10 @@
 #include "pdsi/storage/disk_model.h"
 #include "pdsi/pfs/config.h"
 
+namespace pdsi::fault {
+class FaultInjector;
+}  // namespace pdsi::fault
+
 namespace pdsi::pfs {
 
 /// Fault-injection knobs (diagnosis experiments): service-time multipliers
@@ -56,6 +60,12 @@ class Oss {
   double serve_read(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
                     double now);
 
+  /// Serves a failover read for data whose primary server is down:
+  /// charged like a cold read (rpc + cpu + disk + nic) without touching
+  /// this server's cache state (the replica copy's cache is not modelled).
+  double serve_failover_read(std::uint64_t object_id, std::uint64_t off,
+                             std::uint64_t len, double now);
+
   /// Metadata-ish small op on this server (e.g. object create).
   double serve_small_op(double now);
 
@@ -67,6 +77,11 @@ class Oss {
 
   void set_perturbation(const OssPerturbation& p) { perturb_ = p; }
   const OssPerturbation& perturbation() const { return perturb_; }
+
+  /// Installs the cluster's fault injector: its per-server disk factor
+  /// multiplies every disk charge, and volatile cache state (write-back
+  /// runs, readahead windows) is dropped once a crash window has passed.
+  void set_fault(const fault::FaultInjector* f) { fault_ = f; }
 
   /// Snapshot-and-reset windowed metrics (monitor sampling).
   OssMetrics drain_metrics();
@@ -85,6 +100,10 @@ class Oss {
 
   double rmw_charge(std::uint64_t object_id, std::uint64_t off, double t);
   double flush_pending(ObjectState& st, std::uint64_t object_id, double t);
+  /// Crash recovery: if an injected crash window began since the last
+  /// request, the restarted server has lost its volatile cache (dirty
+  /// write-back runs and readahead windows; object sizes are on disk).
+  void maybe_crash_reset(double now);
   void record(double start, double end, std::uint64_t len);
   /// Charges a disk access and splits the service into seek vs transfer
   /// time for the obs gauges; emits a "disk" span when tracing.
@@ -98,6 +117,8 @@ class Oss {
   sim::SimResource nic_res_;
   sim::SimResource cpu_res_;
   OssPerturbation perturb_;
+  const fault::FaultInjector* fault_ = nullptr;
+  double fault_checked_ = 0.0;  ///< crash windows scanned up to here
   OssMetrics metrics_;
   std::unordered_map<std::uint64_t, ObjectState> objects_;
 

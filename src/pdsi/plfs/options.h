@@ -36,6 +36,12 @@ struct Options {
   /// index merge.
   bool write_meta_hints = true;
 
+  /// Reader: when a dropping cannot be read (its server is down), report
+  /// the region as a zero-filled hole and count the error instead of
+  /// failing the whole read — the restart can consume what survives.
+  /// Errors are surfaced via Reader::read_errors().
+  bool degraded_reads = false;
+
   /// Client CPU charged per index record during the restart merge
   /// (decode + sort + interval-map insert). This is why index
   /// compression pays off at restart: pattern records shrink the merge.

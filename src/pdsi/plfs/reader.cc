@@ -34,6 +34,7 @@ Reader::Reader(Backend& backend, Options options)
     if (options_.obs->registry) {
       c_reads_ = &options_.obs->registry->counter("plfs.reads");
       c_segments_ = &options_.obs->registry->counter("plfs.read_segments");
+      c_degraded_ = &options_.obs->registry->counter("plfs.degraded_segments");
     }
   }
 }
@@ -120,8 +121,16 @@ Status Reader::build(const std::string& path) {
     }
     for (auto& t : pool) t.join();
   }
-  for (const auto& st : statuses) {
-    if (!st.ok()) return st;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    if (!options_.degraded_reads) return statuses[i];
+    // Degraded build: an unreadable index dropping (its server is down)
+    // means that rank's writes are invisible. Drop it, count the error,
+    // and merge what survives — regions it covered read back as holes.
+    ++read_errors_;
+    if (c_degraded_) c_degraded_->add(1);
+    decoded[i].clear();
+    sizes[i] = 0;
   }
 
   // Merge: stamp dropping ids, order globally by write sequence, insert.
@@ -174,6 +183,7 @@ Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out)
   obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
   const double v0 = tracer ? backend_.now() : 0.0;
 
+  const std::uint64_t errors_before = read_errors_;
   const auto segs = index_.lookup(off, len);
   for (const auto& seg : segs) {
     auto dst = out.subspan(seg.logical - off, seg.length);
@@ -181,21 +191,46 @@ Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out)
       std::memset(dst.data(), 0, dst.size());
       continue;
     }
+    auto degrade = [&]() {
+      // Degraded read: the dropping's server is unreachable (or the
+      // dropping is shorter than its index claims). Hand back a
+      // zero-filled hole and count it rather than failing the request.
+      ++read_errors_;
+      if (c_degraded_) c_degraded_->add(1);
+      std::memset(dst.data(), 0, dst.size());
+    };
     auto h = data_handle(seg.dropping);
-    if (!h.ok()) return h.error();
+    if (!h.ok()) {
+      if (!options_.degraded_reads) return h.error();
+      degrade();
+      continue;
+    }
     auto n = backend_.read(*h, seg.physical, dst);
-    if (!n.ok()) return n.error();
+    if (!n.ok()) {
+      if (!options_.degraded_reads) return n.error();
+      degrade();
+      continue;
+    }
     if (*n < dst.size()) {
       // Data dropping shorter than its index claims: corrupt container.
-      return Errc::io_error;
+      if (!options_.degraded_reads) return Errc::io_error;
+      degrade();
     }
   }
   if (c_reads_) c_reads_->add(1);
   if (c_segments_) c_segments_->add(segs.size());
   if (tracer) {
-    tracer->complete(options_.obs_track, "read", "plfs", v0, backend_.now(),
-                     {obs::Arg::Int("off", off), obs::Arg::Int("len", len),
-                      obs::Arg::Int("segments", segs.size())});
+    const std::uint64_t errs = read_errors_ - errors_before;
+    if (errs > 0) {
+      tracer->complete(options_.obs_track, "read", "plfs", v0, backend_.now(),
+                       {obs::Arg::Int("off", off), obs::Arg::Int("len", len),
+                        obs::Arg::Int("segments", segs.size()),
+                        obs::Arg::Int("errors", errs)});
+    } else {
+      tracer->complete(options_.obs_track, "read", "plfs", v0, backend_.now(),
+                       {obs::Arg::Int("off", off), obs::Arg::Int("len", len),
+                        obs::Arg::Int("segments", segs.size())});
+    }
   }
   return static_cast<std::size_t>(len);
 }

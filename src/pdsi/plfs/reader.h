@@ -45,6 +45,9 @@ class Reader {
   std::size_t dropping_count() const { return droppings_.size(); }
   std::uint64_t index_bytes_read() const { return index_bytes_read_; }
   double index_build_seconds() const { return index_build_seconds_; }
+  /// Droppings skipped at build plus segments zero-filled during reads
+  /// (only ever nonzero with options.degraded_reads).
+  std::uint64_t read_errors() const { return read_errors_; }
 
  private:
   Reader(Backend& backend, Options options);
@@ -60,8 +63,10 @@ class Reader {
   std::unordered_map<std::uint32_t, BackendHandle> handles_;
   std::uint64_t index_bytes_read_ = 0;
   double index_build_seconds_ = 0.0;            ///< wall time (real backends)
+  std::uint64_t read_errors_ = 0;
   obs::Counter* c_reads_ = nullptr;
   obs::Counter* c_segments_ = nullptr;
+  obs::Counter* c_degraded_ = nullptr;
 };
 
 }  // namespace pdsi::plfs

@@ -1,0 +1,394 @@
+// pdsi::fault — the deterministic fault-injection layer and every data
+// path that consults it: client retry/failover, OSS crash recovery,
+// burst-buffer drain parking, PLFS degraded reads, and the injected
+// interrupt schedule for the checkpoint simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "pdsi/bb/drain_target.h"
+#include "pdsi/common/bytes.h"
+#include "pdsi/failure/checkpoint_sim.h"
+#include "pdsi/fault/fault.h"
+#include "pdsi/pfs/client.h"
+#include "pdsi/pfs/cluster.h"
+#include "pdsi/plfs/pfs_backend.h"
+#include "pdsi/plfs/reader.h"
+#include "pdsi/plfs/writer.h"
+
+namespace pdsi {
+namespace {
+
+constexpr double kForever = 1e18;
+
+fault::FaultPlan CrashPlan(double mtbf, double restart, double horizon) {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.oss_mtbf_s = mtbf;
+  plan.oss_restart_s = restart;
+  plan.horizon_s = horizon;
+  return plan;
+}
+
+TEST(FaultSchedule, DeterministicAcrossInstances) {
+  const fault::FaultPlan plan = CrashPlan(50.0, 5.0, 2000.0);
+  fault::FaultInjector a(plan, 4);
+  fault::FaultInjector b(plan, 4);
+  EXPECT_GT(a.crash_count(), 0u);
+  EXPECT_EQ(a.crash_count(), b.crash_count());
+  EXPECT_EQ(a.interrupt_times(), b.interrupt_times());
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (double t = 0.0; t < 2000.0; t += 13.7) {
+      ASSERT_EQ(a.down(s, t), b.down(s, t)) << "server " << s << " t " << t;
+      ASSERT_EQ(a.next_up(s, t), b.next_up(s, t));
+    }
+  }
+  const auto times = a.interrupt_times();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.size(), a.crash_count());
+
+  // A different seed produces a different schedule.
+  fault::FaultPlan other = plan;
+  other.seed = 43;
+  fault::FaultInjector c(other, 4);
+  EXPECT_NE(a.interrupt_times(), c.interrupt_times());
+}
+
+TEST(FaultSchedule, DownNextUpAndForceDown) {
+  fault::FaultInjector inj(fault::FaultPlan{}, 2);  // inactive: never down
+  EXPECT_FALSE(inj.down(0, 123.0));
+  EXPECT_EQ(inj.next_up(0, 123.0), 123.0);
+  EXPECT_EQ(inj.crash_count(), 0u);
+
+  inj.force_down(0, 10.0, 20.0);
+  EXPECT_FALSE(inj.down(0, 9.999));
+  EXPECT_TRUE(inj.down(0, 10.0));
+  EXPECT_TRUE(inj.down(0, 19.999));
+  EXPECT_FALSE(inj.down(0, 20.0));
+  EXPECT_FALSE(inj.down(1, 15.0)) << "windows are per-server";
+  EXPECT_EQ(inj.next_up(0, 15.0), 20.0);
+  EXPECT_EQ(inj.crashes_between(0, 0.0, 15.0), 1u);
+  EXPECT_EQ(inj.crashes_between(0, 10.0, 15.0), 0u) << "(since, until] is half-open";
+
+  // Overlapping forced windows coalesce into one outage.
+  inj.force_down(0, 15.0, 30.0);
+  EXPECT_TRUE(inj.down(0, 22.0));
+  EXPECT_EQ(inj.next_up(0, 12.0), 30.0);
+  EXPECT_EQ(inj.crash_count(), 1u);
+}
+
+TEST(FaultSchedule, SlowDiskFactor) {
+  fault::FaultPlan plan;
+  plan.slow_disk_prob = 1.0;
+  plan.slow_disk_factor = 4.0;
+  fault::FaultInjector inj(plan, 3);
+  for (std::uint32_t s = 0; s < 3; ++s) EXPECT_EQ(inj.disk_factor(s), 4.0);
+  fault::FaultInjector none(fault::FaultPlan{}, 3);
+  for (std::uint32_t s = 0; s < 3; ++s) EXPECT_EQ(none.disk_factor(s), 1.0);
+}
+
+// Runs a small write/read/fsync workload and returns the client's final
+// virtual time plus total disk busy-seconds.
+std::pair<double, double> RunWorkload(fault::FaultInjector* inj) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(4), sched);
+  if (inj) cluster.set_fault(inj);
+  pfs::PfsClient client(cluster, 0);
+  auto fh = *client.create("/f");
+  Bytes buf(256 * 1024);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(client.write(fh, static_cast<std::uint64_t>(i) * buf.size(), buf).ok());
+  }
+  EXPECT_TRUE(client.fsync(fh).ok());
+  Bytes out(buf.size());
+  EXPECT_TRUE(client.read(fh, 0, out).ok());
+  EXPECT_TRUE(client.close(fh).ok());
+  const double t = client.now();
+  sched.finish(0);
+  return {t, cluster.total_disk_busy()};
+}
+
+TEST(FaultInert, ZeroPlanChangesNothing) {
+  const auto [t_none, busy_none] = RunWorkload(nullptr);
+  fault::FaultInjector zero(fault::FaultPlan{}, 4);
+  const auto [t_zero, busy_zero] = RunWorkload(&zero);
+  EXPECT_EQ(t_none, t_zero);
+  EXPECT_EQ(busy_none, busy_zero);
+  EXPECT_EQ(zero.retries(), 0u);
+  EXPECT_EQ(zero.dropped_rpcs(), 0u);
+}
+
+TEST(FaultClient, DroppedRpcsAreRetriedAndDeterministic) {
+  auto run = [](fault::FaultInjector& inj) {
+    sim::VirtualScheduler sched(1);
+    pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(2), sched);
+    cluster.set_fault(&inj);
+    pfs::PfsClient client(cluster, 0);
+    auto fh = *client.create("/f");
+    Bytes buf(4096);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE(client.write(fh, static_cast<std::uint64_t>(i) * buf.size(), buf).ok())
+          << "write " << i << " should survive drops within the retry budget";
+    }
+    const double t = client.now();
+    sched.finish(0);
+    return t;
+  };
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.rpc_drop_prob = 0.3;
+  fault::FaultInjector a(plan, 2);
+  const double ta = run(a);
+  EXPECT_GT(a.dropped_rpcs(), 0u);
+  EXPECT_GE(a.retries(), a.dropped_rpcs());
+
+  fault::FaultInjector b(plan, 2);
+  EXPECT_EQ(ta, run(b)) << "same seed, same drop sequence, same timing";
+  EXPECT_EQ(a.dropped_rpcs(), b.dropped_rpcs());
+
+  const auto [t_clean, busy] = RunWorkload(nullptr);
+  (void)t_clean;
+  (void)busy;
+}
+
+TEST(FaultClient, WriteFailsAndCloseSurfacesFsyncError) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(1), sched);
+  fault::FaultInjector inj(fault::FaultPlan{}, 1);
+  inj.force_down(0, 0.0, kForever);
+  cluster.set_fault(&inj);
+  pfs::PfsClient client(cluster, 0);
+  auto fh = *client.create("/f");  // MDS only: succeeds with the OSS down
+  Bytes buf(4096);
+  const double before = client.now();
+  Status st = client.write(fh, 0, buf);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(inj.retries(), inj.plan().max_retries);
+  EXPECT_GT(client.now(), before) << "the failed attempts still cost time";
+  // The write failed wholesale: the file was never extended.
+  EXPECT_EQ(*client.file_size(fh), 0u);
+  // close() -> fsync(): the touched server cannot be flushed.
+  EXPECT_FALSE(client.close(fh).ok());
+  sched.finish(0);
+}
+
+TEST(FaultClient, ReadFailsOverToSurvivingServer) {
+  auto run = [](bool failover, std::uint64_t* failovers) {
+    sim::VirtualScheduler sched(1);
+    pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(2);
+    pfs::PfsCluster cluster(cfg, sched);
+    pfs::PfsClient client(cluster, 0);
+    auto fh = *client.create("/f");
+    Bytes data = MakePattern(0, 0, 2 * cfg.stripe_unit);  // both servers
+    EXPECT_TRUE(client.write(fh, 0, data).ok());
+    EXPECT_TRUE(client.fsync(fh).ok());
+
+    const std::uint64_t fid = cluster.mds().lookup("/f")->file_id;
+    const std::uint32_t owner = cluster.placement().server_for(fid, 0, 2);
+    fault::FaultPlan plan;
+    plan.read_failover = failover;
+    fault::FaultInjector inj(plan, 2);
+    inj.force_down(owner, client.now(), kForever);
+    cluster.set_fault(&inj);
+
+    Bytes out(cfg.stripe_unit);
+    auto n = client.read(fh, 0, out);
+    if (failovers) *failovers = inj.failovers();
+    Status st = n.ok() ? Status::Ok() : Status(n.error());
+    if (n.ok()) {
+      EXPECT_EQ(*n, out.size());
+      EXPECT_EQ(FindPatternMismatch(0, 0, out), kNoMismatch)
+          << "failover must serve the real bytes";
+    }
+    sched.finish(0);
+    return st;
+  };
+  std::uint64_t failovers = 0;
+  EXPECT_TRUE(run(true, &failovers).ok());
+  EXPECT_GT(failovers, 0u);
+  // Single-copy regime: the same read fails while the owner is down.
+  EXPECT_FALSE(run(false, nullptr).ok());
+}
+
+TEST(FaultOss, CrashDropsReadaheadWindow) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(1), sched);
+  fault::FaultInjector inj(fault::FaultPlan{}, 1);
+  cluster.set_fault(&inj);
+  pfs::Oss& oss = cluster.oss(0);
+
+  double t = oss.serve_write(7, 0, 256 * 1024, 0.0);
+  t = oss.serve_read(7, 0, 64 * 1024, t);  // flush + cold read, arms readahead
+  const double busy_cold = oss.disk_busy_seconds();
+  t = oss.serve_read(7, 0, 64 * 1024, t);  // readahead hit: no disk charge
+  EXPECT_EQ(oss.disk_busy_seconds(), busy_cold);
+
+  inj.force_down(0, t + 0.1, t + 0.2);  // crash + restart between requests
+  t = oss.serve_read(7, 0, 64 * 1024, t + 0.3);
+  EXPECT_GT(oss.disk_busy_seconds(), busy_cold)
+      << "the restarted server lost its readahead window and must re-read";
+  sched.finish(0);
+}
+
+TEST(FaultBb, DrainParksUntilServerRestarts) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(1);
+  pfs::PfsCluster cluster(cfg, sched);
+  fault::FaultInjector inj(fault::FaultPlan{}, 1);
+  inj.force_down(0, 0.0, 3.0);
+  cluster.set_fault(&inj);
+  auto target = bb::MakePfsDrainTarget(cluster);
+  const double done = target->drain(1, 0, 1024 * 1024, 1.0);
+  EXPECT_GE(done, 3.0) << "the chunk waits out the crash window";
+  EXPECT_EQ(inj.drain_retries(), 1u);
+  sched.finish(0);
+}
+
+TEST(FaultPlfs, DegradedReadReturnsPartialDataWithErrorCount) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(8);
+  pfs::PfsCluster cluster(cfg, sched);
+  auto backend = plfs::MakePfsBackend(cluster, 0);
+  plfs::WriteClock clock{0};
+  const std::uint64_t kHalf = 256 * 1024;
+  const std::uint64_t kRec = 64 * 1024;
+  for (std::uint32_t rank = 0; rank < 2; ++rank) {
+    auto w = plfs::Writer::Open(*backend, "/ckpt", rank, plfs::Options{}, clock);
+    ASSERT_TRUE(w.ok());
+    for (std::uint64_t o = 0; o < kHalf; o += kRec) {
+      Bytes rec = MakePattern(rank, rank * kHalf + o, kRec);
+      ASSERT_TRUE((*w)->write(rank * kHalf + o, rec).ok());
+    }
+    ASSERT_TRUE((*w)->close().ok());
+  }
+
+  // Find a server holding rank 1's data log but not rank 0's.
+  pfs::PfsClient lister(cluster, 0);
+  std::vector<std::vector<std::uint32_t>> data_servers(2);
+  auto top = lister.readdir("/ckpt");
+  ASSERT_TRUE(top.ok());
+  for (const auto& name : *top) {
+    if (name.rfind("hostdir.", 0) != 0) continue;
+    const std::string hostdir = "/ckpt/" + name;
+    const auto entries = lister.readdir(hostdir);
+    ASSERT_TRUE(entries.ok());
+    for (const auto& e : *entries) {
+      if (e.rfind("data.", 0) != 0) continue;
+      const std::uint32_t rank = static_cast<std::uint32_t>(std::stoul(e.substr(5)));
+      const auto inode = cluster.mds().lookup(hostdir + "/" + e);
+      ASSERT_TRUE(inode.ok());
+      const std::uint64_t stripes =
+          (inode->size + cfg.stripe_unit - 1) / cfg.stripe_unit;
+      for (std::uint64_t s = 0; s < stripes; ++s) {
+        data_servers[rank].push_back(
+            cluster.placement().server_for(inode->file_id, s, cluster.num_oss()));
+      }
+    }
+  }
+  ASSERT_EQ(data_servers[0].size(), 1u);
+  ASSERT_EQ(data_servers[1].size(), 1u);
+  const std::uint32_t victim = data_servers[1][0];
+  ASSERT_NE(victim, data_servers[0][0])
+      << "placement put both logs on one server; enlarge the cluster";
+
+  // Healthy build, then the victim crashes for good before the read.
+  plfs::Options ropt;
+  ropt.degraded_reads = true;
+  auto reader = plfs::Reader::Open(*backend, "/ckpt", ropt);
+  ASSERT_TRUE(reader.ok());
+  fault::FaultPlan plan;
+  plan.read_failover = false;
+  fault::FaultInjector inj(plan, cluster.num_oss());
+  inj.force_down(victim, 0.0, kForever);
+  cluster.set_fault(&inj);
+
+  Bytes out(2 * kHalf, 0xFF);
+  auto n = (*reader)->read(0, out);
+  ASSERT_TRUE(n.ok()) << "degraded mode must not fail the read";
+  EXPECT_EQ(*n, out.size());
+  EXPECT_GT((*reader)->read_errors(), 0u);
+  std::span<const std::uint8_t> survived(out.data(), kHalf);
+  EXPECT_EQ(FindPatternMismatch(0, 0, survived), kNoMismatch)
+      << "the surviving rank's bytes are intact";
+  for (std::uint64_t i = kHalf; i < 2 * kHalf; ++i) {
+    ASSERT_EQ(out[i], 0u) << "lost region must read back as a hole at " << i;
+  }
+
+  // Without degraded_reads the same situation is a hard error.
+  auto strict = plfs::Reader::Open(*backend, "/ckpt");
+  ASSERT_TRUE(strict.ok());
+  Bytes out2(2 * kHalf);
+  EXPECT_FALSE((*strict)->read(0, out2).ok());
+  sched.finish(0);
+}
+
+TEST(FaultPlfs, DegradedBuildSkipsUnreadableIndexDroppings) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(1), sched);
+  auto backend = plfs::MakePfsBackend(cluster, 0);
+  plfs::WriteClock clock{0};
+  {
+    auto w = plfs::Writer::Open(*backend, "/ckpt", 0, plfs::Options{}, clock);
+    ASSERT_TRUE(w.ok());
+    Bytes rec(4096, 1);
+    ASSERT_TRUE((*w)->write(0, rec).ok());
+    ASSERT_TRUE((*w)->close().ok());
+  }
+  fault::FaultPlan plan;
+  plan.read_failover = false;
+  fault::FaultInjector inj(plan, 1);
+  inj.force_down(0, 0.0, kForever);
+  cluster.set_fault(&inj);
+
+  EXPECT_FALSE(plfs::Reader::Open(*backend, "/ckpt").ok());
+
+  plfs::Options ropt;
+  ropt.degraded_reads = true;
+  auto reader = plfs::Reader::Open(*backend, "/ckpt", ropt);
+  ASSERT_TRUE(reader.ok()) << "degraded build tolerates a lost index dropping";
+  EXPECT_GT((*reader)->read_errors(), 0u);
+  EXPECT_EQ((*reader)->size(), 0u) << "that rank's writes are invisible";
+  sched.finish(0);
+}
+
+TEST(FaultCheckpointSim, InjectedScheduleDrivesFailures) {
+  failure::CheckpointSimParams p;
+  p.work_seconds = 10 * 3600.0;
+  p.interval = 3600.0;
+  p.checkpoint_seconds = 300.0;
+  p.restart_seconds = 600.0;
+
+  const std::vector<double> empty;
+  p.interrupts = &empty;
+  Rng r0(1);
+  const auto clean = failure::SimulateCheckpointing(p, r0);
+  EXPECT_EQ(clean.failures, 0u);
+  EXPECT_EQ(clean.wall_seconds, 10 * (3600.0 + 300.0));
+
+  // One failure mid-third-segment, plus an instant inside the restart that
+  // must be absorbed (the machine is already down).
+  const std::vector<double> schedule = {2 * 3900.0 + 100.0, 2 * 3900.0 + 200.0};
+  p.interrupts = &schedule;
+  Rng r1(1);
+  const auto faulty = failure::SimulateCheckpointing(p, r1);
+  EXPECT_EQ(faulty.failures, 1u);
+  EXPECT_GT(faulty.wall_seconds, clean.wall_seconds);
+
+  Rng r2(1);
+  const auto again = failure::SimulateCheckpointing(p, r2);
+  EXPECT_EQ(faulty.wall_seconds, again.wall_seconds);
+  EXPECT_EQ(faulty.failures, again.failures);
+
+  // The injector's interrupt_times() slot straight in.
+  fault::FaultInjector inj(CrashPlan(4 * 3600.0, 600.0, 40 * 3600.0), 1);
+  const auto times = inj.interrupt_times();
+  ASSERT_FALSE(times.empty());
+  p.interrupts = &times;
+  Rng r3(1);
+  const auto injected = failure::SimulateCheckpointing(p, r3);
+  EXPECT_GT(injected.failures, 0u);
+}
+
+}  // namespace
+}  // namespace pdsi

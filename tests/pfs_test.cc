@@ -278,6 +278,185 @@ INSTANTIATE_TEST_SUITE_P(Personalities, NTo1Pathology,
                            return n;
                          });
 
+// Lock accounting pins: the pfs.lock_conflicts counter and pfs.lock_wait_s
+// histogram must attribute waits to actual protocol conflicts — and add
+// nothing on the uncontended fast path.
+
+// Two ranks write interleaved records; `disjoint` keeps each rank in its
+// own 64 KiB-aligned region (separate extent-lock units), otherwise both
+// hammer the same units. Returns {lock_conflicts, lock_wait samples}.
+std::pair<std::uint64_t, std::uint64_t> RunLockWorkload(LockProtocol locking,
+                                                        bool disjoint) {
+  obs::Registry reg;
+  obs::Context ctx;
+  ctx.registry = &reg;
+  PfsConfig cfg = PfsConfig::PanFsLike(2);
+  cfg.locking = locking;
+  cfg.store_data = false;
+  sim::VirtualScheduler sched(2);
+  PfsCluster cluster(cfg, sched, nullptr, &ctx);
+  sim::VirtualBarrier barrier(sched, {0, 1});
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      PfsClient client(cluster, r);
+      FileHandle fh;
+      if (r == 0) {
+        fh = *client.create("/locked");
+        barrier.arrive(r);
+      } else {
+        barrier.arrive(r);
+        fh = *client.open("/locked");
+      }
+      for (int i = 0; i < 8; ++i) {
+        Bytes data(4 * KiB);
+        const std::uint64_t off =
+            disjoint ? static_cast<std::uint64_t>(r) * MiB +
+                           static_cast<std::uint64_t>(i) * 64 * KiB
+                     : static_cast<std::uint64_t>(i) * 64 * KiB;
+        ASSERT_TRUE(client.write(fh, off, data).ok());
+      }
+      client.close(fh);
+      barrier.arrive(r);
+      sched.finish(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return {reg.counter("pfs.lock_conflicts").value(),
+          reg.histogram("pfs.lock_wait_s", obs::LatencyBuckets()).total()};
+}
+
+TEST(LockAccounting, SingleWriterFastPathAddsNothing) {
+  for (LockProtocol locking : {LockProtocol::whole_file, LockProtocol::extent}) {
+    obs::Registry reg;
+    obs::Context ctx;
+    ctx.registry = &reg;
+    PfsConfig cfg = PfsConfig::PanFsLike(2);
+    cfg.locking = locking;
+    cfg.store_data = false;
+    sim::VirtualScheduler sched(1);
+    PfsCluster cluster(cfg, sched, nullptr, &ctx);
+    PfsClient client(cluster, 0);
+    auto fh = *client.create("/solo");
+    for (int i = 0; i < 8; ++i) {
+      Bytes data(4 * KiB);
+      ASSERT_TRUE(
+          client.write(fh, static_cast<std::uint64_t>(i) * 64 * KiB, data).ok());
+    }
+    client.close(fh);
+    sched.finish(0);
+    EXPECT_EQ(reg.counter("pfs.lock_conflicts").value(), 0u)
+        << "uncontended writes must not count as conflicts";
+    EXPECT_EQ(reg.histogram("pfs.lock_wait_s", obs::LatencyBuckets()).total(), 0u)
+        << "the no-conflict fast path must record no wait samples";
+  }
+}
+
+TEST(LockAccounting, DisjointWritersConflictOnlyUnderWholeFileLocking) {
+  const auto [extent_conflicts, extent_waits] =
+      RunLockWorkload(LockProtocol::extent, /*disjoint=*/true);
+  EXPECT_EQ(extent_conflicts, 0u)
+      << "disjoint 64 KiB-aligned regions own disjoint extent units";
+  EXPECT_EQ(extent_waits, 0u);
+
+  const auto [wf_conflicts, wf_waits] =
+      RunLockWorkload(LockProtocol::whole_file, /*disjoint=*/true);
+  EXPECT_GT(wf_conflicts, 0u)
+      << "whole-file locking serialises even non-overlapping writers";
+  EXPECT_GE(wf_waits, wf_conflicts)
+      << "every revocation shows up as a wait sample";
+}
+
+TEST(LockAccounting, OverlappingExtentWritersConflict) {
+  const auto [conflicts, waits] =
+      RunLockWorkload(LockProtocol::extent, /*disjoint=*/false);
+  EXPECT_GT(conflicts, 0u);
+  EXPECT_EQ(waits, conflicts)
+      << "extent-lock waits and conflicts are charged under one condition";
+}
+
+// Regression: a write overlapping the readahead window must invalidate the
+// overlapped suffix — the cached pages no longer match the object — while
+// the untouched prefix and non-overlapping writes keep serving hits.
+TEST(OssRegression, OverlappingWriteInvalidatesReadaheadWindow) {
+  PfsConfig cfg = PfsConfig::PanFsLike(1);
+  cfg.rmw_on_unaligned = false;  // isolate the readahead charges
+  sim::VirtualScheduler sched(1);
+  PfsCluster cluster(cfg, sched);
+  Oss& oss = cluster.oss(0);
+
+  double t = oss.serve_write(1, 0, 256 * KiB, 0.0);
+  t = oss.serve_read(1, 0, 64 * KiB, t);  // cold: flush + arm window [0,256K)
+  const double busy_armed = oss.disk_busy_seconds();
+  t = oss.serve_read(1, 16 * KiB, 16 * KiB, t);
+  EXPECT_EQ(oss.disk_busy_seconds(), busy_armed) << "in-window read is a hit";
+
+  t = oss.serve_write(1, 512 * KiB, 4 * KiB, t);  // beyond the window
+  t = oss.flush(1, t);
+  const double busy_disjoint = oss.disk_busy_seconds();
+  t = oss.serve_read(1, 64 * KiB, 8 * KiB, t);
+  EXPECT_EQ(oss.disk_busy_seconds(), busy_disjoint)
+      << "a non-overlapping write must not invalidate the window";
+
+  t = oss.serve_write(1, 16 * KiB, 4 * KiB, t);  // overlaps: shrink to [0,16K)
+  t = oss.flush(1, t);
+  const double busy_overlap = oss.disk_busy_seconds();
+  t = oss.serve_read(1, 0, 8 * KiB, t);
+  EXPECT_EQ(oss.disk_busy_seconds(), busy_overlap)
+      << "the untouched prefix may keep serving hits";
+  t = oss.serve_read(1, 32 * KiB, 8 * KiB, t);
+  EXPECT_GT(oss.disk_busy_seconds(), busy_overlap)
+      << "reading past the invalidated point must go back to disk";
+  sched.finish(0);
+}
+
+// Regression: reading a range this server never stored (a hole in the
+// stripe) must answer from the extent map without disk I/O, and a
+// readahead window must clamp to the object's stored size instead of
+// prefetching past EOF.
+TEST(OssRegression, HoleReadsChargeNoDiskAndWindowClampsToSize) {
+  // Client level: a file whose first stripe was never written.
+  {
+    sim::VirtualScheduler sched(1);
+    PfsConfig cfg = PfsConfig::PanFsLike(2);
+    PfsCluster cluster(cfg, sched);
+    PfsClient client(cluster, 0);
+    auto fh = *client.create("/sparse");
+    Bytes data = MakePattern(0, cfg.stripe_unit, 64 * KiB);
+    ASSERT_TRUE(client.write(fh, cfg.stripe_unit, data).ok());
+    ASSERT_TRUE(client.fsync(fh).ok());
+
+    const std::uint64_t fid = cluster.mds().lookup("/sparse")->file_id;
+    const std::uint32_t hole_server = cluster.placement().server_for(fid, 0, 2);
+    Bytes out(64 * KiB, 0xFF);
+    ASSERT_TRUE(client.read(fh, 0, out).ok());
+    for (auto v : out) ASSERT_EQ(v, 0u) << "holes read as zeros";
+    EXPECT_EQ(cluster.oss(hole_server).disk_busy_seconds(), 0.0)
+        << "the hole stripe's server must not touch its disk";
+    sched.finish(0);
+  }
+  // Server level: the readahead window never extends past the stored size.
+  {
+    sim::VirtualScheduler sched(1);
+    PfsConfig cfg = PfsConfig::PanFsLike(1);
+    cfg.rmw_on_unaligned = false;
+    PfsCluster cluster(cfg, sched);
+    Oss& oss = cluster.oss(0);
+    double t = oss.serve_write(2, 0, 100 * KiB, 0.0);
+    t = oss.serve_read(2, 90 * KiB, 8 * KiB, t);  // window [90K, 100K)
+    const double busy_armed = oss.disk_busy_seconds();
+    t = oss.serve_read(2, 96 * KiB, 4 * KiB, t);  // inside the clamped window
+    EXPECT_EQ(oss.disk_busy_seconds(), busy_armed);
+    t = oss.serve_read(2, 100 * KiB, 8 * KiB, t);  // entirely past EOF: hole
+    EXPECT_EQ(oss.disk_busy_seconds(), busy_armed)
+        << "a read past the stored size must not charge the disk";
+    t = oss.serve_read(2, 92 * KiB, 4 * KiB, t);
+    EXPECT_EQ(oss.disk_busy_seconds(), busy_armed)
+        << "the hole read must not have replaced the readahead window";
+    sched.finish(0);
+  }
+}
+
 // Determinism across whole simulations: identical runs give identical
 // virtual finish times.
 TEST(PfsDeterminism, RepeatedRunsIdentical) {
