@@ -13,6 +13,7 @@
 
 #include "pdsi/common/table.h"
 #include "pdsi/obs/obs.h"
+#include "pdsi/obs/profile.h"
 
 namespace pdsi::bench {
 
@@ -89,7 +90,9 @@ class JsonReport {
 };
 
 /// Parses `--trace <path>` / `--trace=<path>` out of argv; returns the
-/// path or "" when absent (tracing stays disabled, the default).
+/// path or "" when absent (tracing stays disabled, the default). Paths
+/// ending in `.json` export the Chrome trace_event format; anything else
+/// gets the canonical compact text format (the `trace_tool` input).
 inline std::string TraceFlag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -99,17 +102,48 @@ inline std::string TraceFlag(int argc, char** argv) {
   return "";
 }
 
+/// `--profile`: after the run, aggregate the trace into a profile and
+/// print it as one byte-stable `BENCH_<bench>_profile.json` line (works
+/// with or without `--trace`).
+inline bool ProfileFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--profile") return true;
+  }
+  return false;
+}
+
+/// Parses `--out-dir <dir>` / `--out-dir=<dir>` for benches that write
+/// render artifacts (PPMs). Defaults to the directory holding the
+/// binary — under build/ for a standard configure — so running a bench
+/// from the repo root no longer litters the source tree.
+inline std::string OutDirFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out-dir" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind("--out-dir=", 0) == 0) return a.substr(10);
+  }
+  const std::string exe = argc > 0 ? argv[0] : "";
+  const std::size_t slash = exe.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : exe.substr(0, slash);
+}
+
 /// Per-bench observability bundle: owns a Registry + Tracer and hands a
 /// Context to instrumented code, or stays inert (ctx() == nullptr, the
-/// zero-overhead path) when constructed with an empty path. On
-/// destruction writes the Chrome trace_event JSON to the path.
+/// zero-overhead path) when constructed with an empty path and profiling
+/// off. On destruction writes the trace to the path (Chrome trace_event
+/// JSON for `.json` paths, the canonical compact format otherwise) and,
+/// when profiling, one BENCH_<bench>_profile.json summary line.
 class BenchObs {
  public:
-  explicit BenchObs(std::string path) : path_(std::move(path)) {
-    if (!path_.empty()) {
+  explicit BenchObs(std::string path, bool profile = false,
+                    std::string bench = "")
+      : path_(std::move(path)), profile_(profile), bench_(std::move(bench)) {
+    if (!path_.empty() || profile_) {
       state_ = std::make_unique<State>();
       state_->ctx.tracer = &state_->tracer;
       state_->ctx.registry = &state_->registry;
+      state_->tracer.bind_drop_counter(
+          &state_->registry.counter("obs.dropped_events"));
     }
   }
 
@@ -118,14 +152,33 @@ class BenchObs {
 
   ~BenchObs() {
     if (!state_) return;
-    std::ofstream out(path_);
-    if (!out) {
-      std::cerr << "trace: cannot open " << path_ << "\n";
-      return;
+    if (!path_.empty()) {
+      std::ofstream out(path_);
+      if (!out) {
+        std::cerr << "trace: cannot open " << path_ << "\n";
+      } else {
+        const bool chrome =
+            path_.size() >= 5 && path_.rfind(".json") == path_.size() - 5;
+        if (chrome) {
+          state_->tracer.write_chrome(out);
+        } else {
+          state_->tracer.write_compact(out);
+        }
+        std::cout << "trace: wrote " << state_->tracer.size() << " events to "
+                  << path_
+                  << (chrome ? " (open in chrome://tracing or ui.perfetto.dev)"
+                             : " (compact; analyse with bench/trace_tool)")
+                  << "\n";
+      }
     }
-    state_->tracer.write_chrome(out);
-    std::cout << "trace: wrote " << state_->tracer.size() << " events to "
-              << path_ << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    if (profile_) {
+      const auto events = obs::CollectEvents(state_->tracer);
+      const obs::Profile prof = obs::Profile::Build(events);
+      std::cout << "BENCH_" << (bench_.empty() ? "bench" : bench_)
+                << "_profile.json {";
+      prof.write_summary_fields(std::cout);
+      std::cout << "}\n";
+    }
   }
 
   /// Null when tracing is disabled — pass straight through to the
@@ -141,6 +194,8 @@ class BenchObs {
     obs::Context ctx;
   };
   std::string path_;
+  bool profile_ = false;
+  std::string bench_;
   std::unique_ptr<State> state_;
 };
 

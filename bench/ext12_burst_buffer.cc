@@ -60,7 +60,9 @@ int main(int argc, char** argv) {
   // --trace <path>: part 1's buffer traces onto the bb.* tracks and one
   // part-2 checkpoint sim (the fastest drain) onto the ckpt.* tracks; the
   // other runs stay untraced so each track holds a single unambiguous run.
-  bench::BenchObs trace(bench::TraceFlag(argc, argv));
+  // --profile aggregates the traced runs into a BENCH_ profile line.
+  bench::BenchObs trace(bench::TraceFlag(argc, argv),
+                        bench::ProfileFlag(argc, argv), "ext12_burst_buffer");
 
   // ---- 1. absorb bandwidth vs direct-to-PFS --------------------------------
   PrintBanner(std::cout, "N-1 strided checkpoint: direct PFS vs flash absorb");

@@ -116,7 +116,9 @@ int main(int argc, char** argv) {
   // --trace <path>: the mtbf=30s sweep row is traced (fault.* retry spans
   // interleaved with the oss/rank tracks); other rows stay untraced so
   // each track holds a single unambiguous run.
-  bench::BenchObs trace(bench::TraceFlag(argc, argv));
+  bench::BenchObs trace(bench::TraceFlag(argc, argv),
+                        bench::ProfileFlag(argc, argv),
+                        "ext13_fault_resilience");
 
   // ---- 1. goodput vs fault rate -------------------------------------------
   PrintBanner(std::cout, "N-1 strided checkpoint vs injected faults "

@@ -4,8 +4,8 @@
 // an N-1 strided pattern; the left image plots each write at (time,
 // offset) coloured by rank, the right image wraps the file into a
 // rectangle coloured by writer. This bench regenerates both views from a
-// simulated trace and prints the ASCII file map (PPMs are written next to
-// the binary for inspection).
+// simulated trace and prints the ASCII file map (PPMs land in --out-dir,
+// defaulting to the directory holding the binary).
 #include <iostream>
 
 #include "bench_util.h"
@@ -15,9 +15,10 @@
 
 using namespace pdsi;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Fig. 15: Ninjat views of an N-1 strided checkpoint",
                 "strided interleaving visible as repeating rank stripes");
+  const std::string out_dir = bench::OutDirFlag(argc, argv);
 
   workload::CheckpointSpec spec;
   spec.pattern = workload::Pattern::n1_strided;
@@ -32,10 +33,10 @@ int main() {
 
   const auto time_offset = ninjat::RenderTimeOffset(trace, {800, 400});
   const auto file_map = ninjat::RenderFileMap(trace, spec.total_bytes(), {512, 256});
-  const bool ppm_ok = time_offset.write_ppm("fig15_time_offset.ppm").ok() &&
-                      file_map.write_ppm("fig15_file_map.ppm").ok();
-  std::cout << "PPM output: " << (ppm_ok ? "fig15_time_offset.ppm, fig15_file_map.ppm"
-                                         : "FAILED") << "\n";
+  const std::string to = out_dir + "/fig15_time_offset.ppm";
+  const std::string fm = out_dir + "/fig15_file_map.ppm";
+  const bool ppm_ok = time_offset.write_ppm(to).ok() && file_map.write_ppm(fm).ok();
+  std::cout << "PPM output: " << (ppm_ok ? to + ", " + fm : "FAILED") << "\n";
 
   PrintBanner(std::cout, "file map (one char per region, letter = rank)");
   std::cout << ninjat::AsciiFileMap(trace, spec.total_bytes(), 64, 16);

@@ -1,0 +1,97 @@
+// trace_tool — offline analysis of compact traces.
+//
+// Reads the canonical compact trace format (what `<bench> --trace
+// out.trace` writes, or `Tracer::write_compact`) and answers "where did
+// the time go" without a GUI:
+//
+//   trace_tool <trace> --profile          span stats + per-track breakdown
+//   trace_tool <trace> --critical-path    the chain that set the makespan
+//   trace_tool <trace> --profile --json   the same, machine-readable
+//
+// Output is byte-stable for a given input file (fixed formatting, sorted
+// keys, deterministic tie-breaks), so profiles can be golden-tested the
+// same way the traces themselves are.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pdsi/obs/critical_path.h"
+#include "pdsi/obs/profile.h"
+
+using namespace pdsi;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <trace-file> [--profile] [--critical-path] [--json]"
+               " [--top N] [--bins N]\n"
+               "  <trace-file> is the compact format written by"
+               " `<bench> --trace <path>` (non-.json path)\n"
+               "  with neither --profile nor --critical-path, both run\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool profile = false, critical = false, json = false;
+  std::size_t top_k = 10, bins = 24;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--profile") {
+      profile = true;
+    } else if (a == "--critical-path") {
+      critical = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--top" && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (a == "--bins" && i + 1 < argc) {
+      bins = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (!a.empty() && a[0] == '-') {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+  if (!profile && !critical) profile = critical = true;
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_tool: cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<obs::AnalysisEvent> events;
+  std::string error;
+  if (!obs::ParseCompactTrace(in, &events, &error)) {
+    std::cerr << "trace_tool: " << path << ": " << error << "\n";
+    return 1;
+  }
+
+  if (profile) {
+    obs::ProfileOptions opts;
+    opts.timeline_bins = bins;
+    const obs::Profile p = obs::Profile::Build(events, opts);
+    if (json) {
+      p.write_json(std::cout);
+    } else {
+      p.write_text(std::cout);
+    }
+  }
+  if (critical) {
+    const obs::CriticalPathResult cp = obs::ExtractCriticalPath(events);
+    if (json) {
+      cp.write_json(std::cout, top_k);
+    } else {
+      if (profile) std::cout << "\n";
+      cp.write_text(std::cout, top_k);
+    }
+  }
+  return 0;
+}

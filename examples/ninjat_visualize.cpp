@@ -2,10 +2,11 @@
 //
 // Captures write traces from simulated checkpoints in the N-1 strided,
 // N-1 segmented and N-N patterns, renders each to PPM images (written to
-// the current directory) and prints the ASCII file maps so the pattern
-// signatures are visible in the terminal — the Fig. 15 workflow as a
-// tool.
+// --out-dir, default the directory holding the binary) and prints the
+// ASCII file maps so the pattern signatures are visible in the terminal —
+// the Fig. 15 workflow as a tool.
 #include <iostream>
+#include <string>
 
 #include "pdsi/common/units.h"
 #include "pdsi/ninjat/ninjat.h"
@@ -14,8 +15,26 @@
 
 using namespace pdsi;
 
-int main() {
+namespace {
+
+// `--out-dir <dir>` / `--out-dir=<dir>`; defaults to the directory
+// holding the binary so runs from the repo root don't litter the tree.
+std::string OutDir(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out-dir" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind("--out-dir=", 0) == 0) return a.substr(10);
+  }
+  const std::string exe = argc > 0 ? argv[0] : "";
+  const std::size_t slash = exe.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : exe.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const auto cfg = pfs::PfsConfig::PanFsLike(4);
+  const std::string out_dir = OutDir(argc, argv);
 
   for (const auto pattern : {workload::Pattern::n1_strided,
                              workload::Pattern::n1_segmented,
@@ -51,9 +70,10 @@ int main() {
 
     const auto img1 = ninjat::RenderTimeOffset(adjusted, {640, 320});
     const auto img2 = ninjat::RenderFileMap(adjusted, canvas, {512, 128});
-    img1.write_ppm("ninjat_" + slug + "_time_offset.ppm");
-    img2.write_ppm("ninjat_" + slug + "_file_map.ppm");
-    std::cout << "wrote ninjat_" << slug << "_{time_offset,file_map}.ppm\n";
+    img1.write_ppm(out_dir + "/ninjat_" + slug + "_time_offset.ppm");
+    img2.write_ppm(out_dir + "/ninjat_" + slug + "_file_map.ppm");
+    std::cout << "wrote " << out_dir << "/ninjat_" << slug
+              << "_{time_offset,file_map}.ppm\n";
     std::cout << ninjat::AsciiFileMap(adjusted, canvas, 64, 8) << "\n";
   }
   std::cout << "reading the maps: strided = fine interleave of all ranks; "

@@ -1,0 +1,50 @@
+// pdsi::obs critical path — explains a trace's makespan by walking the
+// dependency chain backwards from the last span to finish. At every step
+// the predecessor is the span (on any track) that finished last at or
+// before the current span's start: in a virtual-time simulation the
+// event that released the chain. The walk crosses track boundaries —
+// from the slowest rank into the OSS disk spans that gated it, across
+// barrier/drain handoffs into the burst-buffer drain track — so fig08's
+// N-to-1 collapse is read off as "lock_wait and seek spans dominate the
+// path" instead of eyeballed in Perfetto. Output is deterministic: every
+// choice has a total tie-break order and all formatting is fixed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pdsi/obs/profile.h"
+
+namespace pdsi::obs {
+
+/// One step on the critical path (chronological order in the result).
+struct CriticalStep {
+  AnalysisEvent ev;    ///< the span (copied out of the input)
+  double wait_s = 0.0; ///< gap between the predecessor's end and ev.ts
+};
+
+struct CriticalPathResult {
+  std::vector<CriticalStep> steps;  ///< chronological
+  double makespan = 0.0;            ///< last span end minus first span start
+  double span_seconds = 0.0;        ///< sum of step durations
+  double wait_seconds = 0.0;        ///< sum of inter-step gaps
+
+  /// Aggregated contribution per "cat:name", descending (key ascending
+  /// on ties).
+  std::vector<std::pair<std::string, double>> by_kind() const;
+
+  /// Sorted report: totals, per-kind contributions, then the top_k
+  /// longest individual steps. Byte-stable.
+  void write_text(std::ostream& os, std::size_t top_k = 10) const;
+  /// The same as one JSON object. Byte-stable.
+  void write_json(std::ostream& os, std::size_t top_k = 10) const;
+};
+
+/// Extracts the critical path from `events` (instants are ignored).
+/// Returns an empty result when the trace holds no spans.
+CriticalPathResult ExtractCriticalPath(const std::vector<AnalysisEvent>& events);
+
+}  // namespace pdsi::obs

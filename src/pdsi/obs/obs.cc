@@ -71,6 +71,35 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return counts_;
 }
 
+double Histogram::quantile(double q) const {
+  const auto counts = this->counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [0, total]; the sample at that cumulative position is read
+  // off the bucket's linear CDF segment.
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (rank <= next || i + 1 == counts.size()) {
+      if (i == bounds_.size()) {
+        // Overflow bucket: no upper edge to interpolate towards.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = (rank - cum) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+    }
+    cum = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 // -- Registry ----------------------------------------------------------------
 
 Counter& Registry::counter(const std::string& name) {
@@ -115,6 +144,43 @@ void Registry::write_text(std::ostream& os) const {
   }
 }
 
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << EscapeJson(name) << "\": " << c.value();
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << EscapeJson(name) << "\": " << FmtG(g.value());
+  }
+  os << "}, \"hists\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << EscapeJson(name) << "\": {\"le\": [";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) os << ", ";
+      os << FmtG(h.bounds()[i]);
+    }
+    os << "], \"counts\": [";
+    const auto counts = h.counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ", ";
+      os << counts[i];
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
 std::vector<double> LatencyBuckets() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
 }
@@ -124,6 +190,21 @@ std::vector<double> LatencyBuckets() {
 void Tracer::track(std::uint32_t id, const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   track_names_.emplace(id, name);
+}
+
+void Tracer::set_max_events(std::size_t cap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  max_events_ = cap;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void Tracer::bind_drop_counter(Counter* c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  drop_counter_ = c;
 }
 
 void Tracer::push(std::uint32_t track, const char* name, const char* cat,
@@ -140,6 +221,14 @@ void Tracer::push(std::uint32_t track, const char* name, const char* cat,
     e.args[e.nargs++] = a;
   }
   std::lock_guard<std::mutex> lk(mu_);
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    // Keep-oldest: the cap preserves the run's prefix (sequence numbers
+    // are not consumed by dropped events, so the stored trace is exactly
+    // what an uncapped run's first max_events appends would be).
+    ++dropped_;
+    if (drop_counter_) drop_counter_->add(1);
+    return;
+  }
   e.seq = track_seq_[track]++;
   events_.push_back(e);
 }
@@ -213,6 +302,22 @@ void Tracer::write_chrome(std::ostream& os) const {
     os << "}";
   }
   os << "\n]}\n";
+}
+
+void Tracer::for_each_sorted(
+    const std::function<void(const EventView&, const std::string& track_name)>&
+        fn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Event* e : sorted()) {
+    EventView v{e->ts, e->dur, e->track, e->seq, e->name, e->cat, e->args,
+                e->nargs};
+    auto it = track_names_.find(e->track);
+    if (it != track_names_.end()) {
+      fn(v, it->second);
+    } else {
+      fn(v, "track" + std::to_string(e->track));
+    }
+  }
 }
 
 void Tracer::write_compact(std::ostream& os) const {

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -78,6 +79,13 @@ class Histogram {
   /// counts()[i] pairs with bounds()[i]; the final element is overflow.
   std::vector<std::uint64_t> counts() const;
 
+  /// Quantile estimate (q in [0, 1]) assuming samples are spread linearly
+  /// within their bucket. The first bucket interpolates from 0 (the
+  /// instruments record non-negative latencies/sizes); the overflow
+  /// bucket has no upper edge, so any rank landing there reports the
+  /// highest finite bound. An empty histogram reports 0.
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   mutable std::mutex mu_;
@@ -99,6 +107,11 @@ class Registry {
   ///   gauge <name> <%.9g>
   ///   hist <name> le<bound>=<count> ... inf=<count>
   void write_text(std::ostream& os) const;
+
+  /// The same content as JSON (one object with "counters", "gauges" and
+  /// "hists" members, names sorted, fixed %.9g number formatting) so
+  /// dumps are machine-readable and byte-stable for golden comparisons.
+  void write_json(std::ostream& os) const;
 
  private:
   mutable std::mutex mu_;
@@ -132,6 +145,20 @@ inline constexpr std::uint32_t kCheckpointDrainTrack = 801;
 inline constexpr std::uint32_t kFaultTrack = 900;
 inline constexpr std::uint32_t kOssTrackBase = 1000;
 
+/// Read-only view of one recorded event, for analysis passes (the
+/// profile/critical-path modules). Pointers borrow from the Tracer and
+/// are only valid during the visitation callback.
+struct EventView {
+  double ts;
+  double dur;  ///< < 0 for instants
+  std::uint32_t track;
+  std::uint64_t seq;
+  const char* name;
+  const char* cat;
+  const Arg* args;
+  std::uint32_t nargs;
+};
+
 class Tracer {
  public:
   static constexpr std::size_t kMaxArgs = 4;
@@ -139,6 +166,20 @@ class Tracer {
   /// Names a track (idempotent; first name wins). Unnamed tracks export
   /// as "track<id>".
   void track(std::uint32_t id, const std::string& name);
+
+  /// Bounds the event buffer: once `cap` events are stored, further
+  /// appends are counted in dropped_events() and discarded (keep-oldest
+  /// policy), so week-long sims cannot grow the tracer without bound.
+  /// 0 (the default) means unlimited. Which events are dropped is exact
+  /// and reproducible only under the same deterministic-append invariant
+  /// the per-track sequence numbers rely on (single thread or
+  /// `atomically` sections); racing appends keep the count exact but may
+  /// vary which side of the cap an event lands on.
+  void set_max_events(std::size_t cap);
+  std::uint64_t dropped_events() const;
+  /// Mirrors every drop into `c` (e.g. a Registry counter named
+  /// "obs.dropped_events") so metric dumps expose trace truncation.
+  void bind_drop_counter(Counter* c);
 
   /// A span [start, end] on `track`. Chrome phase 'X'.
   void complete(std::uint32_t track, const char* name, const char* cat,
@@ -158,6 +199,14 @@ class Tracer {
   /// (ts, track, per-track seq), fixed-precision timestamps:
   ///   <ts %.9f> <track-name> <X|i> <cat>:<name> [dur=<%.9f>] [k=v ...]
   void write_compact(std::ostream& os) const;
+
+  /// Visits every event in the canonical (ts, track, seq) order, with the
+  /// track's name resolved ("track<id>" when unnamed). This is the
+  /// in-process feed for profile/critical-path analysis; the views and
+  /// their pointers are invalid after the callback returns.
+  void for_each_sorted(
+      const std::function<void(const EventView&, const std::string& track_name)>&
+          fn) const;
 
  private:
   struct Event {
@@ -179,6 +228,9 @@ class Tracer {
   std::vector<Event> events_;
   std::map<std::uint32_t, std::string> track_names_;
   std::map<std::uint32_t, std::uint64_t> track_seq_;
+  std::size_t max_events_ = 0;  ///< 0 = unlimited
+  std::uint64_t dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 // -- The switch --------------------------------------------------------------

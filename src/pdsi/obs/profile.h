@@ -1,0 +1,138 @@
+// pdsi::obs profile — turns a recorded trace into "where did the time
+// go": per-(track, cat:name) span statistics with deterministic
+// percentiles, a per-track time breakdown (busy / idle / lock_wait /
+// seek / transfer / stall, derived from span categories), and per-track
+// utilization timelines. The same analysis runs on an in-process Tracer
+// (bench --profile) or on a parsed compact-trace file (trace_tool), and
+// every output is byte-stable: fixed formatting, sorted keys, and a
+// log-bucketed digest whose buckets come from frexp/ldexp rather than
+// libm transcendentals, so the same samples always produce the same
+// quantile estimates on every platform.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdsi/obs/obs.h"
+
+namespace pdsi::obs {
+
+/// One analysed event, decoupled from the Tracer's storage so analysis
+/// can also run on traces read back from disk.
+struct AnalysisEvent {
+  double ts = 0.0;
+  double dur = -1.0;  ///< < 0 for instants
+  std::string track;  ///< resolved track name ("rank0", "oss2", ...)
+  std::string cat;
+  std::string name;
+  std::vector<std::pair<std::string, double>> args;  ///< numeric args
+
+  bool is_span() const { return dur >= 0.0; }
+  double end() const { return ts + (dur > 0.0 ? dur : 0.0); }
+  /// First arg named `key`, or `def` when absent.
+  double arg(const std::string& key, double def = 0.0) const;
+};
+
+/// Snapshots a Tracer's events in canonical (ts, track, seq) order.
+std::vector<AnalysisEvent> CollectEvents(const Tracer& tracer);
+
+/// Parses the canonical compact text format (`Tracer::write_compact`)
+/// back into events. Returns false with a message in *error on the first
+/// malformed line. Track/category/event names containing spaces are not
+/// representable in the format and therefore not parseable.
+bool ParseCompactTrace(std::istream& in, std::vector<AnalysisEvent>* out,
+                       std::string* error);
+
+/// Fixed-resolution log-bucketed digest: positive samples land in one of
+/// kSubBuckets sub-buckets per power of two (relative bucket width
+/// 2^(1/8) ≈ 9%), non-positive samples in a dedicated zero bucket.
+/// Bucket selection uses frexp (exact on IEEE doubles) so digests are
+/// bit-deterministic; quantiles interpolate linearly within a bucket.
+class LogDigest {
+ public:
+  static constexpr int kSubBuckets = 8;
+
+  void add(double v);
+  std::uint64_t count() const { return count_; }
+  /// Quantile estimate for q in [0, 1]; 0 for an empty digest.
+  double quantile(double q) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;  ///< key -> count
+  std::uint64_t zero_ = 0;                         ///< samples <= 0
+  std::uint64_t count_ = 0;
+};
+
+/// Aggregate over all spans sharing one (track, cat:name) key.
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total = 0.0;  ///< sum of durations
+  double self = 0.0;   ///< total minus directly nested same-track spans
+  double min = 0.0;
+  double max = 0.0;
+  LogDigest digest;  ///< of durations, for p50/p90/p99
+};
+
+/// Where one track's wall-clock went, over the trace's global window.
+/// seek/transfer split "disk"-category spans via their seek_s argument;
+/// lock_wait and stall match the span names the subsystems emit; busy is
+/// the remaining covered time (span-union minus the attributed classes,
+/// clamped at zero); idle is the uncovered remainder of the window.
+struct TrackBreakdown {
+  double busy = 0.0;
+  double idle = 0.0;
+  double lock_wait = 0.0;
+  double seek = 0.0;
+  double transfer = 0.0;
+  double stall = 0.0;
+  double covered = 0.0;             ///< union of this track's spans
+  std::vector<double> utilization;  ///< per-bin covered fraction
+};
+
+struct ProfileOptions {
+  std::size_t timeline_bins = 24;  ///< utilization timeline resolution
+};
+
+class Profile {
+ public:
+  /// Aggregates `events` (canonical order not required; ties are broken
+  /// deterministically). Instants count toward n_events only.
+  static Profile Build(const std::vector<AnalysisEvent>& events,
+                       const ProfileOptions& options = {});
+
+  /// Human-readable report: span table sorted by total time descending
+  /// (key ascending on ties), then per-track breakdowns and utilization
+  /// timelines sorted by track name. Byte-stable.
+  void write_text(std::ostream& os) const;
+
+  /// The same content as a single JSON object (sorted keys, %.9g
+  /// numbers). Byte-stable.
+  void write_json(std::ostream& os) const;
+
+  /// Flat `"key": value` fields (no braces) summarising the profile for
+  /// a BENCH_*.json line: window, event/span counts, class totals over
+  /// all tracks, and the heaviest span key.
+  void write_summary_fields(std::ostream& os) const;
+
+  const std::map<std::string, SpanStats>& spans() const { return spans_; }
+  const std::map<std::string, TrackBreakdown>& tracks() const { return tracks_; }
+  double window_start() const { return t0_; }
+  double window_end() const { return t1_; }
+  std::uint64_t n_events() const { return n_events_; }
+  std::uint64_t n_spans() const { return n_spans_; }
+
+ private:
+  std::map<std::string, SpanStats> spans_;  ///< "track cat:name" -> stats
+  std::map<std::string, TrackBreakdown> tracks_;
+  double t0_ = 0.0;
+  double t1_ = 0.0;
+  std::uint64_t n_events_ = 0;
+  std::uint64_t n_spans_ = 0;
+};
+
+}  // namespace pdsi::obs

@@ -219,6 +219,58 @@ TEST(Registry, WriteTextIsSortedAndStable) {
             "hist h.lat le0.5=1 inf=0\n");
 }
 
+TEST(Registry, HistogramQuantileMatchesExactSortedSamples) {
+  obs::Registry reg;
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  obs::Histogram& h = reg.histogram("lat", bounds);
+  // One sample per bucket: the exact q-quantile of {1..100} and the
+  // linear-within-bucket estimate agree to one bucket width.
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    h.add(static_cast<double>(i));
+    samples.push_back(static_cast<double>(i));
+  }
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    EXPECT_NEAR(h.quantile(q), exact, 1.0 + 1e-9) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(reg.histogram("empty", {1.0}).quantile(0.5), 0.0);
+  // Overflow ranks report the highest finite bound.
+  obs::Histogram& o = reg.histogram("over", {1.0, 2.0});
+  o.add(50.0);
+  EXPECT_DOUBLE_EQ(o.quantile(0.99), 2.0);
+}
+
+TEST(Registry, WriteJsonParsesBackWithAllInstruments) {
+  obs::Registry reg;
+  reg.counter("z.count").add(7);
+  reg.gauge("m.gauge").set(1.5);
+  obs::Histogram& h = reg.histogram("h.lat", {0.5, 2.0});
+  h.add(0.25);
+  h.add(3.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(&root)) << os.str();
+  ASSERT_EQ(root.kind, Json::kObj);
+  EXPECT_EQ(root.at("counters").at("z.count").num, 7.0);
+  EXPECT_EQ(root.at("gauges").at("m.gauge").num, 1.5);
+  const Json& hist = root.at("hists").at("h.lat");
+  ASSERT_EQ(hist.at("le").arr.size(), 2u);
+  EXPECT_EQ(hist.at("le").arr[0].num, 0.5);
+  ASSERT_EQ(hist.at("counts").arr.size(), 3u);  // two buckets + overflow
+  EXPECT_EQ(hist.at("counts").arr[0].num, 1.0);
+  EXPECT_EQ(hist.at("counts").arr[1].num, 0.0);
+  EXPECT_EQ(hist.at("counts").arr[2].num, 1.0);
+  // Byte-stable across identical registries.
+  std::ostringstream os2;
+  reg.write_json(os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
 // ---------------------------------------------------------------------------
 // Tracer export formats.
 
@@ -289,6 +341,48 @@ TEST(Tracer, ChromeExportParsesBackWithTracksAndArgs) {
   EXPECT_EQ(metadata, 1u);
   EXPECT_EQ(spans, 1u);
   EXPECT_EQ(instants, 1u);
+}
+
+TEST(Tracer, MaxEventsCapKeepsOldestAndCountsDropsExactly) {
+  obs::Registry reg;
+  obs::Tracer tr;
+  tr.set_max_events(3);
+  tr.bind_drop_counter(&reg.counter("obs.dropped_events"));
+  tr.track(1, "t");
+  tr.complete(1, "a", "c", 0.0, 0.5);
+  tr.complete(1, "b", "c", 1.0, 1.5);
+  tr.instant(1, "i", "c", 2.0);
+  tr.complete(1, "d", "c", 3.0, 3.5);  // over the cap: dropped
+  tr.instant(1, "e", "c", 4.0);        // dropped
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.dropped_events(), 2u);
+  EXPECT_EQ(reg.counter("obs.dropped_events").value(), 2u);
+  // Keep-oldest: the stored trace is the uncapped run's prefix.
+  std::ostringstream os;
+  tr.write_compact(os);
+  EXPECT_EQ(os.str(),
+            "0.000000000 t X c:a dur=0.500000000\n"
+            "1.000000000 t X c:b dur=0.500000000\n"
+            "2.000000000 t i c:i\n");
+}
+
+TEST(Tracer, MaxEventsCapIsDeterministicAcrossRuns) {
+  auto dump = [] {
+    obs::Tracer tr;
+    tr.set_max_events(50);
+    tr.track(1, "t");
+    for (int i = 0; i < 200; ++i) {
+      tr.complete(1, "w", "c", i, i + 0.25);
+    }
+    std::ostringstream os;
+    tr.write_compact(os);
+    return std::make_pair(os.str(), tr.dropped_events());
+  };
+  const auto a = dump();
+  const auto b = dump();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, 150u);
+  EXPECT_EQ(b.second, 150u);
 }
 
 // ---------------------------------------------------------------------------

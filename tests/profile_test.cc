@@ -1,0 +1,360 @@
+// Tests for the pdsi::obs analysis layer — compact-trace parsing
+// (round-trip against the in-process event stream), profile aggregation
+// (self time, class breakdowns, empty/instant-only edge cases), the
+// deterministic log-bucketed digest cross-checked against exact sorted
+// samples, critical-path extraction on crafted span graphs, and the
+// golden guarantee: the same simulated scenario profiled twice through
+// the trace_tool code path yields byte-identical reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdsi/common/units.h"
+#include "pdsi/obs/critical_path.h"
+#include "pdsi/obs/profile.h"
+#include "pdsi/pfs/config.h"
+#include "pdsi/workload/driver.h"
+
+namespace pdsi {
+namespace {
+
+obs::AnalysisEvent Span(const std::string& track, const std::string& cat,
+                        const std::string& name, double ts, double dur) {
+  obs::AnalysisEvent e;
+  e.track = track;
+  e.cat = cat;
+  e.name = name;
+  e.ts = ts;
+  e.dur = dur;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Compact-format parsing.
+
+TEST(ParseCompactTrace, RoundTripsTracerExport) {
+  obs::Tracer tr;
+  tr.track(2, "oss0");
+  tr.track(9, "rank3");
+  tr.complete(2, "write", "disk", 0.25, 1.5,
+              {obs::Arg::Int("len", 4096), obs::Arg::Num("seek_s", 0.125)});
+  tr.complete(9, "lock_wait", "pfs", 0.5, 0.75);
+  tr.instant(9, "evict", "bb", 2.25);
+
+  std::ostringstream os;
+  tr.write_compact(os);
+  std::istringstream in(os.str());
+  std::vector<obs::AnalysisEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParseCompactTrace(in, &parsed, &error)) << error;
+
+  const std::vector<obs::AnalysisEvent> direct = obs::CollectEvents(tr);
+  ASSERT_EQ(parsed.size(), direct.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed[i].ts, direct[i].ts, 1e-9);
+    EXPECT_EQ(parsed[i].is_span(), direct[i].is_span());
+    if (direct[i].is_span()) {
+      EXPECT_NEAR(parsed[i].dur, direct[i].dur, 1e-9);
+    }
+    EXPECT_EQ(parsed[i].track, direct[i].track);
+    EXPECT_EQ(parsed[i].cat, direct[i].cat);
+    EXPECT_EQ(parsed[i].name, direct[i].name);
+    ASSERT_EQ(parsed[i].args.size(), direct[i].args.size());
+    for (std::size_t j = 0; j < parsed[i].args.size(); ++j) {
+      EXPECT_EQ(parsed[i].args[j].first, direct[i].args[j].first);
+      EXPECT_NEAR(parsed[i].args[j].second, direct[i].args[j].second, 1e-9);
+    }
+  }
+}
+
+TEST(ParseCompactTrace, ReportsTheFirstMalformedLine) {
+  std::istringstream in(
+      "0.100000000 t X c:a dur=0.100000000\n"
+      "0.200000000 t X c:b\n");  // span without dur=
+  std::vector<obs::AnalysisEvent> events;
+  std::string error;
+  EXPECT_FALSE(obs::ParseCompactTrace(in, &events, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  std::istringstream bad_phase("0.1 t Q c:a\n");
+  events.clear();
+  EXPECT_FALSE(obs::ParseCompactTrace(bad_phase, &events, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Profile aggregation.
+
+TEST(Profile, EmptyTraceIsWellDefined) {
+  const obs::Profile p = obs::Profile::Build({});
+  EXPECT_EQ(p.n_events(), 0u);
+  EXPECT_EQ(p.n_spans(), 0u);
+  EXPECT_TRUE(p.spans().empty());
+  EXPECT_TRUE(p.tracks().empty());
+  std::ostringstream a, b;
+  p.write_text(a);
+  p.write_text(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str(),
+            "profile: window [0.000000000, 0.000000000] 0.000000000s, "
+            "0 events, 0 spans\n");
+}
+
+TEST(Profile, InstantOnlyTraceIsWellDefined) {
+  obs::AnalysisEvent i1;
+  i1.ts = 2.0;
+  i1.track = "fault";
+  i1.cat = "fault";
+  i1.name = "oss_crash";
+  const obs::Profile p = obs::Profile::Build({i1});
+  EXPECT_EQ(p.n_events(), 1u);
+  EXPECT_EQ(p.n_spans(), 0u);
+  EXPECT_TRUE(p.spans().empty());
+  EXPECT_TRUE(p.tracks().empty());
+  EXPECT_DOUBLE_EQ(p.window_start(), 2.0);
+  EXPECT_DOUBLE_EQ(p.window_end(), 2.0);
+  std::ostringstream os;
+  p.write_json(os);  // must not crash or divide by the zero-width window
+  EXPECT_NE(os.str().find("\"events\": 1"), std::string::npos);
+}
+
+TEST(Profile, SelfTimeSubtractsDirectlyNestedSpans) {
+  const std::vector<obs::AnalysisEvent> events = {
+      Span("a", "c", "parent", 0.0, 10.0),
+      Span("a", "c", "child", 2.0, 3.0),   // nested: [2, 5] inside [0, 10]
+      Span("a", "c", "leaf", 2.5, 1.0),    // nested inside child
+  };
+  const obs::Profile p = obs::Profile::Build(events);
+  const auto& spans = p.spans();
+  ASSERT_EQ(spans.count("a c:parent"), 1u);
+  ASSERT_EQ(spans.count("a c:child"), 1u);
+  ASSERT_EQ(spans.count("a c:leaf"), 1u);
+  EXPECT_DOUBLE_EQ(spans.at("a c:parent").self, 7.0);  // 10 - child's 3
+  EXPECT_DOUBLE_EQ(spans.at("a c:child").self, 2.0);   // 3 - leaf's 1
+  EXPECT_DOUBLE_EQ(spans.at("a c:leaf").self, 1.0);
+  EXPECT_DOUBLE_EQ(spans.at("a c:parent").total, 10.0);
+}
+
+TEST(Profile, PartialOverlapKeepsFullSelfTime) {
+  const std::vector<obs::AnalysisEvent> events = {
+      Span("a", "c", "x", 0.0, 4.0),
+      Span("a", "c", "y", 2.0, 4.0),  // [2, 6] straddles x's end
+  };
+  const obs::Profile p = obs::Profile::Build(events);
+  EXPECT_DOUBLE_EQ(p.spans().at("a c:x").self, 4.0);
+  EXPECT_DOUBLE_EQ(p.spans().at("a c:y").self, 4.0);
+  EXPECT_DOUBLE_EQ(p.tracks().at("a").covered, 6.0);  // union [0, 6]
+}
+
+TEST(Profile, BreakdownClassifiesLockSeekTransferAndStall) {
+  std::vector<obs::AnalysisEvent> events = {
+      Span("oss0", "oss", "write", 0.0, 10.0),
+      Span("oss0", "disk", "write", 1.0, 3.0),  // seek 1, transfer 2
+      Span("rank0", "pfs", "lock_wait", 0.0, 2.0),
+      Span("ckpt", "ckpt", "stall", 0.0, 4.0),
+  };
+  events[1].args.emplace_back("seek_s", 1.0);
+  const obs::Profile p = obs::Profile::Build(events);
+  const double window = p.window_end() - p.window_start();
+  EXPECT_DOUBLE_EQ(window, 10.0);
+
+  const obs::TrackBreakdown& oss = p.tracks().at("oss0");
+  EXPECT_DOUBLE_EQ(oss.seek, 1.0);
+  EXPECT_DOUBLE_EQ(oss.transfer, 2.0);
+  EXPECT_DOUBLE_EQ(oss.covered, 10.0);
+  EXPECT_DOUBLE_EQ(oss.busy, 7.0);  // covered minus the disk split
+  EXPECT_DOUBLE_EQ(oss.idle, 0.0);
+
+  const obs::TrackBreakdown& rank = p.tracks().at("rank0");
+  EXPECT_DOUBLE_EQ(rank.lock_wait, 2.0);
+  EXPECT_DOUBLE_EQ(rank.busy, 0.0);
+  EXPECT_DOUBLE_EQ(rank.idle, 8.0);
+
+  const obs::TrackBreakdown& ckpt = p.tracks().at("ckpt");
+  EXPECT_DOUBLE_EQ(ckpt.stall, 4.0);
+  EXPECT_DOUBLE_EQ(ckpt.busy, 0.0);
+}
+
+TEST(Profile, UtilizationTimelineIsCoveredFractionPerBin) {
+  obs::ProfileOptions opts;
+  opts.timeline_bins = 4;
+  // Window [0, 8], two bins fully covered, two empty.
+  const std::vector<obs::AnalysisEvent> events = {
+      Span("a", "c", "x", 0.0, 4.0),
+      Span("b", "c", "marker", 8.0, 0.0),  // stretches the window
+  };
+  const obs::Profile p = obs::Profile::Build(events, opts);
+  const auto& u = p.tracks().at("a").utilization;
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(u[1], 1.0);
+  EXPECT_DOUBLE_EQ(u[2], 0.0);
+  EXPECT_DOUBLE_EQ(u[3], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Digest quantiles vs exact sorted samples.
+
+TEST(LogDigest, QuantilesTrackExactSortedSamples) {
+  obs::LogDigest d;
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(i * i % 997 + 1) * 1e-3;
+    d.add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  ASSERT_EQ(d.count(), 1000u);
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double est = d.quantile(q);
+    // Bucket resolution is 2^(1/8)-1 ≈ 9% relative; allow the rank
+    // convention another neighbouring-sample of slack.
+    EXPECT_NEAR(est, exact, 0.15 * exact + 1e-6)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(LogDigest, DeterministicAndHandlesEdgeCases) {
+  obs::LogDigest a, b;
+  for (const double v : {0.0, -1.0, 1e-12, 0.5, 1.0, 2.0, 1e12}) {
+    a.add(v);
+    b.add(v);
+  }
+  for (const double q : {0.0, 0.3, 0.5, 0.7, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 0.0);  // zero bucket holds 0 and -1
+  obs::LogDigest empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Critical path.
+
+TEST(CriticalPath, WalksBackwardsAcrossTracksAndAccountsWaits) {
+  const std::vector<obs::AnalysisEvent> events = {
+      Span("a", "w", "x", 0.0, 1.0),   // end 1.0
+      Span("b", "w", "y", 1.5, 1.5),   // end 3.0, waited 0.5 on x
+      Span("a", "w", "x", 3.0, 1.0),   // end 4.0 — the terminal span
+  };
+  const obs::CriticalPathResult cp = obs::ExtractCriticalPath(events);
+  ASSERT_EQ(cp.steps.size(), 3u);
+  EXPECT_EQ(cp.steps[0].ev.track, "a");
+  EXPECT_EQ(cp.steps[1].ev.track, "b");
+  EXPECT_EQ(cp.steps[2].ev.track, "a");
+  EXPECT_DOUBLE_EQ(cp.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(cp.span_seconds, 3.5);
+  EXPECT_DOUBLE_EQ(cp.wait_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(cp.steps[1].wait_s, 0.5);
+
+  const auto kinds = cp.by_kind();
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0].first, "w:x");  // 2.0s beats y's 1.5s
+  EXPECT_DOUBLE_EQ(kinds[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(kinds[1].second, 1.5);
+}
+
+TEST(CriticalPath, PrefersSameTrackPredecessorOnEqualEnds) {
+  const std::vector<obs::AnalysisEvent> events = {
+      Span("a", "w", "x", 0.0, 1.0),  // end 1.0, other track
+      Span("b", "w", "z", 0.0, 1.0),  // end 1.0, same track as the next step
+      Span("b", "w", "y", 1.5, 1.5),  // end 3.0 — terminal
+  };
+  const obs::CriticalPathResult cp = obs::ExtractCriticalPath(events);
+  ASSERT_EQ(cp.steps.size(), 2u);
+  EXPECT_EQ(cp.steps[0].ev.name, "z");  // program order continues the chain
+  EXPECT_EQ(cp.steps[1].ev.name, "y");
+}
+
+TEST(CriticalPath, EmptyAndInstantOnlyTracesYieldEmptyPaths) {
+  EXPECT_TRUE(obs::ExtractCriticalPath({}).steps.empty());
+  obs::AnalysisEvent inst;
+  inst.ts = 1.0;
+  inst.track = "t";
+  EXPECT_TRUE(obs::ExtractCriticalPath({inst}).steps.empty());
+  std::ostringstream os;
+  obs::ExtractCriticalPath({}).write_text(os);
+  EXPECT_NE(os.str().find("0 steps"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Golden guarantee: profiling an instrumented fig08-style scenario twice
+// through the trace_tool code path (compact export -> parse -> profile ->
+// text) produces byte-identical reports.
+
+std::string GoldenProfileReport() {
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  const pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(4);
+  const workload::CheckpointSpec spec{workload::Pattern::n1_strided, 4,
+                                      47 * KiB, 8};
+  workload::RunDirectCheckpoint(cfg, spec, nullptr, &ctx);
+
+  std::ostringstream compact;
+  tr.write_compact(compact);
+  std::istringstream in(compact.str());
+  std::vector<obs::AnalysisEvent> events;
+  std::string error;
+  EXPECT_TRUE(obs::ParseCompactTrace(in, &events, &error)) << error;
+
+  std::ostringstream report;
+  const obs::Profile p = obs::Profile::Build(events);
+  p.write_text(report);
+  p.write_json(report);
+  const obs::CriticalPathResult cp = obs::ExtractCriticalPath(events);
+  cp.write_text(report);
+  cp.write_json(report);
+  return report.str();
+}
+
+TEST(GoldenProfile, Fig08ScenarioReportIsByteIdenticalAcrossRuns) {
+  const std::string a = GoldenProfileReport();
+  const std::string b = GoldenProfileReport();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The direct N-1 run must surface the contended-lock signature the
+  // EXPERIMENTS.md walkthrough reads off the profile.
+  EXPECT_NE(a.find("pfs:lock_wait"), std::string::npos);
+  EXPECT_NE(a.find("oss:write"), std::string::npos);
+}
+
+TEST(GoldenProfile, InProcessAndParsedProfilesAgreeOnStructure) {
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  const pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(2);
+  const workload::CheckpointSpec spec{workload::Pattern::n1_strided, 2,
+                                      13 * KiB, 4};
+  workload::RunDirectCheckpoint(cfg, spec, nullptr, &ctx);
+
+  const obs::Profile direct = obs::Profile::Build(obs::CollectEvents(tr));
+  std::ostringstream compact;
+  tr.write_compact(compact);
+  std::istringstream in(compact.str());
+  std::vector<obs::AnalysisEvent> events;
+  std::string error;
+  ASSERT_TRUE(obs::ParseCompactTrace(in, &events, &error)) << error;
+  const obs::Profile parsed = obs::Profile::Build(events);
+
+  EXPECT_EQ(direct.n_events(), parsed.n_events());
+  EXPECT_EQ(direct.n_spans(), parsed.n_spans());
+  ASSERT_EQ(direct.spans().size(), parsed.spans().size());
+  auto d = direct.spans().begin();
+  auto q = parsed.spans().begin();
+  for (; d != direct.spans().end(); ++d, ++q) {
+    EXPECT_EQ(d->first, q->first);
+    EXPECT_EQ(d->second.count, q->second.count);
+    // The compact format rounds timestamps to 1ns; totals agree to that.
+    EXPECT_NEAR(d->second.total, q->second.total,
+                1e-9 * static_cast<double>(d->second.count) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pdsi
