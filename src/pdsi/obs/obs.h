@@ -140,6 +140,7 @@ inline constexpr std::uint32_t kMdsTrack = 500;
 inline constexpr std::uint32_t kBbIngestTrack = 600;
 inline constexpr std::uint32_t kBbDrainTrack = 601;
 inline constexpr std::uint32_t kReaderTrackBase = 700;
+inline constexpr std::uint32_t kFlattenTrack = 750;
 inline constexpr std::uint32_t kCheckpointTrack = 800;
 inline constexpr std::uint32_t kCheckpointDrainTrack = 801;
 inline constexpr std::uint32_t kFaultTrack = 900;

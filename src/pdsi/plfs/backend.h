@@ -46,6 +46,18 @@ class Backend {
   virtual Status fsync(BackendHandle h) = 0;
   virtual Status close(BackendHandle h) = 0;
 
+  /// Size of the file at `path` without keeping it open — the reader's
+  /// dropping-fingerprint stat pass. The default round-trips through
+  /// open/size/close; backends with a cheaper stat override it.
+  virtual Result<std::uint64_t> stat_size(const std::string& path) {
+    auto h = open(path);
+    if (!h.ok()) return h.error();
+    auto sz = size(*h);
+    close(*h);
+    if (!sz.ok()) return sz.error();
+    return *sz;
+  }
+
   virtual Result<std::vector<std::string>> readdir(const std::string& path) = 0;
   /// Removes a file or an empty directory.
   virtual Status unlink(const std::string& path) = 0;

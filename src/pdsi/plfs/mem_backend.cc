@@ -152,6 +152,14 @@ class MemBackend final : public Backend {
     return nodes_.count(NormalizePath(path)) > 0;
   }
 
+  Result<std::uint64_t> stat_size(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = nodes_.find(NormalizePath(path));
+    if (it == nodes_.end()) return Errc::not_found;
+    if (it->second.is_dir) return Errc::invalid;
+    return it->second.data.size();
+  }
+
  private:
   struct Node {
     bool is_dir = false;

@@ -10,6 +10,8 @@ struct Context;
 
 namespace pdsi::plfs {
 
+class IndexCache;
+
 struct Options {
   /// Hostdir fan-out: how many subdirectories droppings spread over.
   std::uint32_t num_hostdirs = 32;
@@ -41,6 +43,18 @@ struct Options {
   /// failing the whole read — the restart can consume what survives.
   /// Errors are surfaced via Reader::read_errors().
   bool degraded_reads = false;
+
+  /// Reader: prefer the container's flattened `index.flat` dropping
+  /// (written by FlattenIndex) over the N-way raw merge when its
+  /// fingerprint still matches the live droppings; any newer raw dropping
+  /// falls back to the merge. Off forces the cold merge (benchmarks).
+  bool use_flat_index = true;
+
+  /// Shared cache of merged container indexes, keyed by container path +
+  /// dropping fingerprint; repeated opens — the N-reader restart storm —
+  /// pay the merge once. Must outlive every Reader/Writer using it;
+  /// nullptr (the default) disables caching.
+  IndexCache* index_cache = nullptr;
 
   /// Client CPU charged per index record during the restart merge
   /// (decode + sort + interval-map insert). This is why index

@@ -27,6 +27,15 @@ Result<std::uint64_t> StatSize(Backend& backend, const std::string& path);
 Status Flatten(Backend& backend, const std::string& path, const std::string& dest,
                const Options& options = {});
 
+/// Compacts the container's N raw index droppings into a single sorted,
+/// pattern-compressed `index.flat` dropping that later opens load instead
+/// of re-merging (see flat_index.h). Runs the raw merge itself, so a
+/// pre-existing flat dropping is rebuilt, never fed forward. Refuses
+/// (Errc::io_error) if any dropping was unreadable — a degraded view must
+/// not be frozen as the container's truth.
+Status FlattenIndex(Backend& backend, const std::string& path,
+                    const Options& options = {});
+
 /// Removes a container (or reports Errc::invalid for non-containers).
 Status Unlink(Backend& backend, const std::string& path);
 
@@ -53,6 +62,9 @@ class Plfs {
   }
   Status flatten(const std::string& path, const std::string& dest) {
     return Flatten(*backend_, path, dest, options_);
+  }
+  Status flatten_index(const std::string& path) {
+    return FlattenIndex(*backend_, path, options_);
   }
   Status unlink(const std::string& path) { return Unlink(*backend_, path); }
   Result<bool> is_container(const std::string& path) {

@@ -4,9 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <queue>
 #include <thread>
+#include <utility>
 
 #include "pdsi/plfs/container.h"
+#include "pdsi/plfs/flat_index.h"
 
 namespace pdsi::plfs {
 
@@ -43,20 +46,63 @@ Reader::~Reader() {
   for (auto& [id, h] : handles_) backend_.close(h);
 }
 
+std::shared_ptr<const IndexSnapshot> Reader::try_load_flat(
+    const std::string& path, std::uint64_t fingerprint) {
+  auto h = backend_.open(path + "/" + kFlatIndexName);
+  if (!h.ok()) return nullptr;
+  auto sz = backend_.size(*h);
+  if (!sz.ok()) {
+    backend_.close(*h);
+    return nullptr;
+  }
+  Bytes raw(*sz);
+  auto n = backend_.read(*h, 0, raw);
+  backend_.close(*h);
+  if (!n.ok()) return nullptr;
+  raw.resize(*n);
+  auto flat = ParseFlatIndex(raw);
+  if (!flat.ok() || flat->fingerprint != fingerprint) return nullptr;
+
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->droppings.reserve(flat->droppings.size());
+  for (const auto& rel : flat->droppings) snap->droppings.push_back(path + "/" + rel);
+  snap->raw_entries = std::move(flat->entries);
+  // Flat entries are overlap-free with sequence == emission index, so
+  // adding in stored order rebuilds the exact resolved segment map.
+  for (const auto& e : snap->raw_entries) snap->index.add(e, e.rank);
+  if (snap->index.size() != flat->logical_size) return nullptr;
+  snap->fingerprint = fingerprint;
+  snap->index_bytes = raw.size();
+  return snap;
+}
+
 Status Reader::build(const std::string& path) {
   const auto t0 = std::chrono::steady_clock::now();
   obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
   const double v0 = tracer ? backend_.now() : 0.0;
+  auto finish_timer = [&] {
+    index_build_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
 
-  // Discover index droppings across hostdirs.
+  // Discover index droppings across hostdirs. The same top-level listing
+  // reveals whether a flattened index is present, so the plain merge path
+  // pays no extra backend calls for the fast-path machinery.
   struct IndexFile {
-    std::string index_path;
+    std::string index_path;  ///< absolute
+    std::string rel_index;   ///< container-relative (fingerprint key)
     std::string data_path;
   };
   std::vector<IndexFile> files;
+  bool flat_present = false;
   auto top = backend_.readdir(path);
   if (!top.ok()) return top.error();
   for (const auto& name : *top) {
+    if (name == kFlatIndexName) {
+      flat_present = true;
+      continue;
+    }
     if (name.rfind("hostdir.", 0) != 0) continue;
     const std::string hostdir = path + "/" + name;
     auto entries = backend_.readdir(hostdir);
@@ -64,13 +110,81 @@ Status Reader::build(const std::string& path) {
     for (const auto& e : *entries) {
       if (e.rfind("index.", 0) != 0) continue;
       const std::string rank_part = e.substr(6);
-      files.push_back({hostdir + "/" + e, hostdir + "/data." + rank_part});
+      files.push_back(
+          {hostdir + "/" + e, name + "/" + e, hostdir + "/data." + rank_part});
     }
   }
   std::sort(files.begin(), files.end(),
             [](const IndexFile& a, const IndexFile& b) {
               return a.index_path < b.index_path;
             });
+
+  // Both fast paths key on a fingerprint of the live droppings, which
+  // costs one stat per dropping — cheap next to N full index reads, but
+  // not free, so the pass only runs when a fast path could consume it.
+  const bool want_fast =
+      options_.index_cache != nullptr || (options_.use_flat_index && flat_present);
+  bool have_fingerprint = false;
+  std::uint64_t fingerprint = 0;
+  if (want_fast) {
+    std::vector<std::pair<std::string, std::uint64_t>> name_sizes;
+    name_sizes.reserve(files.size());
+    bool all_stat_ok = true;
+    for (const auto& f : files) {
+      auto sz = backend_.stat_size(f.index_path);
+      if (!sz.ok()) {
+        // Unreadable dropping: no trustworthy fingerprint. Fall through to
+        // the raw merge, whose degraded-read policy decides what happens.
+        all_stat_ok = false;
+        break;
+      }
+      name_sizes.emplace_back(f.rel_index, *sz);
+    }
+    if (all_stat_ok) {
+      fingerprint = FingerprintDroppings(std::move(name_sizes));
+      have_fingerprint = true;
+    }
+  }
+
+  if (options_.index_cache && have_fingerprint) {
+    if (auto snap = options_.index_cache->find(path, fingerprint)) {
+      snap_ = std::move(snap);
+      if (options_.obs && options_.obs->registry) {
+        options_.obs->registry->counter("plfs.index_cache_hits").add(1);
+      }
+      if (tracer) {
+        tracer->complete(options_.obs_track, "index_cache_hit", "plfs", v0,
+                         backend_.now(),
+                         {obs::Arg::Int("droppings", snap_->droppings.size()),
+                          obs::Arg::Int("entries", snap_->raw_entries.size())});
+      }
+      finish_timer();
+      return Status::Ok();
+    }
+    if (options_.obs && options_.obs->registry) {
+      options_.obs->registry->counter("plfs.index_cache_misses").add(1);
+    }
+  }
+
+  if (options_.use_flat_index && flat_present && have_fingerprint) {
+    if (auto snap = try_load_flat(path, fingerprint)) {
+      index_bytes_read_ = snap->index_bytes;
+      backend_.compute(static_cast<double>(snap->raw_entries.size()) *
+                       options_.index_merge_cost_per_entry_s);
+      if (tracer) {
+        tracer->complete(options_.obs_track, "index_merge", "plfs", v0,
+                         backend_.now(),
+                         {obs::Arg::Int("droppings", snap->droppings.size()),
+                          obs::Arg::Int("entries", snap->raw_entries.size()),
+                          obs::Arg::Int("bytes", index_bytes_read_)});
+      }
+      snap_ = std::move(snap);
+      if (options_.index_cache) options_.index_cache->put(path, snap_);
+      finish_timer();
+      return Status::Ok();
+    }
+    // Stale, corrupt, or unreadable flat dropping: fall back to the merge.
+  }
 
   // Read and decode each dropping (optionally in parallel).
   std::vector<std::vector<IndexEntry>> decoded(files.size());
@@ -106,20 +220,24 @@ Status Reader::build(const std::string& path) {
 
   const std::uint32_t workers =
       std::max<std::uint32_t>(1, options_.index_read_threads);
-  if (workers == 1 || files.size() <= 1) {
-    for (std::size_t i = 0; i < files.size(); ++i) read_one(i);
-  } else {
+  auto run_pool = [&](auto&& work) {
     std::vector<std::thread> pool;
     std::atomic<std::size_t> next{0};
-    for (std::uint32_t w = 0; w < std::min<std::size_t>(workers, files.size()); ++w) {
+    for (std::uint32_t w = 0; w < std::min<std::size_t>(workers, files.size());
+         ++w) {
       pool.emplace_back([&] {
         for (std::size_t i = next.fetch_add(1); i < files.size();
              i = next.fetch_add(1)) {
-          read_one(i);
+          work(i);
         }
       });
     }
     for (auto& t : pool) t.join();
+  };
+  if (workers == 1 || files.size() <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) read_one(i);
+  } else {
+    run_pool(read_one);
   }
   for (std::size_t i = 0; i < files.size(); ++i) {
     if (statuses[i].ok()) continue;
@@ -133,58 +251,135 @@ Status Reader::build(const std::string& path) {
     sizes[i] = 0;
   }
 
-  // Merge: stamp dropping ids, order globally by write sequence, insert.
-  droppings_.reserve(files.size());
+  // Merge: stamp dropping ids, order globally, insert. The merge key is
+  // (sequence, dropping id, in-dropping position): sequence alone is not a
+  // total order — concurrent unsynchronised writers can share stamps — and
+  // std::sort is unstable, so ties must break on something deterministic
+  // or two opens of one container could disagree about which write wins.
+  auto snap = std::make_shared<IndexSnapshot>();
+  auto& raw_entries = snap->raw_entries;
+  snap->droppings.reserve(files.size());
   std::size_t total = 0;
   for (const auto& d : decoded) total += d.size();
-  raw_entries_.reserve(total);
+  raw_entries.reserve(total);
   std::vector<std::uint32_t> owner;
   owner.reserve(total);
+  std::vector<std::size_t> bases(files.size(), 0);
   for (std::size_t i = 0; i < files.size(); ++i) {
-    droppings_.push_back(files[i].data_path);
+    snap->droppings.push_back(files[i].data_path);
     index_bytes_read_ += sizes[i];
+    bases[i] = raw_entries.size();
     for (const auto& e : decoded[i]) {
-      raw_entries_.push_back(e);
+      raw_entries.push_back(e);
       owner.push_back(static_cast<std::uint32_t>(i));
     }
   }
-  std::vector<std::size_t> order(raw_entries_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return raw_entries_[a].sequence < raw_entries_[b].sequence;
-  });
-  for (std::size_t i : order) index_.add(raw_entries_[i], owner[i]);
-  backend_.compute(static_cast<double>(raw_entries_.size()) *
+  // raw_entries is dropping-major with in-dropping order preserved, so
+  // comparing global positions as the tiebreak IS (dropping id, position).
+  std::vector<std::size_t> order;
+  if (workers > 1 && files.size() > 1) {
+    // Parallel merge: per-dropping position lists are argsorted by
+    // (sequence, position) on the pool, then k-way merged with the heap
+    // keyed by (sequence, dropping id) — byte-identical to the serial
+    // sort because within a dropping positions already ascend.
+    std::vector<std::vector<std::size_t>> perm(files.size());
+    run_pool([&](std::size_t i) {
+      perm[i].resize(decoded[i].size());
+      for (std::size_t j = 0; j < perm[i].size(); ++j) perm[i][j] = bases[i] + j;
+      std::sort(perm[i].begin(), perm[i].end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (raw_entries[a].sequence != raw_entries[b].sequence) {
+                    return raw_entries[a].sequence < raw_entries[b].sequence;
+                  }
+                  return a < b;
+                });
+    });
+    struct Head {
+      std::uint64_t sequence;
+      std::uint32_t dropping;
+      std::size_t pos;
+    };
+    auto later = [](const Head& a, const Head& b) {
+      if (a.sequence != b.sequence) return a.sequence > b.sequence;
+      return a.dropping > b.dropping;
+    };
+    std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      if (!perm[i].empty()) {
+        heap.push({raw_entries[perm[i][0]].sequence,
+                   static_cast<std::uint32_t>(i), 0});
+      }
+    }
+    order.reserve(total);
+    while (!heap.empty()) {
+      Head head = heap.top();
+      heap.pop();
+      order.push_back(perm[head.dropping][head.pos]);
+      if (++head.pos < perm[head.dropping].size()) {
+        head.sequence = raw_entries[perm[head.dropping][head.pos]].sequence;
+        heap.push(head);
+      }
+    }
+  } else {
+    order.resize(total);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (raw_entries[a].sequence != raw_entries[b].sequence) {
+        return raw_entries[a].sequence < raw_entries[b].sequence;
+      }
+      return a < b;
+    });
+  }
+  for (std::size_t i : order) snap->index.add(raw_entries[i], owner[i]);
+  backend_.compute(static_cast<double>(raw_entries.size()) *
                    options_.index_merge_cost_per_entry_s);
 
   if (tracer) {
     tracer->complete(options_.obs_track, "index_merge", "plfs", v0, backend_.now(),
-                     {obs::Arg::Int("droppings", droppings_.size()),
-                      obs::Arg::Int("entries", raw_entries_.size()),
+                     {obs::Arg::Int("droppings", snap->droppings.size()),
+                      obs::Arg::Int("entries", raw_entries.size()),
                       obs::Arg::Int("bytes", index_bytes_read_)});
   }
-  index_build_seconds_ =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (!have_fingerprint) {
+    // The read pass already produced every size, so the fingerprint is
+    // free here; it keys the cache insert and reader introspection.
+    std::vector<std::pair<std::string, std::uint64_t>> name_sizes;
+    name_sizes.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      name_sizes.emplace_back(files[i].rel_index, sizes[i]);
+    }
+    fingerprint = FingerprintDroppings(std::move(name_sizes));
+  }
+  snap->fingerprint = fingerprint;
+  snap->index_bytes = index_bytes_read_;
+  snap_ = std::move(snap);
+  // Never cache a degraded build: the snapshot is missing ranks and would
+  // poison healthy opens once the failed server comes back.
+  if (options_.index_cache && have_fingerprint && read_errors_ == 0) {
+    options_.index_cache->put(path, snap_);
+  }
+  finish_timer();
   return Status::Ok();
 }
 
 Result<BackendHandle> Reader::data_handle(std::uint32_t dropping) {
   auto it = handles_.find(dropping);
   if (it != handles_.end()) return it->second;
-  auto h = backend_.open(droppings_[dropping]);
+  auto h = backend_.open(snap_->droppings[dropping]);
   if (!h.ok()) return h.error();
   handles_.emplace(dropping, *h);
   return *h;
 }
 
 Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out) {
-  if (off >= index_.size() || out.empty()) return static_cast<std::size_t>(0);
-  const std::uint64_t len = std::min<std::uint64_t>(out.size(), index_.size() - off);
+  const GlobalIndex& index = snap_->index;
+  if (off >= index.size() || out.empty()) return static_cast<std::size_t>(0);
+  const std::uint64_t len = std::min<std::uint64_t>(out.size(), index.size() - off);
   obs::Tracer* tracer = options_.obs ? options_.obs->tracer : nullptr;
   const double v0 = tracer ? backend_.now() : 0.0;
 
   const std::uint64_t errors_before = read_errors_;
-  const auto segs = index_.lookup(off, len);
+  const auto segs = index.lookup(off, len);
   for (const auto& seg : segs) {
     auto dst = out.subspan(seg.logical - off, seg.length);
     if (seg.dropping == GlobalIndex::kHole) {
@@ -192,8 +387,7 @@ Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out)
       continue;
     }
     auto degrade = [&]() {
-      // Degraded read: the dropping's server is unreachable (or the
-      // dropping is shorter than its index claims). Hand back a
+      // Degraded read: the dropping's server is unreachable. Hand back a
       // zero-filled hole and count it rather than failing the request.
       ++read_errors_;
       if (c_degraded_) c_degraded_->add(1);
@@ -213,8 +407,14 @@ Result<std::size_t> Reader::read(std::uint64_t off, std::span<std::uint8_t> out)
     }
     if (*n < dst.size()) {
       // Data dropping shorter than its index claims: corrupt container.
+      // The bytes that did arrive are good — only the unread tail is
+      // unknown, so zero that and count one error; wiping the whole
+      // segment would discard data the degraded restart could still use.
       if (!options_.degraded_reads) return Errc::io_error;
-      degrade();
+      ++read_errors_;
+      if (c_degraded_) c_degraded_->add(1);
+      auto tail = dst.subspan(*n);
+      std::memset(tail.data(), 0, tail.size());
     }
   }
   if (c_reads_) c_reads_->add(1);

@@ -1,6 +1,13 @@
 // PLFS read path: discovers every rank's index dropping, merges them into
 // a GlobalIndex (newest write wins), and serves logical reads by stitching
 // extents out of the per-rank data logs.
+//
+// Restart-read fast paths (both validated by a fingerprint of the live
+// index droppings, so they can never serve stale data):
+//   * a flattened `index.flat` dropping (see flat_index.h) replaces the
+//     N-way merge with one small read;
+//   * an IndexCache (see index_cache.h) shares the merged snapshot across
+//     repeated opens of the same container.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include "pdsi/obs/obs.h"
 #include "pdsi/plfs/backend.h"
 #include "pdsi/plfs/index.h"
+#include "pdsi/plfs/index_cache.h"
 #include "pdsi/plfs/options.h"
 
 namespace pdsi::plfs {
@@ -20,9 +28,9 @@ namespace pdsi::plfs {
 class Reader {
  public:
   /// Opens the container, reads every index dropping, builds the global
-  /// index. With options.index_read_threads > 1 the droppings are read
-  /// and decoded by a thread pool (backend must tolerate concurrent
-  /// calls; keep this at 1 for the virtual-time PFS backend).
+  /// index. With options.index_read_threads > 1 the droppings are read,
+  /// decoded, and pre-sorted by a thread pool (backend must tolerate
+  /// concurrent calls; keep this at 1 for the virtual-time PFS backend).
   static Result<std::unique_ptr<Reader>> Open(Backend& backend,
                                               const std::string& path,
                                               const Options& options = {});
@@ -34,17 +42,24 @@ class Reader {
   /// Reads logical bytes; holes return zeros; short count at EOF.
   Result<std::size_t> read(std::uint64_t off, std::span<std::uint8_t> out);
 
-  std::uint64_t size() const { return index_.size(); }
-  const GlobalIndex& index() const { return index_; }
+  std::uint64_t size() const { return snap_->index.size(); }
+  const GlobalIndex& index() const { return snap_->index; }
 
   /// Raw entries in merge order — consumed by Ninjat visualisation and
   /// the flatten tool.
-  const std::vector<IndexEntry>& raw_entries() const { return raw_entries_; }
+  const std::vector<IndexEntry>& raw_entries() const {
+    return snap_->raw_entries;
+  }
 
   // -- Introspection --
-  std::size_t dropping_count() const { return droppings_.size(); }
+  std::size_t dropping_count() const { return snap_->droppings.size(); }
+  /// Absolute data-dropping paths by id (flatten tool, diagnostics).
+  const std::vector<std::string>& droppings() const { return snap_->droppings; }
+  /// Index bytes this open actually fetched (0 on a cache hit).
   std::uint64_t index_bytes_read() const { return index_bytes_read_; }
   double index_build_seconds() const { return index_build_seconds_; }
+  /// Fingerprint of the index droppings the snapshot was built from.
+  std::uint64_t index_fingerprint() const { return snap_->fingerprint; }
   /// Droppings skipped at build plus segments zero-filled during reads
   /// (only ever nonzero with options.degraded_reads).
   std::uint64_t read_errors() const { return read_errors_; }
@@ -53,13 +68,15 @@ class Reader {
   Reader(Backend& backend, Options options);
 
   Status build(const std::string& path);
+  /// Loads and validates the container's index.flat; nullptr on any
+  /// failure (missing, corrupt, stale fingerprint) — callers fall back.
+  std::shared_ptr<const IndexSnapshot> try_load_flat(
+      const std::string& path, std::uint64_t fingerprint);
   Result<BackendHandle> data_handle(std::uint32_t dropping);
 
   Backend& backend_;
   Options options_;
-  GlobalIndex index_;
-  std::vector<IndexEntry> raw_entries_;
-  std::vector<std::string> droppings_;          ///< data-dropping paths by id
+  std::shared_ptr<const IndexSnapshot> snap_;
   std::unordered_map<std::uint32_t, BackendHandle> handles_;
   std::uint64_t index_bytes_read_ = 0;
   double index_build_seconds_ = 0.0;            ///< wall time (real backends)

@@ -1,6 +1,7 @@
 #include "pdsi/plfs/writer.h"
 
 #include "pdsi/plfs/container.h"
+#include "pdsi/plfs/index_cache.h"
 
 namespace pdsi::plfs {
 
@@ -69,10 +70,20 @@ Status Writer::write(std::uint64_t off, std::span<const std::uint8_t> data) {
   e.sequence = clock_.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.write_buffer_bytes > 0) {
+    const std::size_t staged = data_buffer_.size();
     data_buffer_.insert(data_buffer_.end(), data.begin(), data.end());
     physical_end_ += data.size();
     if (data_buffer_.size() >= options_.write_buffer_bytes) {
-      if (auto st = flush_data_buffer(); !st.ok()) return st;
+      if (auto st = flush_data_buffer(); !st.ok()) {
+        // Unstage this write: a failed flush must leave the writer as if
+        // the write never happened — otherwise physical_end_ points past
+        // bytes that were never indexed, and a successful retry would log
+        // the payload twice. Earlier buffered writes stay staged; their
+        // index entries still match the buffer contents exactly.
+        data_buffer_.resize(staged);
+        physical_end_ -= data.size();
+        return st;
+      }
     }
   } else {
     if (auto st = backend_.write(data_h_, physical_end_, data); !st.ok()) return st;
@@ -156,13 +167,20 @@ Status Writer::close() {
   open_ = false;
   backend_.close(data_h_);
   backend_.close(index_h_);
+  // This writer changed the container's droppings, so any cached merged
+  // index is stale — drop it now rather than waiting for a fingerprint
+  // miss to notice. Unconditional: even a failed sync may have appended.
+  if (options_.index_cache) options_.index_cache->invalidate(path_);
   if (st.ok() && options_.write_meta_hints) {
     auto meta = backend_.create(
         ContainerPaths::meta_dropping(path_, max_logical_end_, rank_));
     if (meta.ok()) {
       backend_.close(*meta);
     } else if (meta.error() != Errc::exists) {
-      return meta.error();
+      // The data is durable (sync succeeded); only the stat hint is
+      // missing. Report the failure, but do not mask a sync error and do
+      // not skip the close span below — every close must trace.
+      st = meta.error();
     }
   }
   if (tracer) tracer->complete(track_, "close", "plfs", t0, backend_.now());

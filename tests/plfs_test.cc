@@ -11,6 +11,8 @@
 #include "pdsi/common/rng.h"
 #include "pdsi/common/units.h"
 #include "pdsi/pfs/sparse_buffer.h"
+#include "pdsi/plfs/flat_index.h"
+#include "pdsi/plfs/index_cache.h"
 #include "pdsi/plfs/plfs.h"
 
 namespace pdsi::plfs {
@@ -460,6 +462,561 @@ TEST(PlfsCore, HostdirFanoutSpreadsDroppings) {
   EXPECT_EQ(hostdirs, 4);
   auto r = fs.open_read("/f");
   EXPECT_EQ((*r)->dropping_count(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge determinism, degraded reads, and writer failure bookkeeping.
+
+// Two write epochs with independent clocks produce colliding sequence
+// stamps for every record. The merge must still resolve every tie the
+// same way on every open: by (sequence, dropping id, in-dropping
+// position), so the lexicographically later dropping wins. Enough records
+// that std::sort leaves its insertion-sort regime and an unstable
+// tiebreak would actually scramble.
+TEST(PlfsCore, MergeResolvesEqualSequencesDeterministically) {
+  auto backend = MakeMemBackend();
+  Options o;
+  o.num_hostdirs = 1;         // both droppings share hostdir.0
+  o.index_compression = false;  // keep all 200 entries per epoch
+  constexpr int kRecords = 200;
+  constexpr std::uint64_t kLen = 64;
+  for (std::uint32_t rank : {0u, 1u}) {
+    WriteClock epoch_clock{0};  // fresh clock: epoch 2 reuses stamps 0..199
+    auto w = Writer::Open(*backend, "/f", rank, o, epoch_clock);
+    ASSERT_TRUE(w.ok());
+    for (int k = 0; k < kRecords; ++k) {
+      const std::uint64_t off = static_cast<std::uint64_t>(k) * kLen;
+      ASSERT_TRUE((*w)->write(off, MakePattern(rank, off, kLen)).ok());
+    }
+    ASSERT_TRUE((*w)->close().ok());
+  }
+  Bytes first;
+  for (int open = 0; open < 2; ++open) {
+    auto r = Reader::Open(*backend, "/f", o);
+    ASSERT_TRUE(r.ok());
+    Bytes buf(kRecords * kLen);
+    ASSERT_TRUE((*r)->read(0, buf).ok());
+    // index.1 sorts after index.0, so rank 1 wins every tie — everywhere.
+    EXPECT_EQ(FindPatternMismatch(1, 0, buf), kNoMismatch) << "open " << open;
+    if (open == 0) {
+      first = buf;
+    } else {
+      EXPECT_EQ(first, buf);
+    }
+  }
+}
+
+// A data dropping shorter than its index claims must not destroy the
+// bytes that did arrive: only the unread tail reads as zeros.
+TEST(PlfsCore, DegradedShortReadKeepsPrefix) {
+  auto backend = MakeMemBackend();
+  {
+    WriteClock clock{0};
+    auto w = Writer::Open(*backend, "/f", 0, Options{}, clock);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->write(0, MakePattern(0, 0, 100)).ok());
+    ASSERT_TRUE((*w)->close().ok());
+  }
+  std::string dropping;
+  {
+    auto r = Reader::Open(*backend, "/f");
+    ASSERT_TRUE(r.ok());
+    dropping = (*r)->droppings()[0];
+  }
+  // Truncate the dropping to 60 bytes (recreate — MemBackend cannot shrink).
+  Bytes content(100);
+  {
+    auto h = backend->open(dropping);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(backend->read(*h, 0, content).ok());
+    backend->close(*h);
+  }
+  ASSERT_TRUE(backend->unlink(dropping).ok());
+  {
+    auto h = backend->create(dropping);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(backend->write(*h, 0, std::span(content).first(60)).ok());
+    backend->close(*h);
+  }
+
+  Options strict;
+  auto r = Reader::Open(*backend, "/f", strict);
+  ASSERT_TRUE(r.ok());
+  Bytes buf(100, 0xff);
+  EXPECT_EQ((*r)->read(0, buf).error(), Errc::io_error);
+
+  Options degraded;
+  degraded.degraded_reads = true;
+  auto rd = Reader::Open(*backend, "/f", degraded);
+  ASSERT_TRUE(rd.ok());
+  Bytes dbuf(100, 0xff);
+  auto n = (*rd)->read(0, dbuf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100u);
+  EXPECT_EQ(FindPatternMismatch(0, 0, std::span(dbuf).first(60)), kNoMismatch);
+  for (int i = 60; i < 100; ++i) EXPECT_EQ(dbuf[i], 0) << "byte " << i;
+  EXPECT_EQ((*rd)->read_errors(), 1u);
+}
+
+// Delegating backend that fails selected operations on demand — reaches
+// writer error paths MemBackend alone cannot.
+class FailingBackend : public Backend {
+ public:
+  FailingBackend() : inner_(MakeMemBackend()) {}
+
+  Status mkdir(const std::string& p) override { return inner_->mkdir(p); }
+  Result<BackendHandle> create(const std::string& p) override {
+    if (fail_creates) return Errc::invalid;
+    return inner_->create(p);
+  }
+  Result<BackendHandle> open(const std::string& p) override {
+    if (!fail_open_containing.empty() &&
+        p.find(fail_open_containing) != std::string::npos) {
+      return Errc::io_error;
+    }
+    return inner_->open(p);
+  }
+  Status write(BackendHandle h, std::uint64_t off,
+               std::span<const std::uint8_t> d) override {
+    if (fail_writes) return Errc::io_error;
+    return inner_->write(h, off, d);
+  }
+  Result<std::size_t> read(BackendHandle h, std::uint64_t off,
+                           std::span<std::uint8_t> out) override {
+    return inner_->read(h, off, out);
+  }
+  Result<std::uint64_t> size(BackendHandle h) override { return inner_->size(h); }
+  Status fsync(BackendHandle h) override {
+    if (fail_fsync) return Errc::io_error;
+    return inner_->fsync(h);
+  }
+  Status close(BackendHandle h) override { return inner_->close(h); }
+  Result<std::vector<std::string>> readdir(const std::string& p) override {
+    return inner_->readdir(p);
+  }
+  Status unlink(const std::string& p) override { return inner_->unlink(p); }
+  Status rename(const std::string& f, const std::string& t) override {
+    return inner_->rename(f, t);
+  }
+  Result<bool> is_dir(const std::string& p) override { return inner_->is_dir(p); }
+  Result<bool> exists(const std::string& p) override { return inner_->exists(p); }
+
+  bool fail_writes = false;
+  bool fail_fsync = false;
+  bool fail_creates = false;
+  std::string fail_open_containing;  ///< opens of matching paths fail
+
+ private:
+  std::unique_ptr<Backend> inner_;
+};
+
+// A failed buffer flush must leave the writer as if the write never
+// happened: no advanced physical_end_, no stray payload in the buffer, no
+// index entry — so a retry logs the bytes exactly once.
+TEST(PlfsCore, FailedBufferFlushRollsBackTheWrite) {
+  FailingBackend backend;
+  Options o;
+  o.write_buffer_bytes = 1024;
+  WriteClock clock{0};
+  auto w = Writer::Open(backend, "/f", 0, o, clock);
+  ASSERT_TRUE(w.ok());
+
+  ASSERT_TRUE((*w)->write(0, MakePattern(0, 0, 600)).ok());
+  EXPECT_EQ((*w)->bytes_logged(), 600u);
+  EXPECT_EQ((*w)->records_written(), 1u);
+
+  backend.fail_writes = true;  // crossing 1024 triggers the flush
+  EXPECT_EQ((*w)->write(600, MakePattern(0, 600, 600)).error(), Errc::io_error);
+  EXPECT_EQ((*w)->bytes_logged(), 600u);
+  EXPECT_EQ((*w)->records_written(), 1u);
+
+  backend.fail_writes = false;
+  ASSERT_TRUE((*w)->write(600, MakePattern(0, 600, 600)).ok());
+  EXPECT_EQ((*w)->bytes_logged(), 1200u);
+  EXPECT_EQ((*w)->records_written(), 2u);
+  ASSERT_TRUE((*w)->close().ok());
+
+  auto r = Reader::Open(backend, "/f");
+  ASSERT_TRUE(r.ok());
+  // The log holds exactly the indexed bytes — a double-logged payload
+  // would show up as a longer dropping.
+  EXPECT_EQ(*backend.stat_size((*r)->droppings()[0]), 1200u);
+  Bytes buf(1200);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(0, 0, buf), kNoMismatch);
+}
+
+int CountSpans(obs::Tracer& tracer, std::string_view name) {
+  int count = 0;
+  tracer.for_each_sorted([&](const obs::EventView& ev, const std::string&) {
+    count += name == ev.name;
+  });
+  return count;
+}
+
+// close() must trace its span on every exit path, and a meta-hint
+// creation failure must be reported without masking the sync status.
+TEST(PlfsCore, CloseTracesSpanWhenMetaHintFails) {
+  FailingBackend backend;
+  obs::Tracer tracer;
+  obs::Context ctx{&tracer, nullptr};
+  Options o;
+  o.obs = &ctx;
+  WriteClock clock{0};
+  auto w = Writer::Open(backend, "/f", 0, o, clock);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->write(0, MakePattern(0, 0, 100)).ok());
+  backend.fail_creates = true;  // data is durable; only the hint fails
+  EXPECT_EQ((*w)->close().error(), Errc::invalid);
+  EXPECT_EQ(CountSpans(tracer, "close"), 1);
+}
+
+TEST(PlfsCore, CloseReportsSyncErrorOverMetaHintError) {
+  FailingBackend backend;
+  obs::Tracer tracer;
+  obs::Context ctx{&tracer, nullptr};
+  Options o;
+  o.obs = &ctx;
+  WriteClock clock{0};
+  auto w = Writer::Open(backend, "/f", 0, o, clock);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->write(0, MakePattern(0, 0, 100)).ok());
+  backend.fail_fsync = true;
+  backend.fail_creates = true;
+  // io_error (the sync failure), not invalid (the hint failure).
+  EXPECT_EQ((*w)->close().error(), Errc::io_error);
+  EXPECT_EQ(CountSpans(tracer, "close"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Flat index: serialisation, flatten-then-read equivalence, staleness.
+
+TEST(FlatIndex, SerializeParseRoundTrip) {
+  FlatIndex flat;
+  flat.fingerprint = 0xfeedfacecafef00dULL;
+  flat.logical_size = 12345;
+  flat.droppings = {"hostdir.0/data.0", "hostdir.1/data.1"};
+  IndexEntry e = Plain(0, 100, 0, 1, 0);
+  e.stride = 200;
+  e.count = 7;
+  flat.entries = {e, Plain(5000, 45, 700, 0, 1)};
+  const Bytes raw = SerializeFlatIndex(flat);
+  auto parsed = ParseFlatIndex(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->fingerprint, flat.fingerprint);
+  EXPECT_EQ(parsed->logical_size, flat.logical_size);
+  EXPECT_EQ(parsed->droppings, flat.droppings);
+  ASSERT_EQ(parsed->entries.size(), 2u);
+  EXPECT_EQ(parsed->entries[0].count, 7u);
+  EXPECT_EQ(parsed->entries[1].logical, 5000u);
+}
+
+TEST(FlatIndex, ParseRejectsCorruption) {
+  FlatIndex flat;
+  flat.droppings = {"hostdir.0/data.0"};
+  flat.entries = {Plain(0, 10, 0, 0, 0)};
+  Bytes raw = SerializeFlatIndex(flat);
+  EXPECT_FALSE(ParseFlatIndex(std::span(raw).first(raw.size() - 1)).ok());
+  EXPECT_FALSE(ParseFlatIndex(std::span(raw).first(10)).ok());
+  Bytes bad_magic = raw;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(ParseFlatIndex(bad_magic).ok());
+  // Entry referencing a dropping beyond the table.
+  FlatIndex oob = flat;
+  oob.entries[0].rank = 5;
+  EXPECT_FALSE(ParseFlatIndex(SerializeFlatIndex(oob)).ok());
+}
+
+TEST(FlatIndex, FingerprintSensitivity) {
+  const std::uint64_t base =
+      FingerprintDroppings({{"hostdir.0/index.0", 96}, {"hostdir.1/index.1", 48}});
+  // Order-insensitive...
+  EXPECT_EQ(base, FingerprintDroppings(
+                      {{"hostdir.1/index.1", 48}, {"hostdir.0/index.0", 96}}));
+  // ...but any size change, rename, or extra dropping misses.
+  EXPECT_NE(base, FingerprintDroppings(
+                      {{"hostdir.0/index.0", 144}, {"hostdir.1/index.1", 48}}));
+  EXPECT_NE(base, FingerprintDroppings(
+                      {{"hostdir.0/index.2", 96}, {"hostdir.1/index.1", 48}}));
+  EXPECT_NE(base, FingerprintDroppings({{"hostdir.0/index.0", 96},
+                                        {"hostdir.1/index.1", 48},
+                                        {"hostdir.2/index.2", 48}}));
+}
+
+// Flatten a container with overwrites and an interior hole, then verify
+// the flat-index open returns byte-identical content — and actually used
+// the flat dropping rather than the raw merge.
+TEST(PlfsFlat, FlattenIndexThenReadIsEquivalent) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w0 = fs.open_write("/f", 0);
+    auto w1 = fs.open_write("/f", 1);
+    auto w2 = fs.open_write("/f", 2);
+    (*w0)->write(0, MakePattern(0, 0, 1000));
+    (*w1)->write(300, MakePattern(1, 300, 200));  // overwrites rank 0
+    (*w2)->write(2000, MakePattern(2, 2000, 100));  // hole at [1000, 2000)
+    (*w0)->close();
+    (*w1)->close();
+    (*w2)->close();
+  }
+  Bytes cold(2100);
+  std::uint64_t cold_index_bytes = 0;
+  {
+    auto r = fs.open_read("/f");
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE((*r)->read(0, cold).ok());
+    cold_index_bytes = (*r)->index_bytes_read();
+  }
+
+  ASSERT_TRUE(fs.flatten_index("/f").ok());
+  auto flat_size = fs.backend().stat_size("/f/index.flat");
+  ASSERT_TRUE(flat_size.ok());
+
+  auto r = fs.open_read("/f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->index_bytes_read(), *flat_size);  // loaded the flat dropping
+  EXPECT_NE((*r)->index_bytes_read(), cold_index_bytes);
+  EXPECT_EQ((*r)->size(), 2100u);
+  Bytes via_flat(2100);
+  ASSERT_TRUE((*r)->read(0, via_flat).ok());
+  EXPECT_EQ(via_flat, cold);
+  EXPECT_EQ(FindPatternMismatch(0, 0, std::span(via_flat).first(300)), kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(1, 300, std::span(via_flat).subspan(300, 200)),
+            kNoMismatch);
+  for (std::uint64_t i = 1000; i < 2000; ++i) EXPECT_EQ(via_flat[i], 0);
+  EXPECT_EQ(FindPatternMismatch(2, 2000, std::span(via_flat).subspan(2000)),
+            kNoMismatch);
+}
+
+// A write after the flatten changes the dropping fingerprint, so the open
+// must ignore the stale flat dropping and merge the raw indexes.
+TEST(PlfsFlat, StaleFlatIndexFallsBackToRawMerge) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(0, MakePattern(0, 0, 500));
+    (*w)->close();
+  }
+  ASSERT_TRUE(fs.flatten_index("/f").ok());
+  {
+    auto w = fs.open_write("/f", 1);  // new dropping: fingerprint changes
+    (*w)->write(100, MakePattern(1, 100, 300));
+    (*w)->close();
+  }
+  auto r = fs.open_read("/f");
+  ASSERT_TRUE(r.ok());
+  Bytes buf(500);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(0, 0, std::span(buf).first(100)), kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(1, 100, std::span(buf).subspan(100, 300)),
+            kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(0, 400, std::span(buf).subspan(400)), kNoMismatch);
+}
+
+TEST(PlfsFlat, CorruptFlatIndexFallsBackToRawMerge) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(0, MakePattern(0, 0, 500));
+    (*w)->close();
+  }
+  ASSERT_TRUE(fs.flatten_index("/f").ok());
+  ASSERT_TRUE(fs.backend().unlink("/f/index.flat").ok());
+  {
+    auto h = fs.backend().create("/f/index.flat");
+    ASSERT_TRUE(h.ok());
+    const Bytes junk(64, 0x5a);
+    ASSERT_TRUE(fs.backend().write(*h, 0, junk).ok());
+    fs.backend().close(*h);
+  }
+  auto r = fs.open_read("/f");
+  ASSERT_TRUE(r.ok());
+  Bytes buf(500);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(0, 0, buf), kNoMismatch);
+}
+
+// Re-flattening after more writes replaces the stale flat dropping.
+TEST(PlfsFlat, ReflattenPicksUpNewWrites) {
+  Plfs fs(MakeMemBackend());
+  {
+    auto w = fs.open_write("/f", 0);
+    (*w)->write(0, MakePattern(0, 0, 500));
+    (*w)->close();
+  }
+  ASSERT_TRUE(fs.flatten_index("/f").ok());
+  {
+    auto w = fs.open_write("/f", 1);
+    (*w)->write(0, MakePattern(1, 0, 500));
+    (*w)->close();
+  }
+  ASSERT_TRUE(fs.flatten_index("/f").ok());
+  auto flat_size = fs.backend().stat_size("/f/index.flat");
+  auto r = fs.open_read("/f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->index_bytes_read(), *flat_size);
+  Bytes buf(500);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(1, 0, buf), kNoMismatch);
+}
+
+// ---------------------------------------------------------------------------
+// Index cache: hits, invalidation on rewrite, LRU bound.
+
+TEST(PlfsCache, HitServesSameBytesWithoutIndexReads) {
+  IndexCache cache(4);
+  Options o;
+  o.index_cache = &cache;
+  Plfs fs(MakeMemBackend(), o);
+  {
+    auto w = fs.open_write("/a", 0);
+    (*w)->write(0, MakePattern(0, 0, 777));
+    (*w)->close();
+  }
+  Bytes cold(777);
+  {
+    auto r = fs.open_read("/a");
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT((*r)->index_bytes_read(), 0u);
+    ASSERT_TRUE((*r)->read(0, cold).ok());
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto r = fs.open_read("/a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ((*r)->index_bytes_read(), 0u);  // no index dropping was fetched
+  Bytes warm(777);
+  ASSERT_TRUE((*r)->read(0, warm).ok());
+  EXPECT_EQ(warm, cold);
+}
+
+TEST(PlfsCache, WriterCloseInvalidatesAndReopenSeesNewData) {
+  IndexCache cache(4);
+  Options o;
+  o.index_cache = &cache;
+  Plfs fs(MakeMemBackend(), o);
+  {
+    auto w = fs.open_write("/a", 0);
+    (*w)->write(0, MakePattern(0, 0, 400));
+    (*w)->close();
+  }
+  { auto r = fs.open_read("/a"); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(cache.size(), 1u);
+  {
+    auto w = fs.open_write("/a", 1);
+    (*w)->write(100, MakePattern(1, 100, 200));
+    (*w)->close();
+  }
+  EXPECT_EQ(cache.size(), 0u);  // close dropped the stale snapshot
+  auto r = fs.open_read("/a");
+  ASSERT_TRUE(r.ok());
+  Bytes buf(400);
+  ASSERT_TRUE((*r)->read(0, buf).ok());
+  EXPECT_EQ(FindPatternMismatch(0, 0, std::span(buf).first(100)), kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(1, 100, std::span(buf).subspan(100, 200)),
+            kNoMismatch);
+  EXPECT_EQ(FindPatternMismatch(0, 300, std::span(buf).subspan(300)), kNoMismatch);
+}
+
+TEST(PlfsCache, LruBoundEvictsOldestContainer) {
+  IndexCache cache(2);
+  Options o;
+  o.index_cache = &cache;
+  Plfs fs(MakeMemBackend(), o);
+  for (const char* path : {"/a", "/b", "/c"}) {
+    auto w = fs.open_write(path, 0);
+    (*w)->write(0, MakePattern(0, 0, 100));
+    (*w)->close();
+    auto r = fs.open_read(path);
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(cache.size(), 2u);  // "/a" evicted
+  const std::uint64_t misses_before = cache.misses();
+  { auto r = fs.open_read("/a"); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  { auto r = fs.open_read("/c"); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// A degraded build (unreadable index dropping) must never be cached.
+TEST(PlfsCache, DegradedBuildIsNotCached) {
+  IndexCache cache(4);
+  FailingBackend backend;
+  Options o;
+  o.num_hostdirs = 1;
+  {
+    WriteClock clock{0};
+    auto w0 = Writer::Open(backend, "/f", 0, o, clock);
+    auto w1 = Writer::Open(backend, "/f", 1, o, clock);
+    (*w0)->write(0, MakePattern(0, 0, 100));
+    (*w1)->write(100, MakePattern(1, 100, 100));
+    (*w0)->close();
+    (*w1)->close();
+  }
+  backend.fail_open_containing = "index.1";  // rank 1's server is down
+  Options degraded = o;
+  degraded.degraded_reads = true;
+  degraded.index_cache = &cache;
+  auto r = Reader::Open(backend, "/f", degraded);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->read_errors(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel merge must be byte-identical to the serial merge.
+
+TEST(PlfsParallel, ParallelMergeMatchesSerialExactly) {
+  auto backend = MakeMemBackend();
+  Options o;
+  o.num_hostdirs = 2;
+  o.index_compression = false;  // maximise entry count and tie pressure
+  // Two clock domains so sequence stamps collide across rank groups, plus
+  // heavy logical overlap — the worst case for merge-order stability.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    WriteClock epoch_clock{0};
+    for (std::uint32_t r = 0; r < 3; ++r) {
+      const std::uint32_t rank = epoch * 3 + r;
+      auto w = Writer::Open(*backend, "/f", rank, o, epoch_clock);
+      ASSERT_TRUE(w.ok());
+      Rng rng(1000 + rank);
+      for (int k = 0; k < 60; ++k) {
+        const std::uint64_t off = rng.below(4000);
+        const std::uint64_t len = 1 + rng.below(300);
+        ASSERT_TRUE((*w)->write(off, MakePattern(rank, off, len)).ok());
+      }
+      ASSERT_TRUE((*w)->close().ok());
+    }
+  }
+
+  Options serial = o;
+  serial.index_read_threads = 1;
+  Options parallel = o;
+  parallel.index_read_threads = 4;
+  auto rs = Reader::Open(*backend, "/f", serial);
+  auto rp = Reader::Open(*backend, "/f", parallel);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rp.ok());
+
+  EXPECT_EQ(SerializeEntries((*rs)->raw_entries()),
+            SerializeEntries((*rp)->raw_entries()));
+  const auto segs_s = (*rs)->index().all();
+  const auto segs_p = (*rp)->index().all();
+  ASSERT_EQ(segs_s.size(), segs_p.size());
+  for (std::size_t i = 0; i < segs_s.size(); ++i) {
+    EXPECT_EQ(segs_s[i].logical, segs_p[i].logical) << i;
+    EXPECT_EQ(segs_s[i].length, segs_p[i].length) << i;
+    EXPECT_EQ(segs_s[i].dropping, segs_p[i].dropping) << i;
+    EXPECT_EQ(segs_s[i].physical, segs_p[i].physical) << i;
+  }
+  ASSERT_EQ((*rs)->size(), (*rp)->size());
+  Bytes bs((*rs)->size());
+  Bytes bp((*rp)->size());
+  ASSERT_TRUE((*rs)->read(0, bs).ok());
+  ASSERT_TRUE((*rp)->read(0, bp).ok());
+  EXPECT_EQ(bs, bp);
 }
 
 // End-to-end over a real directory tree (the FUSE-deployment analogue).
