@@ -26,6 +26,7 @@ int main() {
 
   PrintBanner(std::cout, "throughput by geometry (16 MiB of data per run)");
   Table t({"k+m", "tolerates", "overhead", "encode", "reconstruct(m lost)"});
+  bench::JsonReport json("ext09_reed_solomon");
   Rng rng(17);
   for (const auto& [k, m] : {std::pair<int, int>{4, 2}, {6, 3}, {10, 4},
                             {12, 2}, {17, 3}}) {
@@ -57,6 +58,20 @@ int main() {
            std::to_string(m) + " losses",
            FormatDouble(100.0 * m / k, 0) + "%",
            FormatRate(16.0 * MiB / enc_s), FormatRate(16.0 * MiB / rec_s)});
+
+    // Machine row for bench_diff: deterministic fields only (parity
+    // content fingerprint and round-trip outcome), never wall rates.
+    std::uint64_t parity_hash = 0;
+    for (const auto& shard : parity) {
+      parity_hash = parity_hash * 1000003 + HashBytes(shard);
+    }
+    json.num("k", k)
+        .num("m", m)
+        .num("shard_bytes", static_cast<double>(shard))
+        .num("overhead_pct", 100.0 * m / k)
+        .num("parity_hash32", static_cast<double>(parity_hash & 0xffffffffu))
+        .num("recon_ok", ok ? 1.0 : 0.0);
+    json.emit();
   }
   t.print(std::cout);
 

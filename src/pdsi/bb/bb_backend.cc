@@ -183,6 +183,20 @@ class BbBackend final : public Backend {
     return Status::Ok();
   }
 
+  Result<std::uint64_t> stat_size(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    // Tracked file: the persistent inner handle plus the staged high-water
+    // mark answer without the default's open/size/close round trip (which
+    // would also allocate a handle just to stat).
+    if (auto it = files_.find(p); it != files_.end()) {
+      auto inner_sz = inner_->size(it->second.inner_h);
+      if (!inner_sz) return inner_sz.error();
+      return std::max(*inner_sz, it->second.staged_size);
+    }
+    return inner_->stat_size(p);
+  }
+
   Result<std::vector<std::string>> readdir(const std::string& path) override {
     std::lock_guard<std::mutex> lk(mu_);
     return inner_->readdir(path);

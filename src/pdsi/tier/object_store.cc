@@ -1,0 +1,403 @@
+#include "pdsi/tier/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "pdsi/fault/fault.h"
+
+namespace pdsi::tier {
+
+ObjectStore::ObjectStore(ObjectStoreParams params, obs::Context* ctx)
+    : params_(params),
+      rs_(params.data_shards, params.parity_shards),
+      ctx_(ctx) {
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(params_.data_shards + params_.parity_shards);
+  if (params_.shard_unit == 0) {
+    throw std::invalid_argument("ObjectStore: shard_unit must be positive");
+  }
+  if (params_.num_devices < total) {
+    throw std::invalid_argument("ObjectStore: need at least k+m devices");
+  }
+  disks_.reserve(params_.num_devices);
+  for (std::uint32_t d = 0; d < params_.num_devices; ++d) {
+    disks_.emplace_back(params_.device);
+  }
+  disk_res_.resize(params_.num_devices);
+  cursor_.assign(params_.num_devices, 0);
+  failed_.assign(params_.num_devices, false);
+  if (ctx_) {
+    if (ctx_->tracer) ctx_->tracer->track(obs::kTierTrack, "tier");
+    if (ctx_->registry) {
+      c_puts_ = &ctx_->registry->counter("tier.store.puts");
+      c_gets_ = &ctx_->registry->counter("tier.store.gets");
+      c_bytes_in_ = &ctx_->registry->counter("tier.store.bytes_in");
+      c_bytes_out_ = &ctx_->registry->counter("tier.store.bytes_out");
+      c_degraded_ = &ctx_->registry->counter("tier.store.degraded_gets");
+      c_read_errors_ = &ctx_->registry->counter("tier.store.read_errors");
+      c_rebuilt_bytes_ = &ctx_->registry->counter("tier.store.rebuilt_bytes");
+    }
+  }
+}
+
+std::uint64_t ObjectStore::capacity_bytes() const {
+  std::uint64_t cap = 0;
+  for (std::uint32_t d = 0; d < params_.num_devices; ++d) {
+    if (!failed_[d]) cap += params_.device.capacity_bytes;
+  }
+  return cap;
+}
+
+void ObjectStore::set_fault(const fault::FaultInjector* f,
+                            std::uint32_t base_server) {
+  fault_ = f;
+  fault_base_ = base_server;
+}
+
+bool ObjectStore::dev_down(std::uint32_t dev, double t) const {
+  if (!fault_) return false;
+  const std::uint32_t server = fault_base_ + dev;
+  if (server >= fault_->num_servers()) return false;
+  return fault_->down(server, t);
+}
+
+bool ObjectStore::shard_available(const Shard& s, double t) const {
+  return !s.lost && dev_alive(s.dev) && !dev_down(s.dev, t);
+}
+
+double ObjectStore::park_if_down(std::uint32_t dev, double issue) const {
+  if (!dev_down(dev, issue)) return issue;
+  const std::uint32_t server = fault_base_ + dev;
+  return fault_->next_up(server, issue) + fault_->plan().rpc_timeout_s;
+}
+
+std::vector<std::uint32_t> ObjectStore::pick_devices(std::uint64_t first) const {
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(params_.data_shards + params_.parity_shards);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < params_.num_devices && out.size() < total; ++i) {
+    const auto dev =
+        static_cast<std::uint32_t>((first + i) % params_.num_devices);
+    if (dev_alive(dev)) out.push_back(dev);
+  }
+  if (out.size() < total) out.clear();
+  return out;
+}
+
+double ObjectStore::dev_append(std::uint32_t dev, std::uint64_t len,
+                               double issue, std::uint64_t* phys) {
+  *phys = cursor_[dev];
+  const double service = disks_[dev].access(0, cursor_[dev], len);
+  cursor_[dev] += len;
+  return disk_res_[dev].reserve(issue, service);
+}
+
+double ObjectStore::dev_read(std::uint32_t dev, std::uint64_t phys,
+                             std::uint64_t len, double issue) {
+  const double service = disks_[dev].access(0, phys, len);
+  return disk_res_[dev].reserve(issue, service);
+}
+
+void ObjectStore::drop_accounting(Stored& st) {
+  for (auto& stripe : st.stripes) {
+    for (auto& s : stripe.shards) {
+      if (s.lost) {
+        --lost_shards_;
+      } else {
+        used_bytes_ -= s.bytes.size();
+      }
+    }
+  }
+}
+
+Result<double> ObjectStore::put(const std::string& bucket,
+                                const std::string& object,
+                                std::span<const std::uint8_t> data,
+                                double now) {
+  if (bucket.empty() || object.empty() ||
+      bucket.find('/') != std::string::npos || data.empty()) {
+    return Errc::invalid;
+  }
+  const int k = params_.data_shards;
+  const int m = params_.parity_shards;
+  const std::uint64_t span = params_.stripe_span();
+  const std::uint64_t nstripes = (data.size() + span - 1) / span;
+  // Raw footprint: every stripe stores k+m equal shards.
+  std::uint64_t raw = 0;
+  for (std::uint64_t i = 0; i < nstripes; ++i) {
+    const std::uint64_t rem = std::min<std::uint64_t>(span, data.size() - i * span);
+    raw += ((rem + k - 1) / k) * static_cast<std::uint64_t>(k + m);
+  }
+  if (used_bytes_ + raw > capacity_bytes()) return Errc::no_space;
+  // Liveness up front, before any device time is charged: per-stripe
+  // placement below cannot fail once k+m devices are alive.
+  if (pick_devices(0).empty()) return Errc::no_space;
+
+  const std::string key = Key(bucket, object);
+  if (auto it = objects_.find(key); it != objects_.end()) {
+    drop_accounting(it->second);
+    objects_.erase(it);
+  }
+
+  Stored st;
+  st.size = data.size();
+  st.start_dev = HashBytes(std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(key.data()),
+                     key.size())) %
+                 params_.num_devices;
+
+  // The client pipeline encodes the whole object before shipping shards.
+  const double enc =
+      static_cast<double>(data.size()) / params_.encode_bw_bytes;
+  const double start = cpu_res_.reserve(now + params_.per_op_s, enc);
+
+  double done = start;
+  for (std::uint64_t si = 0; si < nstripes; ++si) {
+    const std::uint64_t off = si * span;
+    const std::uint64_t rem = std::min<std::uint64_t>(span, data.size() - off);
+    Stripe stripe;
+    stripe.shard_len = (rem + k - 1) / k;
+    const auto devs = pick_devices(st.start_dev + si);
+    if (devs.empty()) return Errc::no_space;
+    std::vector<Bytes> shards(static_cast<std::size_t>(k),
+                              Bytes(stripe.shard_len, 0));
+    for (int i = 0; i < k; ++i) {
+      const std::uint64_t s = off + static_cast<std::uint64_t>(i) * stripe.shard_len;
+      if (s < off + rem) {
+        const std::uint64_t n = std::min<std::uint64_t>(stripe.shard_len, off + rem - s);
+        std::memcpy(shards[static_cast<std::size_t>(i)].data(), data.data() + s,
+                    static_cast<std::size_t>(n));
+      }
+    }
+    auto parity = rs_.encode(shards);
+    shards.insert(shards.end(), parity.begin(), parity.end());
+    stripe.shards.resize(static_cast<std::size_t>(k + m));
+    for (int i = 0; i < k + m; ++i) {
+      Shard& sh = stripe.shards[static_cast<std::size_t>(i)];
+      sh.dev = devs[static_cast<std::size_t>(i)];
+      sh.bytes = std::move(shards[static_cast<std::size_t>(i)]);
+      const double issue = park_if_down(sh.dev, start);
+      done = std::max(done, dev_append(sh.dev, stripe.shard_len, issue, &sh.phys_off));
+      used_bytes_ += stripe.shard_len;
+    }
+    st.stripes.push_back(std::move(stripe));
+  }
+  objects_.emplace(key, std::move(st));
+  ++stats_.puts;
+  stats_.bytes_in += data.size();
+  if (c_puts_) c_puts_->add();
+  if (c_bytes_in_) c_bytes_in_->add(data.size());
+  return done;
+}
+
+Result<double> ObjectStore::get(const std::string& bucket,
+                                const std::string& object, Bytes* out,
+                                double now) {
+  const auto it = objects_.find(Key(bucket, object));
+  if (it == objects_.end()) return Errc::not_found;
+  const Stored& st = it->second;
+  const int k = params_.data_shards;
+  const int m = params_.parity_shards;
+  out->assign(st.size, 0);
+
+  const double start = now + params_.per_op_s;
+  double done = start;
+  bool degraded = false;
+  for (std::size_t si = 0; si < st.stripes.size(); ++si) {
+    const Stripe& stripe = st.stripes[si];
+    const std::uint64_t off = si * params_.stripe_span();
+    bool healthy = true;
+    for (int i = 0; i < k; ++i) {
+      if (!shard_available(stripe.shards[static_cast<std::size_t>(i)], now)) {
+        healthy = false;
+        break;
+      }
+    }
+    std::vector<Bytes> shards(static_cast<std::size_t>(k + m));
+    if (healthy) {
+      // Systematic code: the data shards hold the bytes verbatim.
+      for (int i = 0; i < k; ++i) {
+        const Shard& sh = stripe.shards[static_cast<std::size_t>(i)];
+        done = std::max(done, dev_read(sh.dev, sh.phys_off, stripe.shard_len, start));
+        shards[static_cast<std::size_t>(i)] = sh.bytes;
+      }
+    } else {
+      int have = 0;
+      double rmax = start;
+      for (int i = 0; i < k + m && have < k; ++i) {
+        const Shard& sh = stripe.shards[static_cast<std::size_t>(i)];
+        if (!shard_available(sh, now)) continue;
+        rmax = std::max(rmax, dev_read(sh.dev, sh.phys_off, stripe.shard_len, start));
+        shards[static_cast<std::size_t>(i)] = sh.bytes;
+        ++have;
+      }
+      if (have < k) {
+        ++stats_.read_errors;
+        if (c_read_errors_) c_read_errors_->add();
+        return Errc::io_error;
+      }
+      const double dec = static_cast<double>(k) *
+                         static_cast<double>(stripe.shard_len) /
+                         params_.decode_bw_bytes;
+      done = std::max(done, cpu_res_.reserve(rmax, dec));
+      rs_.reconstruct(shards);
+      degraded = true;
+      ++stats_.degraded_stripes;
+    }
+    const std::uint64_t rem = std::min<std::uint64_t>(
+        params_.stripe_span(), st.size - off);
+    for (int i = 0; i < k; ++i) {
+      const std::uint64_t s = static_cast<std::uint64_t>(i) * stripe.shard_len;
+      if (s >= rem) break;
+      const std::uint64_t n = std::min<std::uint64_t>(stripe.shard_len, rem - s);
+      std::memcpy(out->data() + off + s,
+                  shards[static_cast<std::size_t>(i)].data(),
+                  static_cast<std::size_t>(n));
+    }
+  }
+  ++stats_.gets;
+  stats_.bytes_out += st.size;
+  if (c_gets_) c_gets_->add();
+  if (c_bytes_out_) c_bytes_out_->add(st.size);
+  if (degraded) {
+    ++stats_.degraded_gets;
+    if (c_degraded_) c_degraded_->add();
+  }
+  return done;
+}
+
+Status ObjectStore::remove(const std::string& bucket,
+                           const std::string& object) {
+  const auto it = objects_.find(Key(bucket, object));
+  if (it == objects_.end()) return Errc::not_found;
+  drop_accounting(it->second);
+  objects_.erase(it);
+  ++stats_.removes;
+  return Status::Ok();
+}
+
+bool ObjectStore::exists(const std::string& bucket,
+                         const std::string& object) const {
+  return objects_.count(Key(bucket, object)) > 0;
+}
+
+Result<std::uint64_t> ObjectStore::object_size(const std::string& bucket,
+                                               const std::string& object) const {
+  const auto it = objects_.find(Key(bucket, object));
+  if (it == objects_.end()) return Errc::not_found;
+  return it->second.size;
+}
+
+std::vector<std::string> ObjectStore::list(const std::string& bucket) const {
+  std::vector<std::string> out;
+  const std::string prefix = bucket + "/";
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first.substr(prefix.size()));
+  }
+  return out;
+}
+
+void ObjectStore::fail_device(std::uint32_t dev) {
+  if (dev >= params_.num_devices || failed_[dev]) return;
+  failed_[dev] = true;
+  for (auto& [key, st] : objects_) {
+    for (auto& stripe : st.stripes) {
+      for (auto& s : stripe.shards) {
+        if (s.dev == dev && !s.lost) {
+          used_bytes_ -= s.bytes.size();
+          s.bytes.clear();
+          s.bytes.shrink_to_fit();
+          s.lost = true;
+          ++lost_shards_;
+        }
+      }
+    }
+  }
+}
+
+Result<double> ObjectStore::rebuild(double now) {
+  const int k = params_.data_shards;
+  const int m = params_.parity_shards;
+  double done = now;
+  bool unrecoverable = false;
+  std::uint64_t rebuilt_shards = 0;
+  std::uint64_t rebuilt_bytes = 0;
+  for (auto& [key, st] : objects_) {
+    for (std::size_t si = 0; si < st.stripes.size(); ++si) {
+      Stripe& stripe = st.stripes[si];
+      bool any_lost = false;
+      for (const auto& s : stripe.shards) any_lost |= s.lost;
+      if (!any_lost) continue;
+
+      std::vector<Bytes> shards(static_cast<std::size_t>(k + m));
+      int have = 0;
+      double rmax = now;
+      for (int i = 0; i < k + m && have < k; ++i) {
+        const Shard& sh = stripe.shards[static_cast<std::size_t>(i)];
+        if (sh.lost || !dev_alive(sh.dev)) continue;
+        const double issue = park_if_down(sh.dev, now);
+        rmax = std::max(rmax, dev_read(sh.dev, sh.phys_off, stripe.shard_len, issue));
+        shards[static_cast<std::size_t>(i)] = sh.bytes;
+        ++have;
+      }
+      if (have < k) {
+        unrecoverable = true;
+        continue;
+      }
+      const double dec = static_cast<double>(k) *
+                         static_cast<double>(stripe.shard_len) /
+                         params_.decode_bw_bytes;
+      const double decoded = cpu_res_.reserve(rmax, dec);
+      rs_.reconstruct(shards);
+
+      for (int i = 0; i < k + m; ++i) {
+        Shard& sh = stripe.shards[static_cast<std::size_t>(i)];
+        if (!sh.lost) continue;
+        // Re-protect onto a live device not already holding a shard of
+        // this stripe (rotating from the stripe's placement origin).
+        std::uint32_t target = params_.num_devices;
+        for (std::uint32_t step = 0; step < params_.num_devices; ++step) {
+          const auto cand = static_cast<std::uint32_t>(
+              (st.start_dev + si + step) % params_.num_devices);
+          if (!dev_alive(cand)) continue;
+          bool taken = false;
+          for (const auto& other : stripe.shards) {
+            if (!other.lost && other.dev == cand) taken = true;
+          }
+          if (!taken) {
+            target = cand;
+            break;
+          }
+        }
+        if (target == params_.num_devices) {
+          unrecoverable = true;
+          continue;
+        }
+        sh.dev = target;
+        sh.bytes = shards[static_cast<std::size_t>(i)];
+        const double issue = park_if_down(target, decoded);
+        done = std::max(done, dev_append(target, stripe.shard_len, issue, &sh.phys_off));
+        sh.lost = false;
+        --lost_shards_;
+        used_bytes_ += stripe.shard_len;
+        ++rebuilt_shards;
+        rebuilt_bytes += stripe.shard_len;
+      }
+    }
+  }
+  stats_.rebuilt_shards += rebuilt_shards;
+  stats_.rebuilt_bytes += rebuilt_bytes;
+  if (c_rebuilt_bytes_) c_rebuilt_bytes_->add(rebuilt_bytes);
+  if (ctx_ && ctx_->tracer && rebuilt_shards > 0) {
+    ctx_->tracer->complete(obs::kTierTrack, "rebuild", "tier", now, done,
+                           {obs::Arg::Int("shards", rebuilt_shards),
+                            obs::Arg::Int("bytes", rebuilt_bytes)});
+  }
+  if (unrecoverable) return Errc::io_error;
+  return done;
+}
+
+}  // namespace pdsi::tier

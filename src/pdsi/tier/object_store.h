@@ -1,0 +1,193 @@
+// pdsi::tier object store — the archive tier behind the tiering engine.
+//
+// A flat bucket/object namespace over a shelf of independent disks, laid
+// out DiskReduce-style (Fan, PDSW'09): each object is cut into fixed-size
+// stripes, each stripe erasure-coded k+m with pdsi::reedsolomon and its
+// shards spread over k+m distinct devices. Any m device losses are
+// survivable; a get that finds a shard missing reconstructs the stripe
+// from k survivors (charged decode CPU on top of the survivor reads), and
+// rebuild() re-protects every lost shard onto the remaining devices.
+//
+// Timing follows the repo-wide convention: every data operation takes the
+// caller's virtual time and returns its completion time. Each device is a
+// storage::DiskModel behind a sim::SimResource FIFO clock, and shards are
+// appended log-structured per device, so healthy whole-object gets stream
+// near media rate while degraded gets pay extra survivor reads plus
+// decode. Calls must arrive with nondecreasing `now` (single-timeline
+// driver, the same contract as pfs::Oss).
+//
+// Fault integration: set_fault() maps device d to injector server
+// `base_server + d`, so one FaultPlan can crash PFS servers and archive
+// shelves from the same seeded schedule. Transient crash windows make
+// shards unavailable (degraded gets) without losing bytes; fail_device()
+// models a permanent loss — the shard payloads are actually destroyed,
+// which is what makes "rebuild returns byte-identical data" a real
+// property rather than a bookkeeping claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/result.h"
+#include "pdsi/common/units.h"
+#include "pdsi/obs/obs.h"
+#include "pdsi/reedsolomon/reedsolomon.h"
+#include "pdsi/sim/virtual_time.h"
+#include "pdsi/storage/disk_model.h"
+
+namespace pdsi::fault {
+class FaultInjector;
+}  // namespace pdsi::fault
+
+namespace pdsi::tier {
+
+struct ObjectStoreParams {
+  int data_shards = 8;                      ///< k
+  int parity_shards = 2;                    ///< m
+  std::uint64_t shard_unit = 256 * KiB;     ///< bytes per shard per stripe
+  std::uint32_t num_devices = 12;           ///< >= k+m
+  storage::DiskParams device;               ///< per-device cost model
+  double encode_bw_bytes = 1.2e9;           ///< client-side RS encode rate
+  double decode_bw_bytes = 0.8e9;           ///< reconstruct rate
+  double per_op_s = 0.5e-3;                 ///< per-object-op overhead
+
+  std::uint64_t stripe_span() const {
+    return shard_unit * static_cast<std::uint64_t>(data_shards);
+  }
+};
+
+struct ObjectStoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t bytes_in = 0;          ///< logical object bytes stored
+  std::uint64_t bytes_out = 0;         ///< logical object bytes served
+  std::uint64_t degraded_gets = 0;     ///< gets that reconstructed a stripe
+  std::uint64_t degraded_stripes = 0;  ///< stripes rebuilt in-flight
+  std::uint64_t read_errors = 0;       ///< gets with > m shards unavailable
+  std::uint64_t rebuilt_shards = 0;
+  std::uint64_t rebuilt_bytes = 0;
+};
+
+class ObjectStore {
+ public:
+  /// `ctx` (optional, must outlive the store) feeds the tier.store.*
+  /// counters and puts rebuild spans on obs::kTierTrack.
+  explicit ObjectStore(ObjectStoreParams params, obs::Context* ctx = nullptr);
+
+  const ObjectStoreParams& params() const { return params_; }
+  const ObjectStoreStats& stats() const { return stats_; }
+
+  /// Raw bytes stored on live devices (data + parity shards).
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  /// Aggregate capacity of the devices still alive.
+  std::uint64_t capacity_bytes() const;
+  /// Shards whose bytes are currently lost (rebuild() restores them).
+  std::uint64_t lost_shards() const { return lost_shards_; }
+
+  /// Installs (or clears) the fault injector. Device d maps to injector
+  /// server `base_server + d`; devices past the injector's server count
+  /// are treated as always healthy. Inactive plans stay query-only, so
+  /// installing one never changes timing.
+  void set_fault(const fault::FaultInjector* f, std::uint32_t base_server);
+
+  /// Permanently fails a device: every shard on it is destroyed and the
+  /// device takes no further I/O. Data stays readable (degraded) while
+  /// each stripe retains >= k shards.
+  void fail_device(std::uint32_t dev);
+
+  /// Stores (or replaces) an object; returns the completion time of the
+  /// last shard write. Errc::no_space when fewer than k+m devices are
+  /// alive, Errc::invalid for empty names or data.
+  Result<double> put(const std::string& bucket, const std::string& object,
+                     std::span<const std::uint8_t> data, double now);
+
+  /// Reads the whole object into `*out`; returns completion time.
+  /// Unavailable shards (lost, failed device, or crash window at `now`)
+  /// trigger per-stripe reconstruction from k survivors; more than m
+  /// unavailable in any stripe is Errc::io_error.
+  Result<double> get(const std::string& bucket, const std::string& object,
+                     Bytes* out, double now);
+
+  Status remove(const std::string& bucket, const std::string& object);
+  bool exists(const std::string& bucket, const std::string& object) const;
+  Result<std::uint64_t> object_size(const std::string& bucket,
+                                    const std::string& object) const;
+  /// Object names in `bucket`, sorted.
+  std::vector<std::string> list(const std::string& bucket) const;
+
+  /// Reconstructs every lost shard from surviving ones onto live devices,
+  /// restoring full k+m redundancy; returns the completion time of the
+  /// last re-protected shard (or `now` when nothing was lost).
+  /// Errc::io_error if some stripe has fewer than k survivors (those
+  /// stripes are left as-is).
+  Result<double> rebuild(double now);
+
+ private:
+  struct Shard {
+    std::uint32_t dev = 0;
+    std::uint64_t phys_off = 0;  ///< device log offset
+    Bytes bytes;
+    bool lost = false;
+  };
+  struct Stripe {
+    std::uint64_t shard_len = 0;
+    std::vector<Shard> shards;  ///< k data shards then m parity
+  };
+  struct Stored {
+    std::uint64_t size = 0;     ///< logical object bytes
+    std::uint64_t start_dev = 0;
+    std::vector<Stripe> stripes;
+  };
+
+  static std::string Key(const std::string& bucket, const std::string& object) {
+    return bucket + "/" + object;
+  }
+
+  bool dev_alive(std::uint32_t dev) const { return !failed_[dev]; }
+  /// Crash-window check via the injector's schedule (pure query).
+  bool dev_down(std::uint32_t dev, double t) const;
+  bool shard_available(const Shard& s, double t) const;
+  /// k+m distinct live devices in rotation order from `first`; empty if
+  /// not enough remain.
+  std::vector<std::uint32_t> pick_devices(std::uint64_t first) const;
+  /// Appends `len` bytes to device `dev`'s log at `issue`; returns
+  /// completion and records the physical offset in `*phys`.
+  double dev_append(std::uint32_t dev, std::uint64_t len, double issue,
+                    std::uint64_t* phys);
+  double dev_read(std::uint32_t dev, std::uint64_t phys, std::uint64_t len,
+                  double issue);
+  /// Crash-window parking for non-latency-sensitive ops (puts, rebuild).
+  double park_if_down(std::uint32_t dev, double issue) const;
+  void drop_accounting(Stored& st);
+
+  ObjectStoreParams params_;
+  reedsolomon::ReedSolomon rs_;
+  std::vector<storage::DiskModel> disks_;
+  std::vector<sim::SimResource> disk_res_;
+  sim::SimResource cpu_res_;              ///< encode/decode pipeline
+  std::vector<std::uint64_t> cursor_;     ///< per-device log append position
+  std::vector<bool> failed_;
+  std::map<std::string, Stored> objects_; ///< key -> payload (ordered)
+  std::uint64_t used_bytes_ = 0;
+  std::uint64_t lost_shards_ = 0;
+  ObjectStoreStats stats_;
+
+  const fault::FaultInjector* fault_ = nullptr;
+  std::uint32_t fault_base_ = 0;
+
+  obs::Context* ctx_ = nullptr;
+  obs::Counter* c_puts_ = nullptr;
+  obs::Counter* c_gets_ = nullptr;
+  obs::Counter* c_bytes_in_ = nullptr;
+  obs::Counter* c_bytes_out_ = nullptr;
+  obs::Counter* c_degraded_ = nullptr;
+  obs::Counter* c_read_errors_ = nullptr;
+  obs::Counter* c_rebuilt_bytes_ = nullptr;
+};
+
+}  // namespace pdsi::tier

@@ -1,0 +1,233 @@
+#include "pdsi/tier/tier_backend.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "pdsi/pfs/mds.h"  // NormalizePath / ParentPath helpers
+#include "pdsi/tier/tier_engine.h"
+
+namespace pdsi::tier {
+namespace {
+
+using pfs::NormalizePath;
+using pfs::ParentPath;
+
+/// Namespace shape follows MemBackend (ordered path map = directory
+/// index); file payloads live in the engine under the normalised path.
+/// Engine objects are created lazily on first write, so a created-but-
+/// never-written file is namespace-only with size 0.
+class TierBackend final : public plfs::Backend {
+ public:
+  explicit TierBackend(TierEngine& engine) : engine_(engine) {
+    nodes_.emplace("/", true);
+  }
+
+  Status mkdir(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    if (nodes_.count(p)) return Errc::exists;
+    if (!parent_ok(p)) return Errc::not_found;
+    nodes_.emplace(p, true);
+    return Status::Ok();
+  }
+
+  Result<plfs::BackendHandle> create(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    if (nodes_.count(p)) return Errc::exists;
+    if (!parent_ok(p)) return Errc::not_found;
+    nodes_.emplace(p, false);
+    return put(p);
+  }
+
+  Result<plfs::BackendHandle> open(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    auto it = nodes_.find(p);
+    if (it == nodes_.end()) return Errc::not_found;
+    if (it->second) return Errc::is_dir;
+    return put(p);
+  }
+
+  Status write(plfs::BackendHandle h, std::uint64_t off,
+               std::span<const std::uint8_t> data) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string* p = path_for(h);
+    if (!p) return Errc::bad_handle;
+    if (data.empty()) return Status::Ok();
+    auto t = engine_.write(*p, off, data, clock_);
+    if (!t.ok()) return t.error();
+    clock_ = std::max(clock_, *t);
+    return Status::Ok();
+  }
+
+  Result<std::size_t> read(plfs::BackendHandle h, std::uint64_t off,
+                           std::span<std::uint8_t> out) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string* p = path_for(h);
+    if (!p) return Errc::bad_handle;
+    if (!engine_.exists(*p)) return static_cast<std::size_t>(0);
+    std::size_t n = 0;
+    auto t = engine_.read(*p, off, out, clock_, &n);
+    if (!t.ok()) return t.error();
+    clock_ = std::max(clock_, *t);
+    return n;
+  }
+
+  Result<std::uint64_t> size(plfs::BackendHandle h) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string* p = path_for(h);
+    if (!p) return Errc::bad_handle;
+    auto sz = engine_.size(*p);
+    if (!sz.ok()) return static_cast<std::uint64_t>(0);  // never written
+    return *sz;
+  }
+
+  Status fsync(plfs::BackendHandle h) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!path_for(h)) return Errc::bad_handle;
+    clock_ = std::max(clock_, engine_.flush(clock_));
+    return Status::Ok();
+  }
+
+  Status close(plfs::BackendHandle h) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (h < 0 || static_cast<std::size_t>(h) >= handles_.size() ||
+        handles_[h].empty()) {
+      return Errc::bad_handle;
+    }
+    handles_[h].clear();
+    return Status::Ok();
+  }
+
+  Result<std::uint64_t> stat_size(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    auto it = nodes_.find(p);
+    if (it == nodes_.end()) return Errc::not_found;
+    if (it->second) return Errc::invalid;
+    auto sz = engine_.size(p);
+    if (!sz.ok()) return static_cast<std::uint64_t>(0);
+    return *sz;
+  }
+
+  Result<std::vector<std::string>> readdir(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    auto it = nodes_.find(p);
+    if (it == nodes_.end()) return Errc::not_found;
+    if (!it->second) return Errc::not_dir;
+    std::vector<std::string> names;
+    const std::string prefix = p == "/" ? "/" : p + "/";
+    for (auto child = nodes_.upper_bound(prefix);
+         child != nodes_.end() &&
+         child->first.compare(0, prefix.size(), prefix) == 0;
+         ++child) {
+      const std::string rest = child->first.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) names.push_back(rest);
+    }
+    return names;
+  }
+
+  Status unlink(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string p = NormalizePath(path);
+    auto it = nodes_.find(p);
+    if (it == nodes_.end()) return Errc::not_found;
+    if (it->second) {
+      auto next = std::next(it);
+      if (next != nodes_.end() && next->first.size() > p.size() &&
+          next->first.compare(0, p.size(), p) == 0 &&
+          next->first[p.size()] == '/') {
+        return Errc::not_empty;
+      }
+    } else if (engine_.exists(p)) {
+      engine_.remove(p);
+    }
+    nodes_.erase(it);
+    return Status::Ok();
+  }
+
+  Status rename(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::string f = NormalizePath(from);
+    const std::string t = NormalizePath(to);
+    auto it = nodes_.find(f);
+    if (it == nodes_.end()) return Errc::not_found;
+    if (it->second) return Errc::not_supported;
+    if (nodes_.count(t)) return Errc::exists;
+    if (!parent_ok(t)) return Errc::not_found;
+    if (engine_.exists(f)) {
+      Status s = engine_.rename(f, t);
+      if (!s.ok()) return s;
+    }
+    nodes_.erase(it);
+    nodes_.emplace(t, false);
+    return Status::Ok();
+  }
+
+  Result<bool> is_dir(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = nodes_.find(NormalizePath(path));
+    if (it == nodes_.end()) return Errc::not_found;
+    return it->second;
+  }
+
+  Result<bool> exists(const std::string& path) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return nodes_.count(NormalizePath(path)) > 0;
+  }
+
+  void compute(double seconds) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    clock_ += seconds;
+    engine_.run_until(clock_);
+  }
+
+  double now() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return clock_;
+  }
+
+ private:
+  bool parent_ok(const std::string& p) {
+    auto it = nodes_.find(ParentPath(p));
+    return it != nodes_.end() && it->second;
+  }
+
+  plfs::BackendHandle put(std::string path) {
+    for (std::size_t i = 0; i < handles_.size(); ++i) {
+      if (handles_[i].empty()) {
+        handles_[i] = std::move(path);
+        return static_cast<plfs::BackendHandle>(i);
+      }
+    }
+    handles_.push_back(std::move(path));
+    return static_cast<plfs::BackendHandle>(handles_.size() - 1);
+  }
+
+  const std::string* path_for(plfs::BackendHandle h) const {
+    if (h < 0 || static_cast<std::size_t>(h) >= handles_.size()) return nullptr;
+    const std::string& p = handles_[h];
+    if (p.empty()) return nullptr;
+    auto it = nodes_.find(p);
+    if (it == nodes_.end() || it->second) return nullptr;
+    return &it->first;
+  }
+
+  TierEngine& engine_;
+  mutable std::mutex mu_;
+  std::map<std::string, bool> nodes_;  ///< path -> is_dir
+  std::vector<std::string> handles_;   ///< handle -> open path ("" = free)
+  double clock_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<plfs::Backend> MakeTierBackend(TierEngine& engine) {
+  return std::make_unique<TierBackend>(engine);
+}
+
+}  // namespace pdsi::tier

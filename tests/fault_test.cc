@@ -16,6 +16,8 @@
 #include "pdsi/plfs/pfs_backend.h"
 #include "pdsi/plfs/reader.h"
 #include "pdsi/plfs/writer.h"
+#include "pdsi/storage/device_catalog.h"
+#include "pdsi/tier/tier_engine.h"
 
 namespace pdsi {
 namespace {
@@ -350,6 +352,111 @@ TEST(FaultPlfs, DegradedBuildSkipsUnreadableIndexDroppings) {
   EXPECT_GT((*reader)->read_errors(), 0u);
   EXPECT_EQ((*reader)->size(), 0u) << "that rank's writes are invisible";
   sched.finish(0);
+}
+
+// -- Tiering engine under faults --------------------------------------------
+
+/// Checkpoint-then-analyse workload on a small three-tier stack. Returns
+/// the final clock plus the accounting the regression compares.
+struct TierRunResult {
+  double final_t = 0.0;
+  std::uint64_t degraded = 0;
+  std::uint64_t read_errors = 0;
+  bool data_ok = false;
+
+  bool operator==(const TierRunResult&) const = default;
+};
+
+TierRunResult RunTierScenario(fault::FaultInjector* inj) {
+  sim::VirtualScheduler sched(1);
+  pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(2), sched);
+  tier::TierEngineParams p;
+  p.bb.ssd = storage::FlashDevice("fusionio-iodrive-duo");
+  p.bb.ssd.capacity_bytes = 64 * MiB;
+  p.warm_capacity_bytes = 64 * MiB;
+  p.cold.data_shards = 4;
+  p.cold.parity_shards = 2;
+  p.cold.shard_unit = 64 * KiB;
+  p.cold.num_devices = 8;
+  tier::TierEngine engine(p, cluster);
+  if (inj) engine.set_fault(inj);
+
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "ckpt" + std::to_string(i);
+    engine.pin(name, tier::kWarmTier);  // warm-resident: reads hit the PFS
+    for (std::uint64_t off = 0; off < 4 * MiB; off += MiB) {
+      t = *engine.write(name, off,
+                        MakePattern(static_cast<std::uint32_t>(i), off, MiB), t);
+    }
+  }
+  t = engine.flush(t);
+
+  TierRunResult r;
+  r.data_ok = true;
+  Bytes back(4 * MiB);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 3; ++i) {
+      auto g = engine.read("ckpt" + std::to_string(i), 0, back, t + 1.0);
+      if (g.ok()) {
+        t = std::max(t, *g);
+        r.data_ok = r.data_ok &&
+                    FindPatternMismatch(static_cast<std::uint32_t>(i), 0, back) ==
+                        kNoMismatch;
+      }
+    }
+  }
+  r.final_t = t;
+  r.degraded = engine.degraded_reads();
+  r.read_errors = engine.read_errors();
+  sched.finish(0);
+  return r;
+}
+
+TEST(FaultTier, InactivePlanLeavesEngineTimingIdentical) {
+  const TierRunResult bare = RunTierScenario(nullptr);
+  EXPECT_TRUE(bare.data_ok);
+  EXPECT_EQ(bare.degraded, 0u);
+  EXPECT_EQ(bare.read_errors, 0u);
+
+  // An installed-but-inactive plan must be a pure bystander: identical
+  // clocks, identical counters, no randomness consumed.
+  fault::FaultPlan inert;  // all rates zero -> !active()
+  ASSERT_FALSE(inert.active());
+  fault::FaultInjector inj(inert, 2 + 8);
+  const TierRunResult with_inert = RunTierScenario(&inj);
+  EXPECT_EQ(with_inert, bare);
+}
+
+TEST(FaultTier, ActivePlanYieldsDegradedReadsWithAccounting) {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.oss_mtbf_s = 1e12;  // active, but organically crash-free
+  plan.read_failover = true;
+  fault::FaultInjector inj(plan, 2 + 8);
+  // Down warm server 0 across the whole read phase; server 1 survives.
+  inj.force_down(0, 0.5, kForever);
+
+  const TierRunResult r = RunTierScenario(&inj);
+  EXPECT_TRUE(r.data_ok);
+  EXPECT_GT(r.degraded, 0u);
+  EXPECT_EQ(r.read_errors, 0u);
+
+  // Same plan with failover disabled: warm reads have no surviving
+  // replica and no cold copy yet, so every read of a stripe on the dead
+  // server is a counted error.
+  fault::FaultPlan no_failover = plan;
+  no_failover.read_failover = false;
+  fault::FaultInjector inj2(no_failover, 2 + 8);
+  inj2.force_down(0, 0.5, kForever);
+  const TierRunResult r2 = RunTierScenario(&inj2);
+  EXPECT_GT(r2.read_errors, 0u);
+  EXPECT_EQ(r2.degraded, 0u);
+
+  // Determinism: the faulty run replays byte-identically.
+  fault::FaultInjector inj3(plan, 2 + 8);
+  inj3.force_down(0, 0.5, kForever);
+  EXPECT_EQ(RunTierScenario(&inj3), r);
 }
 
 TEST(FaultCheckpointSim, InjectedScheduleDrivesFailures) {
