@@ -7,15 +7,21 @@
 //   trace_tool <trace> --profile          span stats + per-track breakdown
 //   trace_tool <trace> --critical-path    the chain that set the makespan
 //   trace_tool <trace> --profile --json   the same, machine-readable
+//   trace_tool <trace> --check <model>    audit the consist ops against a
+//                                         claimed consistency model
 //
 // Output is byte-stable for a given input file (fixed formatting, sorted
 // keys, deterministic tie-breaks), so profiles can be golden-tested the
-// same way the traces themselves are.
+// same way the traces themselves are. --check exits 0 on a clean trace
+// and 1 on the first (deterministic) violation, so any committed trace
+// can be audited standalone in CI.
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "pdsi/consist/checker.h"
+#include "pdsi/consist/model.h"
 #include "pdsi/obs/critical_path.h"
 #include "pdsi/obs/profile.h"
 
@@ -26,11 +32,29 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <trace-file> [--profile] [--critical-path] [--json]"
-               " [--top N] [--bins N]\n"
+               " [--top N] [--bins N] [--check <model>]\n"
                "  <trace-file> is the compact format written by"
                " `<bench> --trace <path>` (non-.json path)\n"
-               "  with neither --profile nor --critical-path, both run\n";
+               "  <model> is one of posix|session|commit|mpiio\n"
+               "  with no mode flags, --profile and --critical-path both run\n";
   return 2;
+}
+
+int CheckTrace(const std::vector<obs::AnalysisEvent>& events,
+               consist::ConsistencyModel model) {
+  const consist::CheckResult res = consist::CheckConsistency(events, model);
+  std::cout << "check: model=" << consist::ConsistencyModelName(model)
+            << " writes=" << res.stats.writes << " reads=" << res.stats.reads
+            << " content_checks=" << res.stats.content_checks
+            << " composite_skips=" << res.stats.composite_skips
+            << " conflict_pairs=" << res.stats.conflict_pairs << "\n";
+  if (res.clean) {
+    std::cout << "check: CLEAN\n";
+    return 0;
+  }
+  std::cout << "check: VIOLATION " << consist::FormatViolation(res.first, events)
+            << "\n";
+  return 1;
 }
 
 }  // namespace
@@ -38,6 +62,8 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string path;
   bool profile = false, critical = false, json = false;
+  bool check = false;
+  consist::ConsistencyModel model = consist::ConsistencyModel::posix;
   std::size_t top_k = 10, bins = 24;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -47,6 +73,9 @@ int main(int argc, char** argv) {
       critical = true;
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--check" && i + 1 < argc) {
+      if (!consist::ParseConsistencyModel(argv[++i], &model)) return Usage(argv[0]);
+      check = true;
     } else if (a == "--top" && i + 1 < argc) {
       top_k = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (a == "--bins" && i + 1 < argc) {
@@ -60,7 +89,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Usage(argv[0]);
-  if (!profile && !critical) profile = critical = true;
+  if (!profile && !critical && !check) profile = critical = true;
 
   std::ifstream in(path);
   if (!in) {
@@ -74,6 +103,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (check) {
+    const int rc = CheckTrace(events, model);
+    if (!profile && !critical) return rc;
+    if (rc != 0) return rc;
+    std::cout << "\n";
+  }
   if (profile) {
     obs::ProfileOptions opts;
     opts.timeline_bins = bins;

@@ -1,0 +1,35 @@
+#include "pdsi/consist/model.h"
+
+namespace pdsi::consist {
+
+std::string_view ConsistencyModelName(ConsistencyModel m) {
+  switch (m) {
+    case ConsistencyModel::posix: return "posix";
+    case ConsistencyModel::session: return "session";
+    case ConsistencyModel::commit: return "commit";
+    case ConsistencyModel::mpiio: return "mpiio";
+  }
+  return "?";
+}
+
+bool ParseConsistencyModel(std::string_view name, ConsistencyModel* out) {
+  for (ConsistencyModel m : kAllConsistencyModels) {
+    if (name == ConsistencyModelName(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RelaxationRank(ConsistencyModel m) {
+  switch (m) {
+    case ConsistencyModel::posix: return 0;
+    case ConsistencyModel::session: return 1;
+    case ConsistencyModel::commit: return 2;
+    case ConsistencyModel::mpiio: return 3;
+  }
+  return 0;
+}
+
+}  // namespace pdsi::consist

@@ -1,0 +1,59 @@
+// pdsi::consist — tunable consistency models for the parallel file
+// system substrate, after Wang, Mohror & Snir, "Formal Definitions and
+// Performance Comparison of Consistency Models for Parallel File
+// Systems" (arXiv 2402.14105).
+//
+// The paper's observation: POSIX strong consistency is what the lock
+// managers in `pdsi::pfs` implement implicitly, but HPC deployments
+// deliberately relax it — close-to-open (NFS-style session semantics),
+// commit (visibility at fsync), and MPI-IO's sync-barrier-sync pattern —
+// and each relaxation removes serialization cost. This header makes the
+// model an explicit switch; `checker.h` provides the trace-driven
+// verifier that proves a recorded run actually honoured the model it
+// claimed.
+#pragma once
+
+#include <string_view>
+
+namespace pdsi::consist {
+
+/// Visibility contract between a writer and a later reader on another
+/// client, strongest first. In every model a client always sees its own
+/// completed writes (program order), and writes racing a read in virtual
+/// time are unordered (either outcome is legal).
+enum class ConsistencyModel {
+  /// Every write is globally visible the instant it completes. The pfs
+  /// lock protocols (extent tokens, whole-file locks) pay for exactly
+  /// this; it is the behaviour the substrate has always had.
+  posix,
+  /// Close-to-open: a write is promised to a reader only once the writer
+  /// has closed the file and the reader has (re)opened it afterwards.
+  session,
+  /// Commit: a write is promised once the writer has issued fsync; no
+  /// reader-side action is required.
+  commit,
+  /// MPI-IO sync-barrier-sync: the writer must sync, then the reader
+  /// must sync, then read. The weakest (and cheapest) model here.
+  mpiio,
+};
+
+inline constexpr int kNumConsistencyModels = 4;
+
+std::string_view ConsistencyModelName(ConsistencyModel m);
+
+/// Parses the names produced by ConsistencyModelName; false on unknown.
+bool ParseConsistencyModel(std::string_view name, ConsistencyModel* out);
+
+/// Position in the relaxation order: posix=0 < session=1 < commit=2 <
+/// mpiio=3. Larger means weaker guarantees (and fewer required
+/// visibility edges), which is why a trace clean under a stronger model
+/// is clean under every weaker one (the lattice-monotonicity property
+/// the checker's tests pin).
+int RelaxationRank(ConsistencyModel m);
+
+/// All four models in relaxation order, for sweeps.
+inline constexpr ConsistencyModel kAllConsistencyModels[kNumConsistencyModels] = {
+    ConsistencyModel::posix, ConsistencyModel::session,
+    ConsistencyModel::commit, ConsistencyModel::mpiio};
+
+}  // namespace pdsi::consist

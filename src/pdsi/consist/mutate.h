@@ -1,0 +1,65 @@
+// Seeded violation injector — mutation-style coverage for the checker.
+//
+// Each mutator takes a clean recorded trace (canonical-order
+// AnalysisEvents), plants exactly one consistency violation of a known
+// kind, re-sorts the events back into canonical order, and reports the
+// op pair the checker is expected to name (indices into the mutated,
+// re-sorted vector). Tests then assert CheckConsistency finds a
+// violation of exactly that kind on exactly that pair — proving the
+// checker would have caught a real protocol bug, not merely that clean
+// traces pass.
+//
+// Candidate selection is seeded and deterministic: the same (trace,
+// seed) always mutates the same op. A mutator that finds no eligible
+// candidate returns applied=false (e.g. DropSyncEdge on a POSIX trace,
+// which records no sync edges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdsi/consist/checker.h"
+#include "pdsi/consist/model.h"
+#include "pdsi/obs/profile.h"
+
+namespace pdsi::consist {
+
+struct PlantedViolation {
+  bool applied = false;
+  ViolationKind kind = ViolationKind::corrupt_read;
+  std::size_t op_a = 0;  ///< expected pair: index into the mutated vector
+  std::size_t op_b = 0;
+  std::string what;  ///< description of the mutation, for test logs
+};
+
+/// Moves a write past the close that published it (and past every read
+/// that observed it), so the content those reads returned is no longer
+/// justified by any recorded edge. Expected: unpublished_read naming the
+/// relocated write and the earliest read that observed it. Targets
+/// session-model traces.
+PlantedViolation ReorderWritePastClose(std::vector<obs::AnalysisEvent>* events,
+                                       std::uint64_t seed);
+
+/// Deletes one sync edge (the `sync` instant and its co-located `pub`),
+/// severing the only publication of some write a later read observed.
+/// Expected: unpublished_read naming that write and its earliest
+/// observer. Targets commit/mpiio-model traces.
+PlantedViolation DropSyncEdge(std::vector<obs::AnalysisEvent>* events,
+                              std::uint64_t seed);
+
+/// Rewrites a read's fingerprint to content provably older than the
+/// newest write `model` required it to see — a prior write of the same
+/// interval when one exists, the unwritten hole otherwise. Expected:
+/// stale_read naming the required write and the spliced read.
+PlantedViolation SpliceStaleRead(std::vector<obs::AnalysisEvent>* events,
+                                 ConsistencyModel model, std::uint64_t seed);
+
+/// Shifts a later conflicting write back in virtual time so two
+/// cross-client byte-overlapping writes overlap in time — the
+/// serialisation the POSIX lock protocol is supposed to guarantee is
+/// gone. Expected: conflicting_writes. Targets POSIX-model traces.
+PlantedViolation OverlapConflictingWrites(std::vector<obs::AnalysisEvent>* events,
+                                          std::uint64_t seed);
+
+}  // namespace pdsi::consist

@@ -145,6 +145,7 @@ inline constexpr std::uint32_t kCheckpointTrack = 800;
 inline constexpr std::uint32_t kCheckpointDrainTrack = 801;
 inline constexpr std::uint32_t kFaultTrack = 900;
 inline constexpr std::uint32_t kTierTrack = 950;
+inline constexpr std::uint32_t kConsistTrack = 980;
 inline constexpr std::uint32_t kOssTrackBase = 1000;
 
 /// Read-only view of one recorded event, for analysis passes (the

@@ -2,12 +2,24 @@
 
 #include <algorithm>
 
+#include "pdsi/common/bytes.h"
 #include "pdsi/fault/fault.h"
 
 namespace pdsi::pfs {
 
+namespace {
+/// 32-bit content fingerprint for consist op annotations: the compact
+/// trace format round-trips arg values through doubles, which represent
+/// integers exactly only up to 2^53, so the full 64-bit hash is
+/// truncated.
+std::uint64_t ConsistFp(std::span<const std::uint8_t> data) {
+  return HashBytes(data) & 0xffffffffULL;
+}
+}  // namespace
+
 PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
     : cluster_(cluster), actor_(actor) {
+  const PfsConfig& cfg = cluster_.config();
   if (obs::Context* ctx = cluster_.obs_ctx()) {
     if (ctx->tracer) {
       ctx->tracer->track(obs::kRankTrackBase + static_cast<std::uint32_t>(actor),
@@ -16,8 +28,40 @@ PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
     if (ctx->registry) {
       c_lock_conflicts_ = &ctx->registry->counter("pfs.lock_conflicts");
       h_lock_wait_ = &ctx->registry->histogram("pfs.lock_wait_s", obs::LatencyBuckets());
+      // Created only for opted-in runs so default metric dumps stay
+      // byte-identical.
+      if (cfg.consistency != consist::ConsistencyModel::posix) {
+        c_lock_skips_ = &ctx->registry->counter("consist.lock_skips");
+      }
+      if (cfg.record_consist_ops) {
+        c_consist_ops_ = &ctx->registry->counter("consist.ops");
+      }
     }
   }
+}
+
+bool PfsClient::recording_consist() const {
+  const PfsConfig& cfg = cluster_.config();
+  obs::Context* ctx = cluster_.obs_ctx();
+  return cfg.record_consist_ops && cfg.store_data && ctx && ctx->tracer;
+}
+
+void PfsClient::record_consist_op(const char* name, std::uint64_t file_id,
+                                  double start, double end, std::uint64_t off,
+                                  std::uint64_t len, std::uint64_t fp) {
+  cluster_.obs_ctx()->tracer->complete(
+      obs::kRankTrackBase + static_cast<std::uint32_t>(actor_), name, "consist",
+      start, end,
+      {obs::Arg::Int("file", file_id), obs::Arg::Int("off", off),
+       obs::Arg::Int("len", len), obs::Arg::Int("fp", fp)});
+  if (c_consist_ops_) c_consist_ops_->add(1);
+}
+
+void PfsClient::record_consist_edge(const char* name, std::uint64_t file_id,
+                                    double ts) {
+  cluster_.obs_ctx()->tracer->instant(
+      obs::kRankTrackBase + static_cast<std::uint32_t>(actor_), name, "consist",
+      ts, {obs::Arg::Int("file", file_id)});
 }
 
 double PfsClient::now() const { return cluster_.scheduler().now(actor_); }
@@ -57,6 +101,7 @@ Result<FileHandle> PfsClient::create(const std::string& path) {
     if (r.ok()) {
       done = cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done);
       out = put(r->file_id, NormalizePath(path));
+      if (recording_consist()) record_consist_edge("open", r->file_id, done);
     } else {
       out = r.error();
     }
@@ -76,6 +121,7 @@ Result<FileHandle> PfsClient::open(const std::string& path) {
       out = Errc::is_dir;
     } else {
       out = put(r->file_id, NormalizePath(path));
+      if (recording_consist()) record_consist_edge("open", r->file_id, done);
     }
     return done;
   });
@@ -138,6 +184,7 @@ Result<FileHandle> PfsClient::open_group(const std::string& path,
       out = Errc::is_dir;
     } else {
       out = put(r->file_id, NormalizePath(path));
+      if (recording_consist()) record_consist_edge("open", r->file_id, done);
     }
     return done;
   });
@@ -194,9 +241,8 @@ Status PfsClient::rename(const std::string& from, const std::string& to) {
 
 double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
                                 std::uint64_t len, double t,
-                                PfsCluster::LockUnit** whole_file_unit) {
+                                WholeFileGrant* grant) {
   const PfsConfig& cfg = cluster_.config();
-  *whole_file_unit = nullptr;
   if (cfg.locking == LockProtocol::none || len == 0) return t;
 
   if (cfg.locking == LockProtocol::whole_file) {
@@ -215,7 +261,7 @@ double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
       }
     }
     unit.holder = static_cast<std::uint32_t>(actor_);
-    *whole_file_unit = &unit;  // caller stamps unit.free = completion
+    grant->arm(&unit, start);  // caller completes with the op's finish time
     return start;
   }
 
@@ -325,8 +371,16 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
   Status st = Status::Ok();
 
   cluster_.scheduler().atomically(actor_, [&](double t0) {
-    PfsCluster::LockUnit* whole = nullptr;
-    double t = acquire_locks(f->file_id, off, data.size(), t0, &whole);
+    WholeFileGrant whole;
+    double t = t0;
+    if (cfg.consistency == consist::ConsistencyModel::posix) {
+      t = acquire_locks(f->file_id, off, data.size(), t0, &whole);
+    } else {
+      // Relaxed models trade the lock charge for deferred visibility:
+      // nothing is promised to other clients until close (session) or
+      // sync (commit/mpiio) publishes it.
+      if (c_lock_skips_) c_lock_skips_->add(1);
+    }
 
     // Stripe the request over the servers; chunks proceed in parallel.
     double done = t;
@@ -352,13 +406,22 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
       pos += n;
       i += n;
     }
-    if (whole) whole->free = done;
+    whole.complete(done);
 
     // A failed write is failed wholesale: no payload lands and the MDS
     // size is not extended (the time spent trying is still charged).
     if (st.ok()) {
       if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
       cluster_.mds().extend(f->path, off + data.size(), done);
+      if (recording_consist()) {
+        // The span starts at the lock grant, not the call: waiting under
+        // a conflicting lock is serialisation working, not a violation.
+        record_consist_op("write", f->file_id, t, done, off, data.size(),
+                          ConsistFp(data));
+        if (cfg.consistency == consist::ConsistencyModel::posix) {
+          record_consist_edge("pub", f->file_id, done);
+        }
+      }
     }
     return done;
   });
@@ -406,8 +469,16 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
     }
     if (const auto* buf = cluster_.data_for(f->file_id, false)) {
       buf->read(off, out.subspan(0, len));
+    } else if (recording_consist()) {
+      // No payload buffer yet (file extended but never written here):
+      // holes read as zeros, and the fingerprint must say so.
+      std::fill(out.begin(), out.begin() + len, std::uint8_t{0});
     }
     result = static_cast<std::size_t>(len);
+    if (recording_consist() && len > 0) {
+      record_consist_op("read", f->file_id, t0, done, off, len,
+                        ConsistFp(out.subspan(0, len)));
+    }
     return done;
   });
   return result;
@@ -416,6 +487,7 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
 Status PfsClient::fsync(FileHandle fh) {
   OpenFile* f = get(fh);
   if (!f) return Errc::bad_handle;
+  const consist::ConsistencyModel model = cluster_.config().consistency;
   Status st = Status::Ok();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     double done = t;
@@ -431,6 +503,23 @@ Status PfsClient::fsync(FileHandle fh) {
       }
       done = std::max(done, cluster_.oss(s).flush(f->file_id, at));
     }
+    if (st.ok() &&
+        (model == consist::ConsistencyModel::commit ||
+         model == consist::ConsistencyModel::mpiio)) {
+      // Commit publishes at every sync with a full metadata op; mpiio's
+      // collective sync-barrier-sync batches the exchange, so each
+      // participant pays only a fraction of it.
+      const double fraction = model == consist::ConsistencyModel::mpiio
+                                  ? cluster_.config().mpiio_sync_fraction
+                                  : 1.0;
+      done = cluster_.mds().publish(done, fraction);
+      if (recording_consist()) {
+        record_consist_edge("sync", f->file_id, done);
+        record_consist_edge("pub", f->file_id, done);
+      }
+    } else if (st.ok() && recording_consist()) {
+      record_consist_edge("sync", f->file_id, done);
+    }
     return done;
   });
   return st;
@@ -439,7 +528,30 @@ Status PfsClient::fsync(FileHandle fh) {
 Status PfsClient::close(FileHandle fh) {
   OpenFile* f = get(fh);
   if (!f) return Errc::bad_handle;
-  Status st = fsync(fh);
+  const consist::ConsistencyModel model = cluster_.config().consistency;
+  Status st = Status::Ok();
+  if (model == consist::ConsistencyModel::commit ||
+      model == consist::ConsistencyModel::mpiio) {
+    // Everything visible was already published at sync time; close is a
+    // pure handle drop (this is where commit wins its throughput back).
+    if (recording_consist()) record_consist_edge("close", f->file_id, now());
+  } else {
+    st = fsync(fh);
+    if (st.ok() && model == consist::ConsistencyModel::session) {
+      // Close-to-open: one metadata op publishes the session's writes.
+      cluster_.scheduler().atomically(actor_, [&](double t) {
+        const double done = cluster_.mds().publish(
+            t + cluster_.config().rpc_latency_s, 1.0);
+        if (recording_consist()) {
+          record_consist_edge("close", f->file_id, done);
+          record_consist_edge("pub", f->file_id, done);
+        }
+        return done;
+      });
+    } else if (recording_consist()) {
+      record_consist_edge("close", f->file_id, now());
+    }
+  }
   f->in_use = false;
   return st;
 }

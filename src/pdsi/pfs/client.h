@@ -34,6 +34,42 @@ struct LayoutInfo {
   std::vector<std::uint32_t> first_stripes;
 };
 
+/// RAII ownership of a granted whole-file lock unit. The lock manager
+/// hands the grant out with the completion time still unknown; the
+/// holder stamps it via complete(done) once the covered op finishes. If
+/// the op bails out early (error path, exception), the destructor
+/// releases the unit at the grant instant instead — an abandoned grant
+/// can never leave `unit.free` stale and block later acquirers behind a
+/// hold that no longer exists.
+class WholeFileGrant {
+ public:
+  WholeFileGrant() = default;
+  WholeFileGrant(const WholeFileGrant&) = delete;
+  WholeFileGrant& operator=(const WholeFileGrant&) = delete;
+  ~WholeFileGrant() { release(); }
+
+  /// Takes ownership of `unit`, granted at time `granted`.
+  void arm(PfsCluster::LockUnit* unit, double granted) {
+    unit_ = unit;
+    granted_ = granted;
+  }
+  bool held() const { return unit_ != nullptr; }
+  /// Normal release: the covered op completed at `done`.
+  void complete(double done) {
+    if (unit_ != nullptr) {
+      unit_->free = done;
+      unit_ = nullptr;
+    }
+  }
+  /// Fallback release at the grant instant (no time was modelled as
+  /// spent under the lock).
+  void release() { complete(granted_); }
+
+ private:
+  PfsCluster::LockUnit* unit_ = nullptr;
+  double granted_ = 0.0;
+};
+
 class PfsClient {
  public:
   /// `actor` is the rank's VirtualScheduler actor id; it doubles as the
@@ -83,10 +119,23 @@ class PfsClient {
   FileHandle put(std::uint64_t file_id, std::string path);
 
   /// Charge extent/whole-file lock acquisition for [off, off+len); returns
-  /// the time the write may proceed. `completion_out_unit` receives the
-  /// whole-file unit to stamp with the final completion (or nullptr).
+  /// the time the write may proceed. Under the whole_file protocol,
+  /// `grant` is armed with the held unit; the caller completes it with
+  /// the op's final completion time (or lets RAII release it on an early
+  /// exit).
   double acquire_locks(std::uint64_t file_id, std::uint64_t off, std::uint64_t len,
-                       double t, PfsCluster::LockUnit** whole_file_unit);
+                       double t, WholeFileGrant* grant);
+
+  /// True when this run annotates data ops for the consistency checker
+  /// (PfsConfig::record_consist_ops, a tracer, and stored data — without
+  /// payload bytes there is nothing to fingerprint).
+  bool recording_consist() const;
+  /// Emits a consist op span ("write"/"read") on this rank's track.
+  void record_consist_op(const char* name, std::uint64_t file_id, double start,
+                         double end, std::uint64_t off, std::uint64_t len,
+                         std::uint64_t fp);
+  /// Emits a consist visibility-edge instant ("open"/"close"/"sync"/"pub").
+  void record_consist_edge(const char* name, std::uint64_t file_id, double ts);
 
   /// One striped chunk, through the injected-fault path when the cluster
   /// has a fault injector: timeout + exponential-backoff retries on a
@@ -108,6 +157,10 @@ class PfsClient {
   std::vector<OpenFile> open_files_;
   obs::Counter* c_lock_conflicts_ = nullptr;
   obs::Histogram* h_lock_wait_ = nullptr;
+  // consist.* instruments exist only when the run opted into a relaxed
+  // model or into op recording, so default metric dumps are unchanged.
+  obs::Counter* c_lock_skips_ = nullptr;
+  obs::Counter* c_consist_ops_ = nullptr;
 };
 
 }  // namespace pdsi::pfs

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "pdsi/common/units.h"
+#include "pdsi/consist/model.h"
 #include "pdsi/storage/device_catalog.h"
 
 namespace pdsi::pfs {
@@ -45,6 +46,21 @@ struct PfsConfig {
   LockProtocol locking = LockProtocol::extent;
   std::uint64_t lock_unit = 64 * KiB;   ///< token granularity
   double lock_revoke_s = 1.2e-3;        ///< revocation round trip
+
+  // Consistency (pdsi::consist, after arXiv 2402.14105). POSIX keeps the
+  // lock protocol above exactly as-is; the relaxed models skip data-path
+  // lock charges and instead publish visibility at close (session), at
+  // fsync (commit), or at the amortised collective sync (mpiio).
+  consist::ConsistencyModel consistency = consist::ConsistencyModel::posix;
+  /// Fraction of one MDS op an mpiio collective sync charges per client
+  /// (the sync-barrier-sync metadata exchange batches across the
+  /// collective; commit mode pays the full op).
+  double mpiio_sync_fraction = 0.25;
+  /// Annotate every data op with its byte interval + content fingerprint
+  /// and emit the model's visibility edges on the rank tracks, for the
+  /// consist::ConsistencyChecker. Off by default: recording adds events,
+  /// and default traces must stay byte-identical.
+  bool record_consist_ops = false;
 
   // Write-back cache / aggregation: dirty data flushes to disk in
   // contiguous per-object chunks of this size.

@@ -68,6 +68,22 @@ double Mds::charge_fraction(double now, double fraction) {
   return done;
 }
 
+double Mds::publish(double now, double fraction) {
+  const double cost = cfg_.mds_op_s * fraction;
+  const double done = service_.reserve(now, cost);
+  if (ctx_) {
+    if (ctx_->registry && c_publishes_ == nullptr) {
+      c_publishes_ = &ctx_->registry->counter("mds.publishes");
+    }
+    if (c_publishes_) c_publishes_->add(1);
+    if (ctx_->tracer) {
+      ctx_->tracer->complete(obs::kMdsTrack, "publish", "mds", done - cost,
+                             done, {obs::Arg::Num("fraction", fraction)});
+    }
+  }
+  return done;
+}
+
 double Mds::charge_dir(const std::string& parent, double now) {
   const double done = dir_locks_[parent].reserve(now, cfg_.mds_dir_lock_s);
   if (ctx_ && ctx_->tracer) {

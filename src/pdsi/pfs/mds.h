@@ -47,6 +47,14 @@ class Mds {
   /// work over the participants).
   double charge_fraction(double now, double fraction);
 
+  /// Visibility publication for the relaxed consistency models: one
+  /// metadata op (scaled by `fraction`) that makes a client's pending
+  /// writes promised to others — charged at close under session, at
+  /// fsync under commit, amortised across the collective under mpiio.
+  /// Instruments lazily ("mds.publishes"), so runs that never publish
+  /// keep their metric dumps byte-identical.
+  double publish(double now, double fraction = 1.0);
+
   /// Namespace mutations additionally serialise on the parent directory's
   /// lock (concurrent creates into one directory contend; this is what
   /// PLFS hostdir fan-out spreads out).
@@ -76,6 +84,7 @@ class Mds {
   obs::Context* ctx_ = nullptr;
   obs::Counter* c_ops_ = nullptr;
   obs::Histogram* h_lat_ = nullptr;
+  obs::Counter* c_publishes_ = nullptr;  ///< created on first publish()
 };
 
 }  // namespace pdsi::pfs

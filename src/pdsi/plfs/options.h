@@ -56,6 +56,14 @@ struct Options {
   /// nullptr (the default) disables caching.
   IndexCache* index_cache = nullptr;
 
+  /// Close-to-open caching (session consistency, pdsi::consist): serve
+  /// the cached container index without revalidating the dropping
+  /// fingerprint, skipping even the per-dropping stat pass. Sound only
+  /// when writers publish by closing — which invalidates the cache —
+  /// i.e. under `consist::ConsistencyModel::session` (or stricter
+  /// external coordination). Requires index_cache; ignored without one.
+  bool close_to_open_cache = false;
+
   /// Client CPU charged per index record during the restart merge
   /// (decode + sort + interval-map insert). This is why index
   /// compression pays off at restart: pattern records shrink the merge.

@@ -86,6 +86,30 @@ Status Reader::build(const std::string& path) {
             .count();
   };
 
+  // Close-to-open mode trusts the invalidate-on-close protocol instead
+  // of a fingerprint: whatever is cached was built after the last
+  // publishing close, so a hit serves with no validation I/O at all —
+  // not even the container readdir below.
+  if (options_.index_cache && options_.close_to_open_cache) {
+    if (auto snap = options_.index_cache->find_any(path)) {
+      snap_ = std::move(snap);
+      if (options_.obs && options_.obs->registry) {
+        options_.obs->registry->counter("plfs.c2o_hits").add(1);
+      }
+      if (tracer) {
+        tracer->complete(options_.obs_track, "c2o_cache_hit", "plfs", v0,
+                         backend_.now(),
+                         {obs::Arg::Int("droppings", snap_->droppings.size()),
+                          obs::Arg::Int("entries", snap_->raw_entries.size())});
+      }
+      finish_timer();
+      return Status::Ok();
+    }
+    if (options_.obs && options_.obs->registry) {
+      options_.obs->registry->counter("plfs.c2o_misses").add(1);
+    }
+  }
+
   // Discover index droppings across hostdirs. The same top-level listing
   // reveals whether a flattened index is present, so the plain merge path
   // pays no extra backend calls for the fast-path machinery.

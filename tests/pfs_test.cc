@@ -10,6 +10,8 @@
 
 #include "pdsi/common/bytes.h"
 #include "pdsi/common/units.h"
+#include "pdsi/consist/model.h"
+#include "pdsi/fault/fault.h"
 #include "pdsi/pfs/client.h"
 #include "pdsi/pfs/cluster.h"
 #include "pdsi/pfs/sparse_buffer.h"
@@ -285,13 +287,15 @@ INSTANTIATE_TEST_SUITE_P(Personalities, NTo1Pathology,
 // Two ranks write interleaved records; `disjoint` keeps each rank in its
 // own 64 KiB-aligned region (separate extent-lock units), otherwise both
 // hammer the same units. Returns {lock_conflicts, lock_wait samples}.
-std::pair<std::uint64_t, std::uint64_t> RunLockWorkload(LockProtocol locking,
-                                                        bool disjoint) {
+std::pair<std::uint64_t, std::uint64_t> RunLockWorkload(
+    LockProtocol locking, bool disjoint,
+    consist::ConsistencyModel model = consist::ConsistencyModel::posix) {
   obs::Registry reg;
   obs::Context ctx;
   ctx.registry = &reg;
   PfsConfig cfg = PfsConfig::PanFsLike(2);
   cfg.locking = locking;
+  cfg.consistency = model;
   cfg.store_data = false;
   sim::VirtualScheduler sched(2);
   PfsCluster cluster(cfg, sched, nullptr, &ctx);
@@ -373,6 +377,107 @@ TEST(LockAccounting, OverlappingExtentWritersConflict) {
   EXPECT_GT(conflicts, 0u);
   EXPECT_EQ(waits, conflicts)
       << "extent-lock waits and conflicts are charged under one condition";
+}
+
+// Exact regression pins for the POSIX-mode lock path: the consist work
+// rewired write() around the model switch and the WholeFileGrant RAII
+// helper, and these counts must not move while the model stays posix.
+TEST(LockAccounting, PosixModeLockChargesPinnedExactly) {
+  const auto [wf_dis_c, wf_dis_w] =
+      RunLockWorkload(LockProtocol::whole_file, /*disjoint=*/true);
+  EXPECT_EQ(wf_dis_c, 13u);
+  EXPECT_EQ(wf_dis_w, 13u);
+  const auto [wf_ovl_c, wf_ovl_w] =
+      RunLockWorkload(LockProtocol::whole_file, /*disjoint=*/false);
+  EXPECT_EQ(wf_ovl_c, 13u);
+  EXPECT_EQ(wf_ovl_w, 13u);
+  const auto [ex_ovl_c, ex_ovl_w] =
+      RunLockWorkload(LockProtocol::extent, /*disjoint=*/false);
+  EXPECT_EQ(ex_ovl_c, 8u);
+  EXPECT_EQ(ex_ovl_w, 8u);
+}
+
+// Relaxed consistency models bypass the lock path entirely: no conflicts
+// charged, no wait samples — visibility is deferred to close/sync instead.
+TEST(LockAccounting, RelaxedModelsSkipTheLockPath) {
+  for (consist::ConsistencyModel m :
+       {consist::ConsistencyModel::session, consist::ConsistencyModel::commit,
+        consist::ConsistencyModel::mpiio}) {
+    for (LockProtocol locking :
+         {LockProtocol::whole_file, LockProtocol::extent}) {
+      const auto [conflicts, waits] =
+          RunLockWorkload(locking, /*disjoint=*/false, m);
+      EXPECT_EQ(conflicts, 0u) << ConsistencyModelName(m);
+      EXPECT_EQ(waits, 0u) << ConsistencyModelName(m);
+    }
+  }
+}
+
+// WholeFileGrant owns a granted whole-file unit: completing stamps the
+// op's finish time; abandoning (error path) releases at the grant instant
+// so no phantom hold outlives the op.
+TEST(WholeFileGrant, AbandonedGrantReleasesAtGrantInstant) {
+  PfsCluster::LockUnit unit;
+  {
+    WholeFileGrant g;
+    g.arm(&unit, 2.5);
+    EXPECT_TRUE(g.held());
+  }  // destroyed without complete(): early-exit path
+  EXPECT_EQ(unit.free, 2.5);
+}
+
+TEST(WholeFileGrant, CompleteStampsOnceAndDisarms) {
+  PfsCluster::LockUnit unit;
+  WholeFileGrant g;
+  EXPECT_FALSE(g.held());
+  g.arm(&unit, 1.0);
+  g.complete(4.0);
+  EXPECT_FALSE(g.held());
+  EXPECT_EQ(unit.free, 4.0);
+  g.complete(9.0);  // disarmed: no effect
+  g.release();
+  EXPECT_EQ(unit.free, 4.0);
+}
+
+// A write that fails mid-op (both servers down, retry budget exhausted)
+// must still stamp the whole-file unit with its own completion time: a
+// leaked hold would block every later acquirer behind a lock nobody
+// holds.
+TEST(WholeFileGrant, FailedWriteCannotLeakAHeldLockUnit) {
+  obs::Registry reg;
+  obs::Context ctx;
+  ctx.registry = &reg;
+  PfsConfig cfg = PfsConfig::PanFsLike(2);
+  cfg.locking = LockProtocol::whole_file;
+  cfg.store_data = false;
+  sim::VirtualScheduler sched(1);
+  PfsCluster cluster(cfg, sched, nullptr, &ctx);
+  fault::FaultPlan plan;
+  fault::FaultInjector fault(plan, cluster.num_oss());
+  fault.force_down(0, 0.0, 500.0);
+  fault.force_down(1, 0.0, 500.0);
+  cluster.set_fault(&fault);
+
+  PfsClient client(cluster, 0);
+  auto fh = client.create("/f");
+  ASSERT_TRUE(fh.ok());
+  const auto fid = cluster.mds().lookup("/f")->file_id;
+  EXPECT_FALSE(client.write(*fh, 0, MakePattern(1, 0, 4 * KiB)).ok());
+
+  auto& unit = cluster.lock_unit(fid, 0);
+  EXPECT_EQ(unit.holder, 0u);
+  EXPECT_GT(unit.free, 0.0) << "the failed op's hold time must be charged";
+  EXPECT_LE(unit.free, client.now())
+      << "unit.free must not outlive the failed op";
+
+  // The next acquisition must find the unit free at (or before) the
+  // current time: a leaked hold would surface as a lock-wait sample even
+  // for the same client re-acquiring its own unit.
+  EXPECT_FALSE(client.write(*fh, 0, MakePattern(2, 0, 4 * KiB)).ok());
+  EXPECT_LE(cluster.lock_unit(fid, 0).free, client.now());
+  EXPECT_EQ(reg.histogram("pfs.lock_wait_s", obs::LatencyBuckets()).total(), 0u)
+      << "no phantom hold may charge a wait";
+  sched.finish(0);
 }
 
 // Regression: a write overlapping the readahead window must invalidate the

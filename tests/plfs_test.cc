@@ -944,6 +944,72 @@ TEST(PlfsCache, LruBoundEvictsOldestContainer) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+// Close-to-open lookup (pdsi::consist session semantics): find_any serves
+// the latest snapshot without fingerprint validation — a stale fp that
+// would miss under find() still hits.
+TEST(PlfsCache, FindAnyIgnoresFingerprint) {
+  IndexCache cache(2);
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->fingerprint = 42;
+  cache.put("/c", snap);
+  EXPECT_EQ(cache.find("/c", 7), nullptr);  // validated lookup: fp mismatch
+  EXPECT_EQ(cache.find_any("/c"), snap);    // close-to-open: served anyway
+  EXPECT_EQ(cache.find_any("/missing"), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// End-to-end close-to-open: a reader under Options::close_to_open_cache
+// is served from the container cache without touching a single index
+// byte, and a writer's close (the session-model publish point)
+// invalidates so the next open rebuilds fresh data.
+TEST(PlfsCache, CloseToOpenHitSkipsIndexWorkUntilWriterCloses) {
+  IndexCache cache(4);
+  Options o;
+  o.index_cache = &cache;
+  Options c2o = o;
+  c2o.close_to_open_cache = true;
+  auto backend = MakeMemBackend();
+  WriteClock clock{0};
+  {
+    auto w = Writer::Open(*backend, "/f", 0, o, clock);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->write(0, MakePattern(0, 0, 512)).ok());
+    ASSERT_TRUE((*w)->close().ok());
+  }
+  Bytes cold(512);
+  {
+    auto r = Reader::Open(*backend, "/f", o);  // warms the cache
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE((*r)->read(0, cold).ok());
+  }
+  {
+    auto r = Reader::Open(*backend, "/f", c2o);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ((*r)->index_bytes_read(), 0u)
+        << "a close-to-open hit must skip the merge and the validation pass";
+    Bytes warm(512);
+    ASSERT_TRUE((*r)->read(0, warm).ok());
+    EXPECT_EQ(warm, cold);
+  }
+  {
+    auto w = Writer::Open(*backend, "/f", 1, o, clock);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->write(0, MakePattern(1, 0, 512)).ok());
+    ASSERT_TRUE((*w)->close().ok());  // publish: invalidates the container
+  }
+  {
+    auto r = Reader::Open(*backend, "/f", c2o);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT((*r)->index_bytes_read(), 0u)
+        << "after a publishing close the snapshot is gone; rebuild";
+    Bytes fresh(512);
+    ASSERT_TRUE((*r)->read(0, fresh).ok());
+    EXPECT_EQ(FindPatternMismatch(1, 0, fresh), kNoMismatch);
+  }
+}
+
 // A degraded build (unreadable index dropping) must never be cached.
 TEST(PlfsCache, DegradedBuildIsNotCached) {
   IndexCache cache(4);
