@@ -1,6 +1,7 @@
 #include "pdsi/pfs/client.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "pdsi/common/bytes.h"
 #include "pdsi/fault/fault.h"
@@ -38,12 +39,21 @@ PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
       }
     }
   }
+  // One queue per OSS plus the MDS queue; in the default sync mode the
+  // engine is a pure pass-through (no queues used, no instruments made).
+  engine_.configure({cfg.rpc_window, cfg.rpc_batch}, cluster_.num_oss() + 1,
+                    cluster_.obs_ctx(),
+                    obs::kRankTrackBase + static_cast<std::uint32_t>(actor));
 }
 
 bool PfsClient::recording_consist() const {
   const PfsConfig& cfg = cluster_.config();
   obs::Context* ctx = cluster_.obs_ctx();
-  return cfg.record_consist_ops && cfg.store_data && ctx && ctx->tracer;
+  // Pipelined submission decouples an op's charge from its completion,
+  // so the checker's (start, end) interval semantics only hold in sync
+  // mode: consist recording requires rpc_window == rpc_batch == 1.
+  return cfg.record_consist_ops && cfg.store_data && ctx && ctx->tracer &&
+         !engine_.pipelined();
 }
 
 void PfsClient::record_consist_op(const char* name, std::uint64_t file_id,
@@ -83,10 +93,32 @@ FileHandle PfsClient::put(std::uint64_t file_id, std::string path) {
   return static_cast<FileHandle>(open_files_.size() - 1);
 }
 
+double PfsClient::submit_mds(double t, std::size_t charges, double fraction,
+                             std::string parent) {
+  rpc::RequestEngine::Request req;
+  req.queue = mds_queue();
+  req.drop_eligible = false;
+  req.fault_exempt = true;  // the MDS is outside the fault plan
+  req.serve = [this, charges, fraction,
+               parent = std::move(parent)](double at, bool wire) {
+    double done = wire ? at + cluster_.config().rpc_latency_s : at;
+    for (std::size_t i = 0; i < charges; ++i) {
+      done = fraction >= 1.0 ? cluster_.mds().charge(done)
+                             : cluster_.mds().charge_fraction(done, fraction);
+    }
+    if (!parent.empty()) done = cluster_.mds().charge_dir(parent, done);
+    return done;
+  };
+  return engine_.submit(std::move(req), t, nullptr);
+}
+
 Status PfsClient::mkdir(const std::string& path) {
   Status st;
   cluster_.scheduler().atomically(actor_, [&](double t) {
     st = cluster_.mds().mkdir(path);
+    if (engine_.pipelined()) {
+      return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)));
+    }
     const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
     return cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done);
   });
@@ -95,6 +127,20 @@ Status PfsClient::mkdir(const std::string& path) {
 
 Result<FileHandle> PfsClient::create(const std::string& path) {
   Result<FileHandle> out(Errc::io_error);
+  if (engine_.pipelined()) {
+    cluster_.scheduler().atomically(actor_, [&](double t) {
+      // State transitions at submit time (the inode's mtime stamps the
+      // submission); the metadata charge rides the MDS queue.
+      auto r = cluster_.mds().create(path, t);
+      if (r.ok()) {
+        out = put(r->file_id, NormalizePath(path));
+        return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)));
+      }
+      out = r.error();
+      return submit_mds(t, 1, 1.0, "");
+    });
+    return out;
+  }
   cluster_.scheduler().atomically(actor_, [&](double t) {
     double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
     auto r = cluster_.mds().create(path, done);
@@ -113,6 +159,17 @@ Result<FileHandle> PfsClient::create(const std::string& path) {
 Result<FileHandle> PfsClient::open(const std::string& path) {
   Result<FileHandle> out(Errc::io_error);
   cluster_.scheduler().atomically(actor_, [&](double t) {
+    if (engine_.pipelined()) {
+      auto r = cluster_.mds().lookup(path);
+      if (!r.ok()) {
+        out = r.error();
+      } else if (r->is_dir) {
+        out = Errc::is_dir;
+      } else {
+        out = put(r->file_id, NormalizePath(path));
+      }
+      return submit_mds(t, 1, 1.0, "");
+    }
     const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
     auto r = cluster_.mds().lookup(path);
     if (!r.ok()) {
@@ -131,6 +188,15 @@ Result<FileHandle> PfsClient::open(const std::string& path) {
 Result<StatResult> PfsClient::stat(const std::string& path) {
   Result<StatResult> out(Errc::io_error);
   cluster_.scheduler().atomically(actor_, [&](double t) {
+    if (engine_.pipelined()) {
+      auto r = cluster_.mds().lookup(path);
+      if (r.ok()) {
+        out = StatResult{r->size, r->is_dir, r->mtime};
+      } else {
+        out = r.error();
+      }
+      return submit_mds(t, 1, 1.0, "");
+    }
     const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
     auto r = cluster_.mds().lookup(path);
     if (r.ok()) {
@@ -146,7 +212,10 @@ Result<StatResult> PfsClient::stat(const std::string& path) {
 Result<LayoutInfo> PfsClient::layout(const std::string& path) {
   Result<LayoutInfo> out(Errc::io_error);
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    const double done =
+        engine_.pipelined()
+            ? submit_mds(t, 1, 1.0, "")
+            : cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
     auto r = cluster_.mds().lookup(path);
     if (!r.ok()) {
       out = r.error();
@@ -171,12 +240,15 @@ Result<LayoutInfo> PfsClient::layout(const std::string& path) {
 Result<FileHandle> PfsClient::open_group(const std::string& path,
                                          std::uint32_t group_size) {
   Result<FileHandle> out(Errc::io_error);
+  const double fraction = 1.0 / std::max<std::uint32_t>(1, group_size);
   cluster_.scheduler().atomically(actor_, [&](double t) {
     // One metadata op amortised over the group: the MDS answers once and
     // the result is broadcast over the (cheap) interconnect.
-    const double done = cluster_.mds().charge_fraction(
-        t + cluster_.config().rpc_latency_s,
-        1.0 / std::max<std::uint32_t>(1, group_size));
+    const double done =
+        engine_.pipelined()
+            ? submit_mds(t, 1, fraction, "")
+            : cluster_.mds().charge_fraction(
+                  t + cluster_.config().rpc_latency_s, fraction);
     auto r = cluster_.mds().lookup(path);
     if (!r.ok()) {
       out = r.error();
@@ -194,11 +266,23 @@ Result<FileHandle> PfsClient::open_group(const std::string& path,
 Result<std::vector<std::string>> PfsClient::readdir(const std::string& path) {
   Result<std::vector<std::string>> out(Errc::io_error);
   cluster_.scheduler().atomically(actor_, [&](double t) {
+    if (engine_.pipelined()) {
+      auto r = cluster_.mds().readdir(path);
+      if (r.ok()) {
+        const std::size_t batches = r->empty() ? 0 : (r->size() - 1) / 1024;
+        out = std::move(r);
+        return submit_mds(t, 1 + batches, 1.0, "");
+      }
+      out = r.error();
+      return submit_mds(t, 1, 1.0, "");
+    }
     double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
     auto r = cluster_.mds().readdir(path);
     if (r.ok()) {
-      // Large listings stream in bounded batches.
-      const std::size_t batches = r->size() / 1024;
+      // Large listings stream in bounded batches; the first 1024 entries
+      // arrive with the initial RPC reply, so only the entries beyond
+      // them cost extra round trips.
+      const std::size_t batches = r->empty() ? 0 : (r->size() - 1) / 1024;
       for (std::size_t b = 0; b < batches; ++b) done = cluster_.mds().charge(done);
       out = std::move(r);
     } else {
@@ -209,23 +293,34 @@ Result<std::vector<std::string>> PfsClient::readdir(const std::string& path) {
   return out;
 }
 
+double PfsClient::unlink_core(const std::string& path, double t, Status* st) {
+  double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+  auto looked = cluster_.mds().lookup(path);
+  *st = cluster_.mds().unlink(path);
+  if (st->ok() && looked.ok() && !looked->is_dir) {
+    const std::uint64_t fid = looked->file_id;
+    for (std::uint32_t s : cluster_.touched_servers(fid)) {
+      done = std::max(done, cluster_.oss(s).serve_small_op(done));
+      cluster_.oss(s).forget(fid);
+    }
+    cluster_.drop_data(fid);
+    cluster_.drop_locks(fid);
+    cluster_.drop_touched(fid);
+  }
+  return done;
+}
+
 Status PfsClient::unlink(const std::string& path) {
   Status st;
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
-    auto looked = cluster_.mds().lookup(path);
-    st = cluster_.mds().unlink(path);
-    if (st.ok() && looked.ok() && !looked->is_dir) {
-      const std::uint64_t fid = looked->file_id;
-      for (std::uint32_t s : cluster_.touched_servers(fid)) {
-        done = std::max(done, cluster_.oss(s).serve_small_op(done));
-        cluster_.oss(s).forget(fid);
-      }
-      cluster_.drop_data(fid);
-      cluster_.drop_locks(fid);
-      cluster_.drop_touched(fid);
+    if (engine_.pipelined()) {
+      // Queued chunks may still target this file's objects (and decide
+      // which servers count as touched), so teardown waits for them.
+      bool dok = true;
+      t = engine_.drain(t, cluster_.fault(), &dok);
+      if (!dok) pending_io_error_ = true;
     }
-    return done;
+    return unlink_core(path, t, &st);
   });
   return st;
 }
@@ -234,6 +329,7 @@ Status PfsClient::rename(const std::string& from, const std::string& to) {
   Status st;
   cluster_.scheduler().atomically(actor_, [&](double t) {
     st = cluster_.mds().rename(from, to);
+    if (engine_.pipelined()) return submit_mds(t, 1, 1.0, "");
     return cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
   });
   return st;
@@ -302,64 +398,46 @@ double PfsClient::acquire_locks(std::uint64_t file_id, std::uint64_t off,
   return granted;
 }
 
-double PfsClient::serve_chunk(std::uint32_t server, std::uint64_t file_id,
-                              std::uint64_t off, std::uint64_t len, bool is_read,
-                              double t, bool* ok) {
-  *ok = true;
-  Oss& oss = cluster_.oss(server);
-  fault::FaultInjector* inj = cluster_.fault();
-  if (!inj) {
-    return is_read ? oss.serve_read(file_id, off, len, t)
-                   : oss.serve_write(file_id, off, len, t);
-  }
-  const fault::FaultPlan& plan = inj->plan();
-  double at = t;
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    const bool is_down = inj->down(server, at);
-    if (!is_down && !inj->drop_rpc(server)) {
-      return is_read ? oss.serve_read(file_id, off, len, at)
-                     : oss.serve_write(file_id, off, len, at);
-    }
-    if (!is_down) inj->note_drop(server, at);
-    // Reads from a crashed server go to a surviving server once the first
-    // attempt has timed out (the crash is detected, never predicted).
-    if (is_down && is_read && plan.read_failover && attempt > 0) {
+rpc::RequestEngine::Request PfsClient::chunk_request(std::uint32_t server,
+                                                     std::uint64_t file_id,
+                                                     std::uint64_t off,
+                                                     std::uint64_t len,
+                                                     bool is_read) {
+  rpc::RequestEngine::Request req;
+  req.queue = server;
+  req.drop_eligible = true;
+  if (is_read) {
+    req.serve = [this, server, file_id, off, len](double at, bool wire) {
+      return cluster_.oss(server).serve_read(file_id, off, len, at, wire);
+    };
+    // Reads from a crashed server go to a surviving server once the
+    // first attempt has timed out (the crash is detected, never
+    // predicted) — the engine consults this from the second attempt on.
+    req.failover = [this, server, file_id, off, len](double at, bool* served) {
+      fault::FaultInjector* inj = cluster_.fault();
       for (std::uint32_t step = 1; step < cluster_.num_oss(); ++step) {
         const std::uint32_t cand = (server + step) % cluster_.num_oss();
         if (!inj->down(cand, at)) {
           inj->note_failover(server, cand, at);
+          *served = true;
           return cluster_.oss(cand).serve_failover_read(file_id, off, len, at);
         }
       }
-    }
-    if (attempt >= plan.max_retries) break;
-    const double penalty =
-        plan.rpc_timeout_s +
-        plan.retry_backoff_s * static_cast<double>(1u << std::min(attempt, 20u));
-    inj->note_retry(server, at, at + penalty);
-    at += penalty;
+      *served = false;
+      return at;
+    };
+  } else {
+    // The server registers as touched only when the chunk actually
+    // lands: the engine never calls serve for a request that exhausted
+    // its retries, so a wholesale-failed write cannot leave phantom
+    // entries for fsync/unlink to charge later.
+    req.serve = [this, server, file_id, off, len](double at, bool wire) {
+      const double done = cluster_.oss(server).serve_write(file_id, off, len, at, wire);
+      cluster_.touched_servers(file_id).insert(server);
+      return done;
+    };
   }
-  *ok = false;
-  return at;
-}
-
-double PfsClient::await_server(std::uint32_t server, double t, bool* ok) {
-  *ok = true;
-  fault::FaultInjector* inj = cluster_.fault();
-  if (!inj) return t;
-  const fault::FaultPlan& plan = inj->plan();
-  double at = t;
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    if (!inj->down(server, at)) return at;
-    if (attempt >= plan.max_retries) break;
-    const double penalty =
-        plan.rpc_timeout_s +
-        plan.retry_backoff_s * static_cast<double>(1u << std::min(attempt, 20u));
-    inj->note_retry(server, at, at + penalty);
-    at += penalty;
-  }
-  *ok = false;
-  return at;
+  return req;
 }
 
 Status PfsClient::write(FileHandle fh, std::uint64_t off,
@@ -369,6 +447,45 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
   if (data.empty()) return Status::Ok();
   const PfsConfig& cfg = cluster_.config();
   Status st = Status::Ok();
+
+  if (engine_.pipelined()) {
+    cluster_.scheduler().atomically(actor_, [&](double t0) {
+      WholeFileGrant whole;
+      double t = t0;
+      if (cfg.consistency == consist::ConsistencyModel::posix) {
+        t = acquire_locks(f->file_id, off, data.size(), t0, &whole);
+      } else if (c_lock_skips_) {
+        c_lock_skips_->add(1);
+      }
+      // Async semantics: the payload lands and the size extends at
+      // submission; a chunk that later exhausts its retries surfaces as
+      // an io_error at the next fsync/close (and the bytes it covered
+      // may be torn) — the O_DIRECT/AIO contract.
+      if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
+      cluster_.mds().extend(f->path, off + data.size(), t);
+      std::uint64_t pos = off;
+      std::size_t i = 0;
+      while (i < data.size()) {
+        const std::uint64_t stripe = pos / cfg.stripe_unit;
+        const std::uint64_t in_stripe = pos % cfg.stripe_unit;
+        const std::uint64_t n =
+            std::min<std::uint64_t>(cfg.stripe_unit - in_stripe, data.size() - i);
+        const std::uint32_t server = cluster_.placement().server_for(
+            f->file_id, stripe, cluster_.num_oss());
+        t = engine_.submit(chunk_request(server, f->file_id, pos, n,
+                                         /*is_read=*/false),
+                           t, cluster_.fault());
+        pos += n;
+        i += n;
+      }
+      // A pipelined holder cannot stamp the grant with a completion it
+      // has not awaited: the whole-file token serialises submission
+      // windows, not durable completion (which fsync still awaits).
+      whole.complete(t);
+      return t;
+    });
+    return st;
+  }
 
   cluster_.scheduler().atomically(actor_, [&](double t0) {
     WholeFileGrant whole;
@@ -386,7 +503,6 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
     double done = t;
     std::uint64_t pos = off;
     std::size_t i = 0;
-    auto& touched = cluster_.touched_servers(f->file_id);
     while (i < data.size()) {
       const std::uint64_t stripe = pos / cfg.stripe_unit;
       const std::uint64_t in_stripe = pos % cfg.stripe_unit;
@@ -394,11 +510,12 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
           std::min<std::uint64_t>(cfg.stripe_unit - in_stripe, data.size() - i);
       const std::uint32_t server =
           cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
-      touched.insert(server);
       bool ok = true;
       done = std::max(done,
-                      serve_chunk(server, f->file_id, pos, n, /*is_read=*/false,
-                                  t, &ok));
+                      engine_.execute(chunk_request(server, f->file_id, pos, n,
+                                                    /*is_read=*/false),
+                                      t, cluster_.fault(), /*charge_wire=*/true,
+                                      &ok));
       if (!ok) {
         st = Errc::io_error;
         break;
@@ -428,6 +545,58 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
   return st;
 }
 
+double PfsClient::read_core(OpenFile* f, std::uint64_t off,
+                            std::span<std::uint8_t> out, double t,
+                            Result<std::size_t>* result) {
+  auto inode = cluster_.mds().lookup(f->path);
+  if (!inode.ok()) {
+    *result = inode.error();
+    return t;
+  }
+  const std::uint64_t size = inode->size;
+  if (off >= size || out.empty()) {
+    *result = static_cast<std::size_t>(0);
+    return t;
+  }
+  const std::uint64_t len = std::min<std::uint64_t>(out.size(), size - off);
+  const PfsConfig& cfg = cluster_.config();
+
+  double done = t;
+  std::uint64_t pos = off;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t stripe = pos / cfg.stripe_unit;
+    const std::uint64_t in_stripe = pos % cfg.stripe_unit;
+    const std::uint64_t n = std::min(cfg.stripe_unit - in_stripe, remaining);
+    const std::uint32_t server =
+        cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
+    bool ok = true;
+    done = std::max(done, engine_.execute(chunk_request(server, f->file_id, pos,
+                                                        n, /*is_read=*/true),
+                                          t, cluster_.fault(),
+                                          /*charge_wire=*/true, &ok));
+    if (!ok) {
+      *result = Errc::io_error;
+      return done;
+    }
+    pos += n;
+    remaining -= n;
+  }
+  if (const auto* buf = cluster_.data_for(f->file_id, false)) {
+    buf->read(off, out.subspan(0, len));
+  } else if (recording_consist()) {
+    // No payload buffer yet (file extended but never written here):
+    // holes read as zeros, and the fingerprint must say so.
+    std::fill(out.begin(), out.begin() + len, std::uint8_t{0});
+  }
+  *result = static_cast<std::size_t>(len);
+  if (recording_consist() && len > 0) {
+    record_consist_op("read", f->file_id, t, done, off, len,
+                      ConsistFp(out.subspan(0, len)));
+  }
+  return done;
+}
+
 Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
                                     std::span<std::uint8_t> out) {
   OpenFile* f = get(fh);
@@ -435,53 +604,43 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
   Result<std::size_t> result(static_cast<std::size_t>(0));
 
   cluster_.scheduler().atomically(actor_, [&](double t0) {
-    auto inode = cluster_.mds().lookup(f->path);
-    if (!inode.ok()) {
-      result = inode.error();
-      return t0;
+    double t = t0;
+    if (engine_.pipelined()) {
+      // A read is a synchronisation point: it queues behind everything
+      // this client already submitted (read-after-write ordering), and
+      // any asynchronous failure it observes is latched for the next
+      // fsync/close to report.
+      bool dok = true;
+      t = engine_.drain(t0, cluster_.fault(), &dok);
+      if (!dok) pending_io_error_ = true;
     }
-    const std::uint64_t size = inode->size;
-    if (off >= size || out.empty()) {
-      result = static_cast<std::size_t>(0);
-      return t0;
-    }
-    const std::uint64_t len = std::min<std::uint64_t>(out.size(), size - off);
-    const PfsConfig& cfg = cluster_.config();
-
-    double done = t0;
-    std::uint64_t pos = off;
-    std::uint64_t remaining = len;
-    while (remaining > 0) {
-      const std::uint64_t stripe = pos / cfg.stripe_unit;
-      const std::uint64_t in_stripe = pos % cfg.stripe_unit;
-      const std::uint64_t n = std::min(cfg.stripe_unit - in_stripe, remaining);
-      const std::uint32_t server =
-          cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
-      bool ok = true;
-      done = std::max(done, serve_chunk(server, f->file_id, pos, n,
-                                        /*is_read=*/true, t0, &ok));
-      if (!ok) {
-        result = Errc::io_error;
-        return done;
-      }
-      pos += n;
-      remaining -= n;
-    }
-    if (const auto* buf = cluster_.data_for(f->file_id, false)) {
-      buf->read(off, out.subspan(0, len));
-    } else if (recording_consist()) {
-      // No payload buffer yet (file extended but never written here):
-      // holes read as zeros, and the fingerprint must say so.
-      std::fill(out.begin(), out.begin() + len, std::uint8_t{0});
-    }
-    result = static_cast<std::size_t>(len);
-    if (recording_consist() && len > 0) {
-      record_consist_op("read", f->file_id, t0, done, off, len,
-                        ConsistFp(out.subspan(0, len)));
-    }
-    return done;
+    return read_core(f, off, out, t, &result);
   });
   return result;
+}
+
+double PfsClient::flush_touched(std::uint64_t file_id, double t, Status* st) {
+  double done = t;
+  for (std::uint32_t s : cluster_.touched_servers(file_id)) {
+    rpc::RequestEngine::Request req;
+    req.queue = s;
+    // Availability wait, not a data RPC: flushes cannot fail over and
+    // must not consume the injector's per-server drop stream.
+    req.drop_eligible = false;
+    req.serve = [this, s, file_id](double at, bool) {
+      return cluster_.oss(s).flush(file_id, at);
+    };
+    bool ok = true;
+    const double at =
+        engine_.execute(req, t, cluster_.fault(), /*charge_wire=*/true, &ok);
+    done = std::max(done, at);
+    if (!ok) {
+      // This server's dirty data cannot be forced out; keep flushing
+      // the others so their state is durable, but report the failure.
+      *st = Errc::io_error;
+    }
+  }
+  return done;
 }
 
 Status PfsClient::fsync(FileHandle fh) {
@@ -490,19 +649,17 @@ Status PfsClient::fsync(FileHandle fh) {
   const consist::ConsistencyModel model = cluster_.config().consistency;
   Status st = Status::Ok();
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    double done = t;
-    for (std::uint32_t s : cluster_.touched_servers(f->file_id)) {
-      bool ok = true;
-      const double at = await_server(s, t, &ok);
-      done = std::max(done, at);
-      if (!ok) {
-        // This server's dirty data cannot be forced out; keep flushing
-        // the others so their state is durable, but report the failure.
+    if (engine_.pipelined()) {
+      // The sync barrier: every queued chunk flushes, every in-flight
+      // completion lands, and asynchronous write failures surface here.
+      bool dok = true;
+      t = engine_.drain(t, cluster_.fault(), &dok);
+      if (!dok || pending_io_error_) {
         st = Errc::io_error;
-        continue;
+        pending_io_error_ = false;
       }
-      done = std::max(done, cluster_.oss(s).flush(f->file_id, at));
     }
+    double done = flush_touched(f->file_id, t, &st);
     if (st.ok() &&
         (model == consist::ConsistencyModel::commit ||
          model == consist::ConsistencyModel::mpiio)) {
@@ -534,6 +691,19 @@ Status PfsClient::close(FileHandle fh) {
       model == consist::ConsistencyModel::mpiio) {
     // Everything visible was already published at sync time; close is a
     // pure handle drop (this is where commit wins its throughput back).
+    // A pipelined client still settles its window: in-flight work and
+    // latched asynchronous failures cannot outlive the handle.
+    if (engine_.pipelined()) {
+      cluster_.scheduler().atomically(actor_, [&](double t) {
+        bool dok = true;
+        const double done = engine_.drain(t, cluster_.fault(), &dok);
+        if (!dok || pending_io_error_) {
+          st = Errc::io_error;
+          pending_io_error_ = false;
+        }
+        return done;
+      });
+    }
     if (recording_consist()) record_consist_edge("close", f->file_id, now());
   } else {
     st = fsync(fh);

@@ -11,6 +11,7 @@
 
 #include "pdsi/common/result.h"
 #include "pdsi/pfs/cluster.h"
+#include "pdsi/rpc/engine.h"
 
 namespace pdsi::pfs {
 
@@ -79,6 +80,14 @@ class PfsClient {
   std::size_t actor() const { return actor_; }
   double now() const;
 
+  /// True when PfsConfig::rpc_window/rpc_batch put this client in
+  /// pipelined mode: requests ride the pdsi::rpc engine's per-server
+  /// queues instead of completing synchronously. Write failures then
+  /// surface at fsync/close (async-I/O semantics).
+  bool pipelined() const { return engine_.pipelined(); }
+  /// The request engine's accounting (messages, window stalls, ...).
+  const rpc::EngineStats& rpc_stats() const { return engine_.stats(); }
+
   // -- Namespace --
   Status mkdir(const std::string& path);
   Result<FileHandle> create(const std::string& path);
@@ -137,23 +146,45 @@ class PfsClient {
   /// Emits a consist visibility-edge instant ("open"/"close"/"sync"/"pub").
   void record_consist_edge(const char* name, std::uint64_t file_id, double ts);
 
-  /// One striped chunk, through the injected-fault path when the cluster
-  /// has a fault injector: timeout + exponential-backoff retries on a
-  /// down server or dropped RPC, and read failover to a surviving server.
-  /// Returns the chunk's completion time; clears *ok once the plan's
-  /// retry budget is exhausted. Without an injector this is exactly one
-  /// serve_read/serve_write call.
-  double serve_chunk(std::uint32_t server, std::uint64_t file_id,
-                     std::uint64_t off, std::uint64_t len, bool is_read,
-                     double t, bool* ok);
+  /// The request-engine queue id for the metadata server (the OSS
+  /// queues are 0..num_oss-1).
+  std::uint32_t mds_queue() const { return cluster_.num_oss(); }
 
-  /// Waits out injected unavailability of `server` starting at `t` (the
-  /// fsync path: flushes cannot fail over). Returns the instant the
-  /// server answers; clears *ok after the retry budget is exhausted.
-  double await_server(std::uint32_t server, double t, bool* ok);
+  /// Builds the engine request for one striped chunk: serve through the
+  /// target OSS, reads carrying the replica-failover scan. All retry,
+  /// timeout and backoff behaviour is the engine's (the fault injector's
+  /// single seam).
+  rpc::RequestEngine::Request chunk_request(std::uint32_t server,
+                                            std::uint64_t file_id,
+                                            std::uint64_t off, std::uint64_t len,
+                                            bool is_read);
+
+  /// Pipelined-mode helper: enqueues the deferred timing charge of one
+  /// metadata wire request — `charges` sequential MDS ops (scaled by
+  /// `fraction`), then a parent-directory lock charge when `parent` is
+  /// non-empty. State transitions happen at submit time; only the clock
+  /// rides the queue. Returns the client's post-submission time.
+  double submit_mds(double t, std::size_t charges, double fraction,
+                    std::string parent);
+
+  /// Striped read core shared by both modes: chunks fan out in parallel
+  /// from `t`. Returns the completion time and fills *result.
+  double read_core(OpenFile* f, std::uint64_t off, std::span<std::uint8_t> out,
+                   double t, Result<std::size_t>* result);
+
+  /// fsync's flush fan-out over the file's touched servers, from `t`;
+  /// failures fold into *st (the other servers still flush).
+  double flush_touched(std::uint64_t file_id, double t, Status* st);
+
+  /// unlink's namespace + object-teardown core, from `t`.
+  double unlink_core(const std::string& path, double t, Status* st);
 
   PfsCluster& cluster_;
   std::size_t actor_;
+  rpc::RequestEngine engine_;
+  /// Latched when a read-side drain observed an asynchronous write
+  /// failure; surfaced (then cleared) by the next fsync/close.
+  bool pending_io_error_ = false;
   std::vector<OpenFile> open_files_;
   obs::Counter* c_lock_conflicts_ = nullptr;
   obs::Histogram* h_lock_wait_ = nullptr;

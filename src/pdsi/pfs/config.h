@@ -42,6 +42,18 @@ struct PfsConfig {
   /// 0 disables security.
   double security_verify_s = 0.0;
 
+  // Client request engine (pdsi::rpc). The defaults are the synchronous
+  // one-RPC-at-a-time client, byte-identical to the pre-engine timings;
+  // raising either knob switches the client into pipelined mode: MDS ops
+  // and striped data chunks are submitted into per-server queues, up to
+  // `rpc_batch` requests coalesce into one wire message (the head pays
+  // the RPC latency, tails ride free), and the client's clock only
+  // blocks once `rpc_window` requests are in flight. Pipelined writes
+  // surface failures at fsync/close (async-I/O semantics), and
+  // record_consist_ops requires the synchronous mode.
+  std::uint32_t rpc_window = 1; ///< max in-flight requests (1 = synchronous)
+  std::uint32_t rpc_batch = 1;  ///< requests per wire message per server
+
   // Locking.
   LockProtocol locking = LockProtocol::extent;
   std::uint64_t lock_unit = 64 * KiB;   ///< token granularity

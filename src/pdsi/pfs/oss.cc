@@ -84,10 +84,10 @@ double Oss::rmw_charge(std::uint64_t object_id, std::uint64_t off, double t) {
 }
 
 double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
-                        std::uint64_t len, double now) {
+                        std::uint64_t len, double now, bool charge_rpc) {
   maybe_crash_reset(now);
   const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
-  double t = now + cfg_.rpc_latency_s;
+  double t = charge_rpc ? now + cfg_.rpc_latency_s : now;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
                               perturb_.cpu_factor);
   t = nic_res_.reserve(
@@ -134,10 +134,10 @@ double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
 }
 
 double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
-                       std::uint64_t len, double now) {
+                       std::uint64_t len, double now, bool charge_rpc) {
   maybe_crash_reset(now);
   const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
-  double t = now + cfg_.rpc_latency_s;
+  double t = charge_rpc ? now + cfg_.rpc_latency_s : now;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
                               perturb_.cpu_factor);
 

@@ -52,13 +52,16 @@ class Oss {
 
   /// Accepts `len` bytes for `object_id` at object offset `off` arriving
   /// at time `now`; returns when the client's RPC completes (including
-  /// any synchronous flush it triggered).
+  /// any synchronous flush it triggered). `charge_rpc` is false for the
+  /// tail requests of a batched wire message (pdsi::rpc): the batch head
+  /// already paid the one-way latency, so tails enter the server
+  /// pipeline directly.
   double serve_write(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
-                     double now);
+                     double now, bool charge_rpc = true);
 
   /// Serves a read; sequential readers hit the readahead window.
   double serve_read(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
-                    double now);
+                    double now, bool charge_rpc = true);
 
   /// Serves a failover read for data whose primary server is down:
   /// charged like a cold read (rpc + cpu + disk + nic) without touching

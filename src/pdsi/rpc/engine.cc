@@ -1,0 +1,150 @@
+#include "pdsi/rpc/engine.h"
+
+#include <algorithm>
+
+#include "pdsi/fault/fault.h"
+
+namespace pdsi::rpc {
+
+double RetryPolicy::penalty(std::uint32_t attempt) const {
+  return rpc_timeout_s +
+         retry_backoff_s * static_cast<double>(1u << std::min(attempt, 20u));
+}
+
+void RequestEngine::configure(const EngineConfig& cfg, std::uint32_t num_queues,
+                              obs::Context* ctx, std::uint32_t track) {
+  cfg_ = cfg;
+  cfg_.window = std::max<std::uint32_t>(1, cfg_.window);
+  cfg_.batch = std::max<std::uint32_t>(1, cfg_.batch);
+  queues_.assign(num_queues, {});
+  ctx_ = ctx;
+  track_ = track;
+  // Instruments exist only for pipelined clients, so default (sync) runs
+  // keep their metric dumps byte-identical.
+  if (ctx_ && ctx_->registry && cfg_.pipelined()) {
+    auto& r = *ctx_->registry;
+    c_submitted_ = &r.counter("rpc.submitted");
+    c_messages_ = &r.counter("rpc.messages");
+    c_stalls_ = &r.counter("rpc.window_stalls");
+    c_drains_ = &r.counter("rpc.drains");
+  }
+}
+
+double RequestEngine::execute(const Request& req, double t,
+                              fault::FaultInjector* inj, bool charge_wire,
+                              bool* ok) {
+  *ok = true;
+  if (!inj || req.fault_exempt) return req.serve(t, charge_wire);
+  const fault::FaultPlan& plan = inj->plan();
+  const RetryPolicy policy{plan.rpc_timeout_s, plan.retry_backoff_s,
+                           plan.max_retries};
+  double at = t;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool is_down = inj->down(req.queue, at);
+    if (!is_down && !(req.drop_eligible && inj->drop_rpc(req.queue))) {
+      return req.serve(at, charge_wire);
+    }
+    if (!is_down) inj->note_drop(req.queue, at);
+    // Failover kicks in from the second attempt: the crash is detected by
+    // the first timeout, never predicted.
+    if (is_down && req.failover && plan.read_failover && attempt > 0) {
+      bool served = false;
+      const double done = req.failover(at, &served);
+      if (served) return done;
+    }
+    if (attempt >= plan.max_retries) break;
+    const double penalty = policy.penalty(attempt);
+    inj->note_retry(req.queue, at, at + penalty);
+    at += penalty;
+  }
+  *ok = false;
+  stats_.failures++;
+  return at;
+}
+
+void RequestEngine::note_inflight(double completion) {
+  inflight_.push(completion);
+  stats_.max_inflight =
+      std::max<std::uint64_t>(stats_.max_inflight, inflight_.size());
+}
+
+double RequestEngine::take_slot(double t) {
+  // Completions that already elapsed free their slots without advancing
+  // the clock; a still-full window stalls the client until the earliest
+  // outstanding request lands.
+  while (!inflight_.empty() && inflight_.top() <= t) inflight_.pop();
+  if (inflight_.size() < cfg_.window) return t;
+  const double resume = inflight_.top();
+  inflight_.pop();
+  stats_.window_stalls++;
+  stats_.stall_s += resume - t;
+  if (c_stalls_) c_stalls_->add(1);
+  if (ctx_ && ctx_->tracer) {
+    ctx_->tracer->complete(track_, "rpc_stall", "rpc", t, resume);
+  }
+  while (!inflight_.empty() && inflight_.top() <= resume) inflight_.pop();
+  return resume;
+}
+
+double RequestEngine::flush_queue(std::uint32_t queue, double t,
+                                  fault::FaultInjector* inj) {
+  auto pending = std::move(queues_[queue]);
+  queues_[queue].clear();
+  if (pending.empty()) return t;
+  stats_.messages++;
+  stats_.batched_tails += pending.size() - 1;
+  if (c_messages_) c_messages_->add(1);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    t = take_slot(t);
+    bool ok = true;
+    // The message head pays the one-way wire latency; coalesced tails
+    // enter the server pipeline with it already charged.
+    const double done = execute(pending[i], t, inj, /*charge_wire=*/i == 0, &ok);
+    if (!ok) async_error_ = true;
+    // Failed requests still occupy their slot until the backoff schedule
+    // ran out — the time spent retrying is real and drain() awaits it.
+    note_inflight(done);
+  }
+  return t;
+}
+
+double RequestEngine::submit(Request req, double t, fault::FaultInjector* inj) {
+  stats_.submitted++;
+  if (c_submitted_) c_submitted_->add(1);
+  if (!cfg_.pipelined()) {
+    // Synchronous mode: the engine is a pass-through retry seam — the
+    // call sequence (and therefore the timing) is exactly the pre-engine
+    // client's.
+    bool ok = true;
+    const double done = execute(req, t, inj, /*charge_wire=*/true, &ok);
+    if (!ok) async_error_ = true;
+    return done;
+  }
+  const std::uint32_t queue = req.queue;
+  queues_[queue].push_back(std::move(req));
+  if (queues_[queue].size() >= cfg_.batch) return flush_queue(queue, t, inj);
+  return t;
+}
+
+double RequestEngine::drain(double t, fault::FaultInjector* inj, bool* ok) {
+  const double start = t;
+  for (std::uint32_t q = 0; q < queues_.size(); ++q) {
+    if (!queues_[q].empty()) t = flush_queue(q, t, inj);
+  }
+  while (!inflight_.empty()) {
+    t = std::max(t, inflight_.top());
+    inflight_.pop();
+  }
+  *ok = !async_error_;
+  async_error_ = false;
+  if (cfg_.pipelined()) {
+    stats_.drains++;
+    if (c_drains_) c_drains_->add(1);
+    if (ctx_ && ctx_->tracer && t > start) {
+      ctx_->tracer->complete(track_, "rpc_drain", "rpc", start, t);
+    }
+  }
+  return t;
+}
+
+}  // namespace pdsi::rpc

@@ -154,7 +154,7 @@ TEST(FaultClient, DroppedRpcsAreRetriedAndDeterministic) {
   (void)busy;
 }
 
-TEST(FaultClient, WriteFailsAndCloseSurfacesFsyncError) {
+TEST(FaultClient, FailedWriteLeavesNoPhantomTouchedServers) {
   sim::VirtualScheduler sched(1);
   pfs::PfsCluster cluster(pfs::PfsConfig::PanFsLike(1), sched);
   fault::FaultInjector inj(fault::FaultPlan{}, 1);
@@ -170,7 +170,47 @@ TEST(FaultClient, WriteFailsAndCloseSurfacesFsyncError) {
   EXPECT_GT(client.now(), before) << "the failed attempts still cost time";
   // The write failed wholesale: the file was never extended.
   EXPECT_EQ(*client.file_size(fh), 0u);
-  // close() -> fsync(): the touched server cannot be flushed.
+  // A server registers as touched only when a chunk lands, so a wholesale
+  // failure leaves nothing to flush: fsync has no server to wait for and
+  // succeeds instantly instead of burning a second retry schedule against
+  // data that never existed.
+  const std::uint64_t fid = cluster.mds().lookup("/f")->file_id;
+  EXPECT_TRUE(cluster.touched_servers(fid).empty())
+      << "failed write must not register the server as touched";
+  const double before_sync = client.now();
+  EXPECT_TRUE(client.fsync(fh).ok());
+  EXPECT_EQ(client.now(), before_sync) << "no touched servers, nothing to await";
+  EXPECT_TRUE(client.close(fh).ok());
+  sched.finish(0);
+}
+
+TEST(FaultClient, PartialWriteStillSurfacesFsyncError) {
+  // Two servers, one down: the chunk on the live server lands (and is
+  // touched); the chunk on the dead server exhausts its retries. fsync
+  // must still fail — the dead server holds no data, but the write as a
+  // whole did not complete and the failure cannot be swallowed.
+  sim::VirtualScheduler sched(1);
+  pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(2);
+  pfs::PfsCluster cluster(cfg, sched);
+  pfs::PfsClient client(cluster, 0);
+  auto fh = *client.create("/f");
+  Bytes warm(4096);
+  EXPECT_TRUE(client.write(fh, 0, warm).ok());  // touch stripe-0's server
+
+  const std::uint64_t fid = cluster.mds().lookup("/f")->file_id;
+  const std::uint32_t owner0 = cluster.placement().server_for(fid, 0, 2);
+  fault::FaultInjector inj(fault::FaultPlan{}, 2);
+  inj.force_down(owner0, client.now(), kForever);
+  cluster.set_fault(&inj);
+
+  Bytes both(2 * cfg.stripe_unit);
+  EXPECT_FALSE(client.write(fh, 0, both).ok());
+  // Only the pre-fault touch remains; the surviving server's chunk of the
+  // failed write never ran (the stripe-0 chunk fails first and the write
+  // bails out wholesale).
+  EXPECT_EQ(cluster.touched_servers(fid).size(), 1u);
+  EXPECT_EQ(*cluster.touched_servers(fid).begin(), owner0);
+  // The touched (now dead) server cannot be flushed: close -> fsync fails.
   EXPECT_FALSE(client.close(fh).ok());
   sched.finish(0);
 }

@@ -173,6 +173,43 @@ TEST_F(PfsFixture, TimeAdvancesWithWork) {
   EXPECT_LT(elapsed, 1.0);
 }
 
+TEST_F(PfsFixture, ReaddirBatchChargeBoundaries) {
+  // The first 1024 entries arrive with the initial RPC reply; only the
+  // entries beyond them cost extra MDS round trips. The old accounting
+  // charged size()/1024 extra batches, double-charging the first batch
+  // the moment a listing reached exactly 1024 entries.
+  auto listing_cost = [&](const char* dir, std::size_t entries) {
+    EXPECT_TRUE(client_.mkdir(dir).ok());
+    for (std::size_t i = 0; i < entries; ++i) {
+      auto fh = client_.create(std::string(dir) + "/f" + std::to_string(i));
+      EXPECT_TRUE(fh.ok());
+      EXPECT_TRUE(client_.close(*fh).ok());
+    }
+    const double before = client_.now();
+    auto r = client_.readdir(dir);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), entries);
+    return client_.now() - before;
+  };
+  const double d1023 = listing_cost("/a", 1023);
+  const double d1024 = listing_cost("/b", 1024);
+  const double d1025 = listing_cost("/c", 1025);
+  const double mds_op = cluster_.config().mds_op_s;
+  // NEAR at 1e-9: durations are differences of absolute clock values at
+  // different (second-scale) magnitudes, so rounding noise reaches
+  // ~1e-12; the question being pinned — one extra 300e-6 s batch or not —
+  // sits five orders of magnitude above the tolerance.
+  EXPECT_NEAR(d1023, d1024, 1e-9) << "1024 entries fit the first batch exactly";
+  EXPECT_NEAR(d1025, d1024 + mds_op, 1e-9) << "entry 1025 starts the second batch";
+
+  // And the empty listing charges the base RPC alone.
+  EXPECT_TRUE(client_.mkdir("/empty").ok());
+  const double before = client_.now();
+  EXPECT_TRUE(client_.readdir("/empty").ok());
+  EXPECT_NEAR(client_.now() - before, d1023, 1e-9)
+      << "an empty dir costs the same base RPC as any single-batch listing";
+}
+
 TEST(Placement, RoundRobinCoversAllServers) {
   auto p = MakeRoundRobinPlacement();
   std::vector<int> hits(8, 0);
