@@ -5,6 +5,7 @@
 // losses); lowering the minimum RTO to ~1 ms restores throughput, and at
 // 10GE scale (hundreds to thousands of senders) the retransmission
 // timeout also needs randomisation to desynchronise senders.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
@@ -17,11 +18,15 @@ using namespace pdsi;
 
 namespace {
 
-void Sweep(const char* title, double link_bw, std::uint32_t buffer_pkts,
-           std::uint64_t sru, const std::vector<std::uint32_t>& senders) {
+void Sweep(const char* title, const char* link, double link_bw,
+           std::uint32_t buffer_pkts, std::uint64_t sru,
+           const std::vector<std::uint32_t>& senders) {
   PrintBanner(std::cout, title);
   Table t({"senders", "rto=200ms", "timeouts", "rto=1ms", "rto=1ms+rand",
            "timeouts(rand)"});
+  bench::JsonReport json("fig09_incast");
+  double peak_coarse = 0.0, floor_coarse = 1e300;
+  double floor_fine = 1e300, floor_rand = 1e300;
   for (std::uint32_t n : senders) {
     incast::IncastParams p;
     p.senders = n;
@@ -44,8 +49,30 @@ void Sweep(const char* title, double link_bw, std::uint32_t buffer_pkts,
            std::to_string(coarse.timeouts), FormatRate(fine.goodput_bytes),
            FormatRate(fine_rand.goodput_bytes),
            std::to_string(fine_rand.timeouts)});
+
+    peak_coarse = std::max(peak_coarse, coarse.goodput_bytes);
+    floor_coarse = std::min(floor_coarse, coarse.goodput_bytes);
+    floor_fine = std::min(floor_fine, fine.goodput_bytes);
+    floor_rand = std::min(floor_rand, fine_rand.goodput_bytes);
+
+    json.str("link", link)
+        .num("senders", n)
+        .num("coarse_mbs", coarse.goodput_bytes / 1e6)
+        .num("coarse_timeouts", static_cast<double>(coarse.timeouts))
+        .num("fine_mbs", fine.goodput_bytes / 1e6)
+        .num("rand_mbs", fine_rand.goodput_bytes / 1e6)
+        .num("rand_timeouts", static_cast<double>(fine_rand.timeouts))
+        .emit();
   }
   t.print(std::cout);
+  json.str("link", link)
+      .str("row", "summary")
+      .num("peak_coarse_mbs", peak_coarse / 1e6)
+      .num("floor_coarse_mbs", floor_coarse / 1e6)
+      .num("collapse_x", peak_coarse / floor_coarse)
+      .num("fine_floor_mbs", floor_fine / 1e6)
+      .num("rand_floor_mbs", floor_rand / 1e6)
+      .emit();
 }
 
 }  // namespace
@@ -57,11 +84,11 @@ int main() {
                 "senders additionally needs RTO randomisation.");
 
   Sweep("1GE client link, 64-packet port buffer, SRU 256 KiB",
-        125e6, 64, 256 * 1024,
+        "1ge", 125e6, 64, 256 * 1024,
         {2, 4, 8, 12, 16, 24, 32, 40, 47});
 
   Sweep("10GE client link, 256-packet port buffer, SRU 32 KiB",
-        1250e6, 256, 32 * 1024,
+        "10ge", 1250e6, 256, 32 * 1024,
         {16, 64, 128, 256, 512, 1024, 2048});
 
   bench::Note("shape check: 1GE collapse onset within ~8-16 senders; "

@@ -9,20 +9,33 @@
 //   trace_tool <trace> --profile --json   the same, machine-readable
 //   trace_tool <trace> --check <model>    audit the consist ops against a
 //                                         claimed consistency model
+//   trace_tool <trace> --monitor          replay the live monitoring sinks
+//                                         (watermarks, EWMA anomalies,
+//                                         rpc_req breakdowns) over the trace
 //
 // Output is byte-stable for a given input file (fixed formatting, sorted
 // keys, deterministic tie-breaks), so profiles can be golden-tested the
 // same way the traces themselves are. --check exits 0 on a clean trace
 // and 1 on the first (deterministic) violation, so any committed trace
 // can be audited standalone in CI.
+//
+// --monitor --check <model> additionally runs BOTH consistency passes —
+// the batch checker and the incremental ConsistencyMonitor — and prints
+// each verdict plus an agreement line: exit 0 when both are clean, 1
+// when both flag the same first violation, 2 when they disagree (a
+// monitor/checker parity bug worth failing CI over).
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "pdsi/consist/checker.h"
 #include "pdsi/consist/model.h"
+#include "pdsi/consist/monitor.h"
 #include "pdsi/obs/critical_path.h"
+#include "pdsi/obs/monitor.h"
 #include "pdsi/obs/profile.h"
 
 using namespace pdsi;
@@ -32,11 +45,13 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <trace-file> [--profile] [--critical-path] [--json]"
-               " [--top N] [--bins N] [--check <model>]\n"
+               " [--top N] [--bins N] [--check <model>] [--monitor]\n"
                "  <trace-file> is the compact format written by"
                " `<bench> --trace <path>` (non-.json path)\n"
                "  <model> is one of posix|session|commit|mpiio\n"
-               "  with no mode flags, --profile and --critical-path both run\n";
+               "  with no mode flags, --profile and --critical-path both run\n"
+               "  --monitor replays the streaming sinks; with --check it also"
+               " compares the batch checker against the online monitor\n";
   return 2;
 }
 
@@ -57,12 +72,78 @@ int CheckTrace(const std::vector<obs::AnalysisEvent>& events,
   return 1;
 }
 
+/// Replays the streaming sinks over the parsed trace. With `check`,
+/// also runs the batch checker next to the online ConsistencyMonitor
+/// and prints an agreement verdict (the replay half of the online/
+/// offline equivalence, runnable against any committed trace).
+int MonitorTrace(const std::vector<obs::AnalysisEvent>& events, bool check,
+                 consist::ConsistencyModel model) {
+  obs::WatermarkSink water;
+  obs::EwmaAnomalySink ewma;
+  obs::RequestBreakdownSink breakdown;
+  consist::ConsistencyMonitor mon(model);
+  std::vector<obs::MonitorSink*> sinks{&water, &ewma, &breakdown};
+  if (check) sinks.push_back(&mon);
+  obs::ReplayEvents(events, sinks);
+
+  std::cout << "monitor: events=" << events.size() << "\n";
+  water.write_report(std::cout);
+  if (!breakdown.requests().empty()) {
+    std::cout << "monitor: requests=" << breakdown.requests().size()
+              << " exact=" << (breakdown.exact() ? "y" : "n") << "\n";
+    breakdown.write_table(std::cout);
+  }
+  std::vector<obs::Alarm> alarms;
+  for (const auto& a : water.alarms()) alarms.push_back(a);
+  for (const auto& a : ewma.alarms()) alarms.push_back(a);
+  if (check && !mon.clean()) alarms.push_back(mon.alarm());
+  std::stable_sort(alarms.begin(), alarms.end(),
+                   [](const obs::Alarm& a, const obs::Alarm& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.key < b.key;
+                   });
+  for (const auto& a : alarms) std::cout << obs::FormatAlarm(a) << "\n";
+  std::cout << "monitor: alarms=" << alarms.size() << "\n";
+  if (!check) return 0;
+
+  const consist::CheckResult batch = consist::CheckConsistency(events, model);
+  std::cout << "monitor-check: model=" << consist::ConsistencyModelName(model)
+            << " peak_retained=" << mon.peak_retained() << "\n";
+  std::cout << "monitor-check: batch=";
+  if (batch.clean) {
+    std::cout << "CLEAN\n";
+  } else {
+    std::cout << "VIOLATION " << consist::FormatViolation(batch.first, events)
+              << "\n";
+  }
+  std::cout << "monitor-check: online=";
+  if (mon.clean()) {
+    std::cout << "CLEAN\n";
+  } else {
+    std::cout << "VIOLATION " << consist::FormatViolation(mon.first(), events)
+              << "\n";
+  }
+  const bool agree =
+      batch.clean == mon.clean() &&
+      (batch.clean || (batch.first.kind == mon.first().kind &&
+                       batch.first.op_a == mon.first().op_a &&
+                       batch.first.op_b == mon.first().op_b &&
+                       batch.first.detail == mon.first().detail));
+  if (!agree) {
+    std::cout << "monitor-check: MISMATCH\n";
+    return 2;
+  }
+  std::cout << "monitor-check: AGREE\n";
+  return batch.clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   bool profile = false, critical = false, json = false;
-  bool check = false;
+  bool check = false, monitor = false;
   consist::ConsistencyModel model = consist::ConsistencyModel::posix;
   std::size_t top_k = 10, bins = 24;
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +157,8 @@ int main(int argc, char** argv) {
     } else if (a == "--check" && i + 1 < argc) {
       if (!consist::ParseConsistencyModel(argv[++i], &model)) return Usage(argv[0]);
       check = true;
+    } else if (a == "--monitor") {
+      monitor = true;
     } else if (a == "--top" && i + 1 < argc) {
       top_k = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (a == "--bins" && i + 1 < argc) {
@@ -89,7 +172,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Usage(argv[0]);
-  if (!profile && !critical && !check) profile = critical = true;
+  if (!profile && !critical && !check && !monitor) profile = critical = true;
 
   std::ifstream in(path);
   if (!in) {
@@ -103,7 +186,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (check) {
+  if (monitor) {
+    const int rc = MonitorTrace(events, check, model);
+    if (!profile && !critical) return rc;
+    if (rc != 0) return rc;
+    std::cout << "\n";
+  } else if (check) {
     const int rc = CheckTrace(events, model);
     if (!profile && !critical) return rc;
     if (rc != 0) return rc;

@@ -1,0 +1,191 @@
+// Online (incremental) consistency monitoring.
+//
+// ConsistencyMonitor is the streaming counterpart of CheckConsistency
+// (checker.h): an obs::MonitorSink that consumes the canonical event
+// stream — live via Tracer::subscribe or replayed via ReplayEvents — and
+// flags the same first violation (same kind, same op pair) as the batch
+// checker, without retaining the full trace. Where the batch checker
+// indexes every op and edge up front, the monitor keeps only:
+//
+//   * live writes — per (file, byte-interval) deques of writes that can
+//     still bind a future read (as its required version, its content
+//     match, or a torn-read race). A write retires once a newer write of
+//     the same interval supersedes it for every possible future read
+//     under the model AND the horizon (min of the earliest pending read
+//     start and the delivered watermark) has passed its end;
+//   * markers — compact summaries (event index, fingerprint, publishing
+//     client set, first publish instant) of retired writes, merged per
+//     fingerprint, enough to still classify a read that returns stale
+//     content as stale/unpublished exactly like the batch pass;
+//   * pending reads — reads finalize once the watermark passes their end
+//     (every edge and overlapping write that can bind them has then been
+//     delivered). A read whose fingerprint matches nothing yet seen is
+//     *deferred* rather than declared corrupt: the batch checker scans
+//     the whole trace for a matching write, so the online verdict must
+//     wait for a possible future match (-> unpublished_read, e.g. a
+//     write reordered past its publishing close) or end of stream
+//     (-> corrupt_read);
+//   * reader edges — per (file, client) open/sync instants, pruned below
+//     the horizon to the single newest entry each.
+//
+// First-violation parity: ops enter a decision queue in event order and
+// verdicts are reported only when they reach the front with every
+// earlier op decided, so a deferred read cannot be overtaken by a later
+// violation — the reported pair is the batch checker's.
+//
+// Documented divergences (none occur in phase-disciplined workloads, and
+// the parity tests cover every mutation injector):
+//   * a partial-overlap write arriving after a read already finalized
+//     cannot retroactively turn the read into a composite skip;
+//   * a deferred read is decided by the FIRST future matching write (the
+//     batch checker names the newest across the whole trace);
+//   * stats after the first violation keep counting (the batch checker
+//     stops), and conflict_pairs only counts pairs with a live partner —
+//     verdict and op pair are what the monitor guarantees.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdsi/consist/checker.h"
+#include "pdsi/consist/model.h"
+#include "pdsi/obs/monitor.h"
+#include "pdsi/obs/profile.h"
+
+namespace pdsi::consist {
+
+class ConsistencyMonitor : public obs::MonitorSink {
+ public:
+  explicit ConsistencyMonitor(ConsistencyModel model) : model_(model) {}
+
+  void on_event(const obs::AnalysisEvent& e, std::uint64_t index) override;
+  void finish(double now) override;
+
+  /// No violation so far. Final only after finish().
+  bool clean() const { return !violated_; }
+  /// The first violation in canonical op order (meaningful when !clean());
+  /// kind, op_a, op_b and detail match CheckConsistency on the same
+  /// stream.
+  const Violation& first() const { return first_; }
+  const CheckStats& stats() const { return stats_; }
+
+  /// Ops currently held: live writes + undecided (pending or deferred)
+  /// reads. Markers and pruned edges are compact summaries, not retained
+  /// ops — this is the O(open intervals) bound the tests pin.
+  std::size_t retained() const;
+  std::size_t peak_retained() const { return peak_retained_; }
+
+  /// The first violation as a monitor alarm (kind "consistency", key =
+  /// the violation kind name, value/threshold = the op pair indices).
+  /// Call when !clean().
+  obs::Alarm alarm() const;
+
+ private:
+  struct LiveWrite {
+    std::size_t ev = 0;
+    std::string client;
+    double start = 0.0;
+    double end = 0.0;
+    std::uint64_t fp = 0;
+    // First visibility edge of each type from the writer at or after the
+    // write's end (the only instants required()/justified() consult).
+    double first_close = -1.0;  ///< < 0 = none seen
+    double first_sync = -1.0;
+    double first_pub = -1.0;
+  };
+
+  /// Retired writes of one interval, merged per fingerprint: enough to
+  /// reproduce the batch checker's match + justification verdict for a
+  /// read returning this (stale) content.
+  struct Marker {
+    std::size_t ev = 0;  ///< newest merged event index (freshness compare)
+    std::uint64_t fp = 0;
+    /// Writer client -> min end among its merged writes. Membership gives
+    /// program-order justification; the min end decides whether a later
+    /// publish instant applies (justifying the earliest-ending merged
+    /// write justifies the fingerprint — batch ORs over all matches).
+    std::map<std::string, double> client_end;
+    double first_pub = -1.0;  ///< earliest applicable publish; < 0 = none
+  };
+
+  struct IntervalState {
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    std::deque<LiveWrite> live;     ///< event order; retire from front only
+    std::vector<Marker> markers;    ///< per distinct fingerprint
+  };
+
+  struct ReaderEdges {
+    // Ascending instants, pruned below the horizon to the newest entry.
+    std::vector<double> opens;
+    std::vector<double> syncs;
+  };
+
+  struct FileState {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, IntervalState> intervals;
+    std::map<std::string, ReaderEdges> readers;
+  };
+
+  struct PendingRead {
+    std::size_t ev = 0;
+    std::string client;
+    std::uint64_t file = 0;
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    std::uint64_t fp = 0;
+    double start = 0.0;
+    double end = 0.0;
+    bool deferred = false;  ///< fingerprint matched nothing yet seen
+    // Frozen at deferral time (batch op_a candidates for corrupt_read).
+    bool has_w_req = false;
+    std::size_t w_req_ev = 0;
+    bool has_overlap = false;
+    std::size_t last_overlap_ev = 0;
+  };
+
+  /// One op awaiting its verdict in event order.
+  struct Slot {
+    std::size_t ev = 0;
+    bool decided = false;
+    bool bad = false;
+    Violation v;
+  };
+
+  void on_write(const obs::AnalysisEvent& e, std::size_t index);
+  void on_read(const obs::AnalysisEvent& e, std::size_t index);
+  void on_edge(const obs::AnalysisEvent& e);
+  /// Finalizes every pending (non-deferred) read whose end the watermark
+  /// passed; `all` forces the rest (end of stream).
+  void finalize_ready(bool all);
+  void finalize_read(PendingRead& r);
+  /// Offers a newly arrived write to the deferred reads of its file.
+  void feed_deferred(const LiveWrite& w, const IntervalState& is,
+                     std::uint64_t file);
+  void decide(std::size_t ev, bool bad, const Violation& v);
+  void advance_front();
+  /// Horizon: no future (or still pending) read starts before this.
+  double horizon() const;
+  void try_retire(IntervalState& is, std::uint64_t file);
+  void prune_edges(ReaderEdges& re) const;
+  void note_retained();
+
+  bool required(const LiveWrite& w, const PendingRead& r,
+                const FileState& fs) const;
+  bool justified(const LiveWrite& w, const PendingRead& r) const;
+
+  ConsistencyModel model_;
+  double last_ts_ = 0.0;
+  std::map<std::uint64_t, FileState> files_;
+  std::deque<PendingRead> pending_;  ///< arrival order (undecided reads)
+  std::deque<Slot> queue_;           ///< ops in event order, front = oldest
+  bool violated_ = false;
+  Violation first_;
+  CheckStats stats_;
+  std::size_t live_writes_ = 0;
+  std::size_t peak_retained_ = 0;
+};
+
+}  // namespace pdsi::consist

@@ -1,0 +1,232 @@
+// pdsi::obs live monitoring — streaming sinks over the canonical event
+// order.
+//
+// A MonitorSink consumes the same (ts, track, seq)-sorted stream the
+// exporters write, but *online*: either subscribed to a live Tracer
+// (Tracer::subscribe + pump_subscribers at safe points) or replayed from
+// a recorded trace (ReplayEvents), with identical results either way —
+// the sink interface is the pivot that makes post-hoc analysis and live
+// telemetry the same code. Everything here is deterministic in virtual
+// time: the built-in sinks keep no wall-clock state, alarm decisions
+// depend only on the event stream, and alarm rendering is fixed-format,
+// so monitor output is a byte-stable golden artifact like the traces.
+//
+// Built-in sinks:
+//   * SloSink              — rolling-window exact quantiles per span key
+//                            with threshold alarms (the per-request SLO);
+//   * WatermarkSink        — per-track concurrency high-watermarks and
+//                            covered-time utilization, with optional
+//                            depth alarms (queue build-up);
+//   * EwmaAnomalySink      — latency-regression detection: EWMA baseline
+//                            plus EWMA absolute deviation, alarming when
+//                            a sample leaves the band;
+//   * RequestBreakdownSink — consumes the rpc engine's per-request
+//                            rpc_req spans (see rpc/engine.h) and renders
+//                            queue/stall/retry/wire/service breakdowns
+//                            that sum exactly to the end-to-end latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pdsi/obs/profile.h"
+
+namespace pdsi::obs {
+
+/// Streaming consumer of analysis events in canonical order. `index` is
+/// the event's position in the full (uncapped) sorted stream — the same
+/// index CollectEvents/ParseCompactTrace vectors use, so online and
+/// batch passes can name the same events.
+class MonitorSink {
+ public:
+  virtual ~MonitorSink() = default;
+  virtual void on_event(const AnalysisEvent& e, std::uint64_t index) = 0;
+  /// End of stream, at virtual time `now`.
+  virtual void finish(double /*now*/) {}
+};
+
+/// Feeds an already-sorted event vector through `sinks` (on_event with
+/// the vector index, then finish at the max event end time) — the replay
+/// half of the online/offline equivalence.
+void ReplayEvents(const std::vector<AnalysisEvent>& events,
+                  const std::vector<MonitorSink*>& sinks);
+
+// -- Alarms ------------------------------------------------------------------
+
+/// One fired alarm. Formatting is fixed so alarm logs diff byte-stably.
+struct Alarm {
+  double ts = 0.0;         ///< virtual time the alarm fired
+  std::string kind;        ///< "slo" | "watermark" | "anomaly" | "consistency"
+  std::string key;         ///< subject ("rpc:rpc_req", "oss0", ...)
+  double value = 0.0;      ///< observed value
+  double threshold = 0.0;  ///< configured limit it crossed
+  std::string detail;      ///< human-readable cause
+};
+
+/// "ALARM t=<%.9f> <kind> <key> value=<%.9g> limit=<%.9g> <detail>"
+std::string FormatAlarm(const Alarm& a);
+
+// -- SloSink -----------------------------------------------------------------
+
+/// One service-level objective over a span key.
+struct SloSpec {
+  std::string key;           ///< "cat:name" of the spans to watch
+  double threshold_s = 0.0;  ///< alarm when the window quantile exceeds this
+  double quantile = 0.99;
+  double window_s = 1.0;         ///< rolling window, by span end time
+  std::uint64_t min_samples = 16;  ///< no verdicts on thin windows
+  double cooldown_s = 0.5;       ///< min gap between alarms for this SLO
+};
+
+/// Rolling-window latency quantiles with threshold alarms. The quantile
+/// is exact over the window's samples (no histogram approximation), so a
+/// run's alarms are a pure function of the stream.
+class SloSink : public MonitorSink {
+ public:
+  explicit SloSink(std::vector<SloSpec> specs);
+
+  void on_event(const AnalysisEvent& e, std::uint64_t index) override;
+
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  std::uint64_t samples(const std::string& key) const;
+
+ private:
+  struct State {
+    SloSpec spec;
+    std::deque<std::pair<double, double>> window;  ///< (end_ts, dur)
+    std::uint64_t total = 0;
+    double last_alarm = -1e300;
+  };
+
+  std::map<std::string, State> states_;  ///< key -> state
+  std::vector<Alarm> alarms_;
+};
+
+// -- WatermarkSink -----------------------------------------------------------
+
+struct WatermarkSpec {
+  /// Only spans in these categories count; empty = every span.
+  std::set<std::string> cats;
+  /// Alarm when a track's concurrent-span depth reaches this; 0 = never.
+  std::uint64_t depth_limit = 0;
+  double cooldown_s = 0.5;
+};
+
+/// Per-track queue-depth high-watermarks and covered-time utilization.
+/// Depth is the number of spans overlapping in virtual time, maintained
+/// with an end-time heap as spans arrive in start order.
+class WatermarkSink : public MonitorSink {
+ public:
+  explicit WatermarkSink(WatermarkSpec spec = {});
+
+  void on_event(const AnalysisEvent& e, std::uint64_t index) override;
+  void finish(double now) override;
+
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  std::uint64_t max_depth(const std::string& track) const;
+  /// Covered fraction of [first span start, finish time].
+  double utilization(const std::string& track) const;
+  /// "watermark <track> depth=<n> covered=<%.9f> util=<%.9g>" per track,
+  /// sorted by track name. Byte-stable.
+  void write_report(std::ostream& os) const;
+
+ private:
+  struct State {
+    std::vector<double> ends;  ///< min-heap of active span end times
+    std::uint64_t max_depth = 0;
+    double first_ts = 0.0;
+    bool any = false;
+    double covered = 0.0;
+    double cover_until = -1e300;
+    double last_alarm = -1e300;
+  };
+
+  WatermarkSpec spec_;
+  std::map<std::string, State> states_;  ///< track -> state
+  std::vector<Alarm> alarms_;
+  double end_ts_ = 0.0;
+};
+
+// -- EwmaAnomalySink ---------------------------------------------------------
+
+struct EwmaSpec {
+  /// Only spans whose "cat:name" is listed; empty = every span key.
+  std::set<std::string> keys;
+  double alpha = 0.1;            ///< EWMA smoothing for mean and deviation
+  double k = 4.0;                ///< alarm band: mean + k * deviation
+  std::uint64_t warmup = 32;     ///< samples before verdicts
+  double min_abs_s = 0.0;        ///< ignore excursions smaller than this
+  double cooldown_s = 0.5;
+};
+
+/// Latency-regression detector: per span key, an EWMA of the duration
+/// and an EWMA of the absolute deviation; a sample beyond
+/// mean + k * deviation after warmup raises an "anomaly" alarm. All
+/// state updates are fixed-order arithmetic on the sorted stream, so
+/// verdicts replay identically.
+class EwmaAnomalySink : public MonitorSink {
+ public:
+  explicit EwmaAnomalySink(EwmaSpec spec = {});
+
+  void on_event(const AnalysisEvent& e, std::uint64_t index) override;
+
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  double mean(const std::string& key) const;
+
+ private:
+  struct State {
+    double mean = 0.0;
+    double dev = 0.0;
+    std::uint64_t n = 0;
+    double last_alarm = -1e300;
+  };
+
+  EwmaSpec spec_;
+  std::map<std::string, State> states_;  ///< "cat:name" -> state
+  std::vector<Alarm> alarms_;
+};
+
+// -- RequestBreakdownSink ----------------------------------------------------
+
+/// One request's latency attribution, decoded from an rpc_req span. The
+/// service component is the fixed-order remainder
+/// total - queue - stall - retry - wire, so the five parts account for
+/// the end-to-end latency exactly (virtual time, no estimation) and the
+/// identity is reproducible bit-for-bit.
+struct RequestBreakdown {
+  std::uint64_t req = 0;
+  std::uint64_t server = 0;
+  std::string client;  ///< track the request was issued from
+  double start = 0.0;
+  double total_s = 0.0;
+  double queue_s = 0.0;    ///< submit -> wire flush (batch wait)
+  double stall_s = 0.0;    ///< in-flight window stalls
+  double retry_s = 0.0;    ///< timeout + backoff penalties
+  double wire_s = 0.0;     ///< network latency (message head only)
+  double service_s = 0.0;  ///< total - queue - stall - retry - wire
+  bool ok = true;
+};
+
+/// Collects rpc_req/rpc_req_fail spans into per-request breakdowns.
+class RequestBreakdownSink : public MonitorSink {
+ public:
+  void on_event(const AnalysisEvent& e, std::uint64_t index) override;
+
+  const std::vector<RequestBreakdown>& requests() const { return reqs_; }
+  /// All components non-negative and the identity holds for every
+  /// request (it does by construction; this pins it).
+  bool exact() const;
+  /// The `n` slowest requests (total desc, req asc on ties) as a fixed
+  /// format table, followed by component totals. Byte-stable.
+  void write_table(std::ostream& os, std::size_t n = 10) const;
+
+ private:
+  std::vector<RequestBreakdown> reqs_;
+};
+
+}  // namespace pdsi::obs

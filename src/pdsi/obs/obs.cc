@@ -5,6 +5,8 @@
 #include <tuple>
 #include <utility>
 
+#include "pdsi/obs/monitor.h"
+
 namespace pdsi::obs {
 namespace {
 
@@ -221,6 +223,14 @@ void Tracer::push(std::uint32_t track, const char* name, const char* cat,
     e.args[e.nargs++] = a;
   }
   std::lock_guard<std::mutex> lk(mu_);
+  if (!sinks_.empty()) {
+    // Subscribers see the stream before the cap: a dropped event still
+    // reaches every sink, with its own sequence counter so the delivery
+    // order matches the uncapped run's canonical order.
+    Event s = e;
+    s.seq = sub_seq_[track]++;
+    pending_.push_back(s);
+  }
   if (max_events_ != 0 && events_.size() >= max_events_) {
     // Keep-oldest: the cap preserves the run's prefix (sequence numbers
     // are not consumed by dropped events, so the stored trace is exactly
@@ -318,6 +328,77 @@ void Tracer::for_each_sorted(
       fn(v, "track" + std::to_string(e->track));
     }
   }
+}
+
+std::string Tracer::track_name_locked(std::uint32_t id) const {
+  auto it = track_names_.find(id);
+  if (it != track_names_.end()) return it->second;
+  return "track" + std::to_string(id);
+}
+
+void Tracer::subscribe(MonitorSink* sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sinks_.push_back(sink);
+  has_subscribers_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::deliver(double watermark, bool all) {
+  // Extract the due batch under the lock, deliver outside it: sinks run
+  // arbitrary analysis and must not deadlock against racing appends.
+  struct Due {
+    Event e;
+    std::string track;
+  };
+  std::vector<Due> due;
+  std::vector<MonitorSink*> sinks;
+  std::uint64_t base = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sinks_.empty()) return;
+    sinks = sinks_;
+    std::vector<Event> keep;
+    for (const Event& e : pending_) {
+      if (all || e.ts < watermark) {
+        due.push_back({e, track_name_locked(e.track)});
+      } else {
+        keep.push_back(e);
+      }
+    }
+    pending_ = std::move(keep);
+    std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
+      if (a.e.ts != b.e.ts) return a.e.ts < b.e.ts;
+      if (a.e.track != b.e.track) return a.e.track < b.e.track;
+      return a.e.seq < b.e.seq;
+    });
+    base = delivered_;
+    delivered_ += due.size();
+  }
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    AnalysisEvent a;
+    a.ts = due[i].e.ts;
+    a.dur = due[i].e.dur;
+    a.track = due[i].track;
+    a.cat = due[i].e.cat;
+    a.name = due[i].e.name;
+    for (std::uint32_t k = 0; k < due[i].e.nargs; ++k) {
+      const Arg& arg = due[i].e.args[k];
+      a.args.emplace_back(arg.key,
+                          arg.integral ? static_cast<double>(arg.u) : arg.d);
+    }
+    for (MonitorSink* s : sinks) s->on_event(a, base + i);
+  }
+}
+
+void Tracer::pump_subscribers(double watermark) { deliver(watermark, false); }
+
+void Tracer::flush_subscribers(double now) {
+  deliver(0.0, true);
+  std::vector<MonitorSink*> sinks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sinks = sinks_;
+  }
+  for (MonitorSink* s : sinks) s->finish(now);
 }
 
 void Tracer::write_compact(std::ostream& os) const {

@@ -162,9 +162,11 @@ struct EventView {
   std::uint32_t nargs;
 };
 
+class MonitorSink;
+
 class Tracer {
  public:
-  static constexpr std::size_t kMaxArgs = 4;
+  static constexpr std::size_t kMaxArgs = 6;
 
   /// Names a track (idempotent; first name wins). Unnamed tracks export
   /// as "track<id>".
@@ -211,6 +213,41 @@ class Tracer {
       const std::function<void(const EventView&, const std::string& track_name)>&
           fn) const;
 
+  // -- Streaming subscribers -------------------------------------------------
+  //
+  // A subscribed MonitorSink observes the event stream *online*, in the
+  // same canonical (ts, track, seq) order the exporters use, and sees
+  // every event *before* the set_max_events keep-oldest cap can drop it
+  // — a capped tracer feeds its sinks exactly what an uncapped run
+  // would. Delivery is pull-based: appends land in a pending queue, and
+  // the driving thread releases them with pump_subscribers(watermark)
+  // at points where it can guarantee that every event with ts <
+  // watermark has already been appended (sync points, barriers,
+  // drains). flush_subscribers() delivers the remainder and closes the
+  // stream. With no sinks attached, has_subscribers() is false and
+  // nothing beyond the normal append happens — the zero-observer-effect
+  // gate for the instrumentation sites that emit extra detail only when
+  // someone is watching.
+
+  /// Attaches `sink` (not owned; must outlive the tracer or the final
+  /// flush). All sinks see the identical stream.
+  void subscribe(MonitorSink* sink);
+
+  /// True when at least one sink is attached. Lock-free; instrumentation
+  /// sites branch on this to emit monitor-only spans/args.
+  bool has_subscribers() const {
+    return has_subscribers_.load(std::memory_order_relaxed);
+  }
+
+  /// Delivers every pending event with ts < watermark to the sinks in
+  /// canonical order. The caller guarantees no later append will carry
+  /// ts < watermark; events at or after the watermark stay queued.
+  void pump_subscribers(double watermark);
+
+  /// Delivers everything still pending, then calls finish(now) on every
+  /// sink. Idempotent per subscription set.
+  void flush_subscribers(double now);
+
  private:
   struct Event {
     double ts;
@@ -226,6 +263,8 @@ class Tracer {
   void push(std::uint32_t track, const char* name, const char* cat, double ts,
             double dur, std::initializer_list<Arg> args);
   std::vector<const Event*> sorted() const;  ///< callers must hold mu_
+  void deliver(double watermark, bool all);
+  std::string track_name_locked(std::uint32_t id) const;
 
   mutable std::mutex mu_;
   std::vector<Event> events_;
@@ -234,6 +273,15 @@ class Tracer {
   std::size_t max_events_ = 0;  ///< 0 = unlimited
   std::uint64_t dropped_ = 0;
   Counter* drop_counter_ = nullptr;
+  // Subscriber state. pending_ events carry their own per-track sequence
+  // (sub_seq_) advanced on *every* append — dropped or stored — so the
+  // subscriber stream is the uncapped run's canonical order even when
+  // the event buffer is capped.
+  std::vector<MonitorSink*> sinks_;
+  std::vector<Event> pending_;
+  std::map<std::uint32_t, std::uint64_t> sub_seq_;
+  std::uint64_t delivered_ = 0;  ///< running canonical index fed to sinks
+  std::atomic<bool> has_subscribers_{false};
 };
 
 // -- The switch --------------------------------------------------------------

@@ -41,8 +41,10 @@ PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
   }
   // One queue per OSS plus the MDS queue; in the default sync mode the
   // engine is a pure pass-through (no queues used, no instruments made).
-  engine_.configure({cfg.rpc_window, cfg.rpc_batch}, cluster_.num_oss() + 1,
-                    cluster_.obs_ctx(),
+  // The wire latency lets the engine attribute the network component in
+  // per-request monitor spans (it never charges it itself).
+  engine_.configure({cfg.rpc_window, cfg.rpc_batch, cfg.rpc_latency_s},
+                    cluster_.num_oss() + 1, cluster_.obs_ctx(),
                     obs::kRankTrackBase + static_cast<std::uint32_t>(actor));
 }
 
@@ -94,19 +96,21 @@ FileHandle PfsClient::put(std::uint64_t file_id, std::string path) {
 }
 
 double PfsClient::submit_mds(double t, std::size_t charges, double fraction,
-                             std::string parent) {
+                             std::string parent, std::uint64_t rid) {
   rpc::RequestEngine::Request req;
   req.queue = mds_queue();
   req.drop_eligible = false;
   req.fault_exempt = true;  // the MDS is outside the fault plan
-  req.serve = [this, charges, fraction,
+  req.req_id = rid;
+  req.serve = [this, charges, fraction, rid,
                parent = std::move(parent)](double at, bool wire) {
     double done = wire ? at + cluster_.config().rpc_latency_s : at;
     for (std::size_t i = 0; i < charges; ++i) {
-      done = fraction >= 1.0 ? cluster_.mds().charge(done)
-                             : cluster_.mds().charge_fraction(done, fraction);
+      done = fraction >= 1.0
+                 ? cluster_.mds().charge(done, rid)
+                 : cluster_.mds().charge_fraction(done, fraction, rid);
     }
-    if (!parent.empty()) done = cluster_.mds().charge_dir(parent, done);
+    if (!parent.empty()) done = cluster_.mds().charge_dir(parent, done, rid);
     return done;
   };
   return engine_.submit(std::move(req), t, nullptr);
@@ -114,19 +118,22 @@ double PfsClient::submit_mds(double t, std::size_t charges, double fraction,
 
 Status PfsClient::mkdir(const std::string& path) {
   Status st;
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     st = cluster_.mds().mkdir(path);
     if (engine_.pipelined()) {
-      return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)));
+      return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)), rid);
     }
-    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
-    return cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done);
+    const double done =
+        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
+    return cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done, rid);
   });
   return st;
 }
 
 Result<FileHandle> PfsClient::create(const std::string& path) {
   Result<FileHandle> out(Errc::io_error);
+  const std::uint64_t rid = mint_req();
   if (engine_.pipelined()) {
     cluster_.scheduler().atomically(actor_, [&](double t) {
       // State transitions at submit time (the inode's mtime stamps the
@@ -134,18 +141,20 @@ Result<FileHandle> PfsClient::create(const std::string& path) {
       auto r = cluster_.mds().create(path, t);
       if (r.ok()) {
         out = put(r->file_id, NormalizePath(path));
-        return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)));
+        return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)), rid);
       }
       out = r.error();
-      return submit_mds(t, 1, 1.0, "");
+      return submit_mds(t, 1, 1.0, "", rid);
     });
     return out;
   }
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    double done =
+        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
     auto r = cluster_.mds().create(path, done);
     if (r.ok()) {
-      done = cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done);
+      done =
+          cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done, rid);
       out = put(r->file_id, NormalizePath(path));
       if (recording_consist()) record_consist_edge("open", r->file_id, done);
     } else {
@@ -158,6 +167,7 @@ Result<FileHandle> PfsClient::create(const std::string& path) {
 
 Result<FileHandle> PfsClient::open(const std::string& path) {
   Result<FileHandle> out(Errc::io_error);
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
       auto r = cluster_.mds().lookup(path);
@@ -168,9 +178,10 @@ Result<FileHandle> PfsClient::open(const std::string& path) {
       } else {
         out = put(r->file_id, NormalizePath(path));
       }
-      return submit_mds(t, 1, 1.0, "");
+      return submit_mds(t, 1, 1.0, "", rid);
     }
-    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    const double done =
+        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
     auto r = cluster_.mds().lookup(path);
     if (!r.ok()) {
       out = r.error();
@@ -187,6 +198,7 @@ Result<FileHandle> PfsClient::open(const std::string& path) {
 
 Result<StatResult> PfsClient::stat(const std::string& path) {
   Result<StatResult> out(Errc::io_error);
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
       auto r = cluster_.mds().lookup(path);
@@ -195,9 +207,10 @@ Result<StatResult> PfsClient::stat(const std::string& path) {
       } else {
         out = r.error();
       }
-      return submit_mds(t, 1, 1.0, "");
+      return submit_mds(t, 1, 1.0, "", rid);
     }
-    const double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    const double done =
+        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
     auto r = cluster_.mds().lookup(path);
     if (r.ok()) {
       out = StatResult{r->size, r->is_dir, r->mtime};
@@ -211,11 +224,12 @@ Result<StatResult> PfsClient::stat(const std::string& path) {
 
 Result<LayoutInfo> PfsClient::layout(const std::string& path) {
   Result<LayoutInfo> out(Errc::io_error);
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     const double done =
         engine_.pipelined()
-            ? submit_mds(t, 1, 1.0, "")
-            : cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+            ? submit_mds(t, 1, 1.0, "", rid)
+            : cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
     auto r = cluster_.mds().lookup(path);
     if (!r.ok()) {
       out = r.error();
@@ -241,14 +255,15 @@ Result<FileHandle> PfsClient::open_group(const std::string& path,
                                          std::uint32_t group_size) {
   Result<FileHandle> out(Errc::io_error);
   const double fraction = 1.0 / std::max<std::uint32_t>(1, group_size);
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     // One metadata op amortised over the group: the MDS answers once and
     // the result is broadcast over the (cheap) interconnect.
     const double done =
         engine_.pipelined()
-            ? submit_mds(t, 1, fraction, "")
+            ? submit_mds(t, 1, fraction, "", rid)
             : cluster_.mds().charge_fraction(
-                  t + cluster_.config().rpc_latency_s, fraction);
+                  t + cluster_.config().rpc_latency_s, fraction, rid);
     auto r = cluster_.mds().lookup(path);
     if (!r.ok()) {
       out = r.error();
@@ -265,25 +280,29 @@ Result<FileHandle> PfsClient::open_group(const std::string& path,
 
 Result<std::vector<std::string>> PfsClient::readdir(const std::string& path) {
   Result<std::vector<std::string>> out(Errc::io_error);
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
       auto r = cluster_.mds().readdir(path);
       if (r.ok()) {
         const std::size_t batches = r->empty() ? 0 : (r->size() - 1) / 1024;
         out = std::move(r);
-        return submit_mds(t, 1 + batches, 1.0, "");
+        return submit_mds(t, 1 + batches, 1.0, "", rid);
       }
       out = r.error();
-      return submit_mds(t, 1, 1.0, "");
+      return submit_mds(t, 1, 1.0, "", rid);
     }
-    double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    double done =
+        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
     auto r = cluster_.mds().readdir(path);
     if (r.ok()) {
       // Large listings stream in bounded batches; the first 1024 entries
       // arrive with the initial RPC reply, so only the entries beyond
       // them cost extra round trips.
       const std::size_t batches = r->empty() ? 0 : (r->size() - 1) / 1024;
-      for (std::size_t b = 0; b < batches; ++b) done = cluster_.mds().charge(done);
+      for (std::size_t b = 0; b < batches; ++b) {
+        done = cluster_.mds().charge(done, rid);
+      }
       out = std::move(r);
     } else {
       out = r.error();
@@ -293,14 +312,15 @@ Result<std::vector<std::string>> PfsClient::readdir(const std::string& path) {
   return out;
 }
 
-double PfsClient::unlink_core(const std::string& path, double t, Status* st) {
-  double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+double PfsClient::unlink_core(const std::string& path, double t, Status* st,
+                              std::uint64_t rid) {
+  double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
   auto looked = cluster_.mds().lookup(path);
   *st = cluster_.mds().unlink(path);
   if (st->ok() && looked.ok() && !looked->is_dir) {
     const std::uint64_t fid = looked->file_id;
     for (std::uint32_t s : cluster_.touched_servers(fid)) {
-      done = std::max(done, cluster_.oss(s).serve_small_op(done));
+      done = std::max(done, cluster_.oss(s).serve_small_op(done, rid));
       cluster_.oss(s).forget(fid);
     }
     cluster_.drop_data(fid);
@@ -312,6 +332,7 @@ double PfsClient::unlink_core(const std::string& path, double t, Status* st) {
 
 Status PfsClient::unlink(const std::string& path) {
   Status st;
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
       // Queued chunks may still target this file's objects (and decide
@@ -320,17 +341,18 @@ Status PfsClient::unlink(const std::string& path) {
       t = engine_.drain(t, cluster_.fault(), &dok);
       if (!dok) pending_io_error_ = true;
     }
-    return unlink_core(path, t, &st);
+    return unlink_core(path, t, &st, rid);
   });
   return st;
 }
 
 Status PfsClient::rename(const std::string& from, const std::string& to) {
   Status st;
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     st = cluster_.mds().rename(from, to);
-    if (engine_.pipelined()) return submit_mds(t, 1, 1.0, "");
-    return cluster_.mds().charge(t + cluster_.config().rpc_latency_s);
+    if (engine_.pipelined()) return submit_mds(t, 1, 1.0, "", rid);
+    return cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
   });
   return st;
 }
@@ -402,25 +424,29 @@ rpc::RequestEngine::Request PfsClient::chunk_request(std::uint32_t server,
                                                      std::uint64_t file_id,
                                                      std::uint64_t off,
                                                      std::uint64_t len,
-                                                     bool is_read) {
+                                                     bool is_read,
+                                                     std::uint64_t rid) {
   rpc::RequestEngine::Request req;
   req.queue = server;
   req.drop_eligible = true;
+  req.req_id = rid;
   if (is_read) {
-    req.serve = [this, server, file_id, off, len](double at, bool wire) {
-      return cluster_.oss(server).serve_read(file_id, off, len, at, wire);
+    req.serve = [this, server, file_id, off, len, rid](double at, bool wire) {
+      return cluster_.oss(server).serve_read(file_id, off, len, at, wire, rid);
     };
     // Reads from a crashed server go to a surviving server once the
     // first attempt has timed out (the crash is detected, never
     // predicted) — the engine consults this from the second attempt on.
-    req.failover = [this, server, file_id, off, len](double at, bool* served) {
+    req.failover = [this, server, file_id, off, len,
+                    rid](double at, bool* served) {
       fault::FaultInjector* inj = cluster_.fault();
       for (std::uint32_t step = 1; step < cluster_.num_oss(); ++step) {
         const std::uint32_t cand = (server + step) % cluster_.num_oss();
         if (!inj->down(cand, at)) {
           inj->note_failover(server, cand, at);
           *served = true;
-          return cluster_.oss(cand).serve_failover_read(file_id, off, len, at);
+          return cluster_.oss(cand).serve_failover_read(file_id, off, len, at,
+                                                        rid);
         }
       }
       *served = false;
@@ -431,8 +457,9 @@ rpc::RequestEngine::Request PfsClient::chunk_request(std::uint32_t server,
     // lands: the engine never calls serve for a request that exhausted
     // its retries, so a wholesale-failed write cannot leave phantom
     // entries for fsync/unlink to charge later.
-    req.serve = [this, server, file_id, off, len](double at, bool wire) {
-      const double done = cluster_.oss(server).serve_write(file_id, off, len, at, wire);
+    req.serve = [this, server, file_id, off, len, rid](double at, bool wire) {
+      const double done =
+          cluster_.oss(server).serve_write(file_id, off, len, at, wire, rid);
       cluster_.touched_servers(file_id).insert(server);
       return done;
     };
@@ -447,6 +474,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
   if (data.empty()) return Status::Ok();
   const PfsConfig& cfg = cluster_.config();
   Status st = Status::Ok();
+  const std::uint64_t rid = mint_req();
 
   if (engine_.pipelined()) {
     cluster_.scheduler().atomically(actor_, [&](double t0) {
@@ -473,7 +501,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
         const std::uint32_t server = cluster_.placement().server_for(
             f->file_id, stripe, cluster_.num_oss());
         t = engine_.submit(chunk_request(server, f->file_id, pos, n,
-                                         /*is_read=*/false),
+                                         /*is_read=*/false, rid),
                            t, cluster_.fault());
         pos += n;
         i += n;
@@ -513,7 +541,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
       bool ok = true;
       done = std::max(done,
                       engine_.execute(chunk_request(server, f->file_id, pos, n,
-                                                    /*is_read=*/false),
+                                                    /*is_read=*/false, rid),
                                       t, cluster_.fault(), /*charge_wire=*/true,
                                       &ok));
       if (!ok) {
@@ -547,7 +575,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
 
 double PfsClient::read_core(OpenFile* f, std::uint64_t off,
                             std::span<std::uint8_t> out, double t,
-                            Result<std::size_t>* result) {
+                            Result<std::size_t>* result, std::uint64_t rid) {
   auto inode = cluster_.mds().lookup(f->path);
   if (!inode.ok()) {
     *result = inode.error();
@@ -571,10 +599,11 @@ double PfsClient::read_core(OpenFile* f, std::uint64_t off,
     const std::uint32_t server =
         cluster_.placement().server_for(f->file_id, stripe, cluster_.num_oss());
     bool ok = true;
-    done = std::max(done, engine_.execute(chunk_request(server, f->file_id, pos,
-                                                        n, /*is_read=*/true),
-                                          t, cluster_.fault(),
-                                          /*charge_wire=*/true, &ok));
+    done = std::max(done,
+                    engine_.execute(chunk_request(server, f->file_id, pos, n,
+                                                  /*is_read=*/true, rid),
+                                    t, cluster_.fault(),
+                                    /*charge_wire=*/true, &ok));
     if (!ok) {
       *result = Errc::io_error;
       return done;
@@ -602,6 +631,7 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
   OpenFile* f = get(fh);
   if (!f) return Errc::bad_handle;
   Result<std::size_t> result(static_cast<std::size_t>(0));
+  const std::uint64_t rid = mint_req();
 
   cluster_.scheduler().atomically(actor_, [&](double t0) {
     double t = t0;
@@ -614,12 +644,13 @@ Result<std::size_t> PfsClient::read(FileHandle fh, std::uint64_t off,
       t = engine_.drain(t0, cluster_.fault(), &dok);
       if (!dok) pending_io_error_ = true;
     }
-    return read_core(f, off, out, t, &result);
+    return read_core(f, off, out, t, &result, rid);
   });
   return result;
 }
 
-double PfsClient::flush_touched(std::uint64_t file_id, double t, Status* st) {
+double PfsClient::flush_touched(std::uint64_t file_id, double t, Status* st,
+                                std::uint64_t rid) {
   double done = t;
   for (std::uint32_t s : cluster_.touched_servers(file_id)) {
     rpc::RequestEngine::Request req;
@@ -627,6 +658,7 @@ double PfsClient::flush_touched(std::uint64_t file_id, double t, Status* st) {
     // Availability wait, not a data RPC: flushes cannot fail over and
     // must not consume the injector's per-server drop stream.
     req.drop_eligible = false;
+    req.req_id = rid;
     req.serve = [this, s, file_id](double at, bool) {
       return cluster_.oss(s).flush(file_id, at);
     };
@@ -648,6 +680,7 @@ Status PfsClient::fsync(FileHandle fh) {
   if (!f) return Errc::bad_handle;
   const consist::ConsistencyModel model = cluster_.config().consistency;
   Status st = Status::Ok();
+  const std::uint64_t rid = mint_req();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
       // The sync barrier: every queued chunk flushes, every in-flight
@@ -659,7 +692,7 @@ Status PfsClient::fsync(FileHandle fh) {
         pending_io_error_ = false;
       }
     }
-    double done = flush_touched(f->file_id, t, &st);
+    double done = flush_touched(f->file_id, t, &st, rid);
     if (st.ok() &&
         (model == consist::ConsistencyModel::commit ||
          model == consist::ConsistencyModel::mpiio)) {
@@ -669,7 +702,7 @@ Status PfsClient::fsync(FileHandle fh) {
       const double fraction = model == consist::ConsistencyModel::mpiio
                                   ? cluster_.config().mpiio_sync_fraction
                                   : 1.0;
-      done = cluster_.mds().publish(done, fraction);
+      done = cluster_.mds().publish(done, fraction, rid);
       if (recording_consist()) {
         record_consist_edge("sync", f->file_id, done);
         record_consist_edge("pub", f->file_id, done);
@@ -709,9 +742,10 @@ Status PfsClient::close(FileHandle fh) {
     st = fsync(fh);
     if (st.ok() && model == consist::ConsistencyModel::session) {
       // Close-to-open: one metadata op publishes the session's writes.
+      const std::uint64_t rid = mint_req();
       cluster_.scheduler().atomically(actor_, [&](double t) {
         const double done = cluster_.mds().publish(
-            t + cluster_.config().rpc_latency_s, 1.0);
+            t + cluster_.config().rpc_latency_s, 1.0, rid);
         if (recording_consist()) {
           record_consist_edge("close", f->file_id, done);
           record_consist_edge("pub", f->file_id, done);

@@ -150,14 +150,20 @@ class PfsClient {
   /// queues are 0..num_oss-1).
   std::uint32_t mds_queue() const { return cluster_.num_oss(); }
 
+  /// Mints the causal request id for one public client op. Ids are
+  /// per-client monotonic from 1; together with the rank the pair is
+  /// globally unique. Minting is unconditional (pure counter, no
+  /// observable effect); only monitored runs ever *emit* the id.
+  std::uint64_t mint_req() { return ++next_req_id_; }
+
   /// Builds the engine request for one striped chunk: serve through the
   /// target OSS, reads carrying the replica-failover scan. All retry,
   /// timeout and backoff behaviour is the engine's (the fault injector's
-  /// single seam).
+  /// single seam). `req` is the causal id threaded to the OSS span.
   rpc::RequestEngine::Request chunk_request(std::uint32_t server,
                                             std::uint64_t file_id,
                                             std::uint64_t off, std::uint64_t len,
-                                            bool is_read);
+                                            bool is_read, std::uint64_t req);
 
   /// Pipelined-mode helper: enqueues the deferred timing charge of one
   /// metadata wire request — `charges` sequential MDS ops (scaled by
@@ -165,23 +171,26 @@ class PfsClient {
   /// non-empty. State transitions happen at submit time; only the clock
   /// rides the queue. Returns the client's post-submission time.
   double submit_mds(double t, std::size_t charges, double fraction,
-                    std::string parent);
+                    std::string parent, std::uint64_t req);
 
   /// Striped read core shared by both modes: chunks fan out in parallel
   /// from `t`. Returns the completion time and fills *result.
   double read_core(OpenFile* f, std::uint64_t off, std::span<std::uint8_t> out,
-                   double t, Result<std::size_t>* result);
+                   double t, Result<std::size_t>* result, std::uint64_t req);
 
   /// fsync's flush fan-out over the file's touched servers, from `t`;
   /// failures fold into *st (the other servers still flush).
-  double flush_touched(std::uint64_t file_id, double t, Status* st);
+  double flush_touched(std::uint64_t file_id, double t, Status* st,
+                       std::uint64_t req);
 
   /// unlink's namespace + object-teardown core, from `t`.
-  double unlink_core(const std::string& path, double t, Status* st);
+  double unlink_core(const std::string& path, double t, Status* st,
+                     std::uint64_t req);
 
   PfsCluster& cluster_;
   std::size_t actor_;
   rpc::RequestEngine engine_;
+  std::uint64_t next_req_id_ = 0;
   /// Latched when a read-side drain observed an asynchronous write
   /// failure; surfaced (then cleared) by the next fsync/close.
   bool pending_io_error_ = false;

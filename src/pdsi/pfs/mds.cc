@@ -42,33 +42,54 @@ Mds::Mds(const PfsConfig& cfg, obs::Context* ctx) : cfg_(cfg), ctx_(ctx) {
   if (ctx_ && ctx_->tracer) ctx_->tracer->track(obs::kMdsTrack, "mds");
 }
 
-double Mds::charge(double now) {
+namespace {
+/// True when the span should carry the client's causal request id: a
+/// non-zero id and a live subscriber (unmonitored traces stay identical).
+bool TagReq(const obs::Context* ctx, std::uint64_t req) {
+  return req != 0 && ctx->tracer->has_subscribers();
+}
+}  // namespace
+
+double Mds::charge(double now, std::uint64_t req) {
   const double done = service_.reserve(now, cfg_.mds_op_s);
   if (ctx_) {
     if (c_ops_) c_ops_->add(1);
     if (h_lat_) h_lat_->add(done - now);
     if (ctx_->tracer) {
-      ctx_->tracer->complete(obs::kMdsTrack, "op", "mds", done - cfg_.mds_op_s, done);
+      if (TagReq(ctx_, req)) {
+        ctx_->tracer->complete(obs::kMdsTrack, "op", "mds", done - cfg_.mds_op_s,
+                               done, {obs::Arg::Int("req", req)});
+      } else {
+        ctx_->tracer->complete(obs::kMdsTrack, "op", "mds", done - cfg_.mds_op_s,
+                               done);
+      }
     }
   }
   return done;
 }
 
-double Mds::charge_fraction(double now, double fraction) {
+double Mds::charge_fraction(double now, double fraction, std::uint64_t req) {
   const double done = service_.reserve(now, cfg_.mds_op_s * fraction);
   if (ctx_) {
     if (c_ops_) c_ops_->add(1);
     if (h_lat_) h_lat_->add(done - now);
     if (ctx_->tracer) {
-      ctx_->tracer->complete(obs::kMdsTrack, "group_op", "mds",
-                             done - cfg_.mds_op_s * fraction, done,
-                             {obs::Arg::Num("fraction", fraction)});
+      if (TagReq(ctx_, req)) {
+        ctx_->tracer->complete(obs::kMdsTrack, "group_op", "mds",
+                               done - cfg_.mds_op_s * fraction, done,
+                               {obs::Arg::Num("fraction", fraction),
+                                obs::Arg::Int("req", req)});
+      } else {
+        ctx_->tracer->complete(obs::kMdsTrack, "group_op", "mds",
+                               done - cfg_.mds_op_s * fraction, done,
+                               {obs::Arg::Num("fraction", fraction)});
+      }
     }
   }
   return done;
 }
 
-double Mds::publish(double now, double fraction) {
+double Mds::publish(double now, double fraction, std::uint64_t req) {
   const double cost = cfg_.mds_op_s * fraction;
   const double done = service_.reserve(now, cost);
   if (ctx_) {
@@ -77,19 +98,33 @@ double Mds::publish(double now, double fraction) {
     }
     if (c_publishes_) c_publishes_->add(1);
     if (ctx_->tracer) {
-      ctx_->tracer->complete(obs::kMdsTrack, "publish", "mds", done - cost,
-                             done, {obs::Arg::Num("fraction", fraction)});
+      if (TagReq(ctx_, req)) {
+        ctx_->tracer->complete(obs::kMdsTrack, "publish", "mds", done - cost,
+                               done,
+                               {obs::Arg::Num("fraction", fraction),
+                                obs::Arg::Int("req", req)});
+      } else {
+        ctx_->tracer->complete(obs::kMdsTrack, "publish", "mds", done - cost,
+                               done, {obs::Arg::Num("fraction", fraction)});
+      }
     }
   }
   return done;
 }
 
-double Mds::charge_dir(const std::string& parent, double now) {
+double Mds::charge_dir(const std::string& parent, double now,
+                       std::uint64_t req) {
   const double done = dir_locks_[parent].reserve(now, cfg_.mds_dir_lock_s);
   if (ctx_ && ctx_->tracer) {
     // The span covers the lock hold; queueing shows as the gap from `now`.
-    ctx_->tracer->complete(obs::kMdsTrack, "dir_lock", "mds",
-                           done - cfg_.mds_dir_lock_s, done);
+    if (TagReq(ctx_, req)) {
+      ctx_->tracer->complete(obs::kMdsTrack, "dir_lock", "mds",
+                             done - cfg_.mds_dir_lock_s, done,
+                             {obs::Arg::Int("req", req)});
+    } else {
+      ctx_->tracer->complete(obs::kMdsTrack, "dir_lock", "mds",
+                             done - cfg_.mds_dir_lock_s, done);
+    }
   }
   return done;
 }

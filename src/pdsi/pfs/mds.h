@@ -41,11 +41,14 @@ class Mds {
 
   // -- Timed RPC wrappers: charge one metadata service slot and return
   //    the completion time. Call only inside scheduler atomically blocks.
-  double charge(double now);
+  //    `req` (0 = unattributed) is the client's causal request id; it is
+  //    stamped on the service span only when a live monitor subscribes,
+  //    so unmonitored traces stay byte-identical.
+  double charge(double now, std::uint64_t req = 0);
 
   /// Charges a fraction of one op (group operations amortise the MDS
   /// work over the participants).
-  double charge_fraction(double now, double fraction);
+  double charge_fraction(double now, double fraction, std::uint64_t req = 0);
 
   /// Visibility publication for the relaxed consistency models: one
   /// metadata op (scaled by `fraction`) that makes a client's pending
@@ -53,12 +56,13 @@ class Mds {
   /// fsync under commit, amortised across the collective under mpiio.
   /// Instruments lazily ("mds.publishes"), so runs that never publish
   /// keep their metric dumps byte-identical.
-  double publish(double now, double fraction = 1.0);
+  double publish(double now, double fraction = 1.0, std::uint64_t req = 0);
 
   /// Namespace mutations additionally serialise on the parent directory's
   /// lock (concurrent creates into one directory contend; this is what
   /// PLFS hostdir fan-out spreads out).
-  double charge_dir(const std::string& parent, double now);
+  double charge_dir(const std::string& parent, double now,
+                    std::uint64_t req = 0);
 
   // -- Namespace operations (zero-cost state transitions; pair them with
   //    charge() from the client layer).

@@ -84,7 +84,8 @@ double Oss::rmw_charge(std::uint64_t object_id, std::uint64_t off, double t) {
 }
 
 double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
-                        std::uint64_t len, double now, bool charge_rpc) {
+                        std::uint64_t len, double now, bool charge_rpc,
+                        std::uint64_t req) {
   maybe_crash_reset(now);
   const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
   double t = charge_rpc ? now + cfg_.rpc_latency_s : now;
@@ -124,17 +125,32 @@ double Oss::serve_write(std::uint64_t object_id, std::uint64_t off,
     if (c_bytes_written_) c_bytes_written_->add(len);
     if (h_write_lat_) h_write_lat_->add(t - now);
     if (ctx_->tracer) {
-      ctx_->tracer->complete(obs::kOssTrackBase + index_, "write", "oss", now, t,
-                             {obs::Arg::Int("obj", object_id),
-                              obs::Arg::Int("off", off), obs::Arg::Int("len", len),
-                              obs::Arg::Num("disk_q_s", disk_q)});
+      // The req arg ties the span to the client's causal id — emitted
+      // only for monitored runs so unmonitored traces stay identical.
+      if (req != 0 && ctx_->tracer->has_subscribers()) {
+        ctx_->tracer->complete(obs::kOssTrackBase + index_, "write", "oss", now,
+                               t,
+                               {obs::Arg::Int("obj", object_id),
+                                obs::Arg::Int("off", off),
+                                obs::Arg::Int("len", len),
+                                obs::Arg::Num("disk_q_s", disk_q),
+                                obs::Arg::Int("req", req)});
+      } else {
+        ctx_->tracer->complete(obs::kOssTrackBase + index_, "write", "oss", now,
+                               t,
+                               {obs::Arg::Int("obj", object_id),
+                                obs::Arg::Int("off", off),
+                                obs::Arg::Int("len", len),
+                                obs::Arg::Num("disk_q_s", disk_q)});
+      }
     }
   }
   return t;
 }
 
 double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
-                       std::uint64_t len, double now, bool charge_rpc) {
+                       std::uint64_t len, double now, bool charge_rpc,
+                       std::uint64_t req) {
   maybe_crash_reset(now);
   const double disk_q = ctx_ ? std::max(0.0, disk_res_.free_at() - now) : 0.0;
   double t = charge_rpc ? now + cfg_.rpc_latency_s : now;
@@ -169,17 +185,30 @@ double Oss::serve_read(std::uint64_t object_id, std::uint64_t off,
     if (c_bytes_read_) c_bytes_read_->add(len);
     if (h_read_lat_) h_read_lat_->add(t - now);
     if (ctx_->tracer) {
-      ctx_->tracer->complete(obs::kOssTrackBase + index_, "read", "oss", now, t,
-                             {obs::Arg::Int("obj", object_id),
-                              obs::Arg::Int("off", off), obs::Arg::Int("len", len),
-                              obs::Arg::Num("disk_q_s", disk_q)});
+      if (req != 0 && ctx_->tracer->has_subscribers()) {
+        ctx_->tracer->complete(obs::kOssTrackBase + index_, "read", "oss", now,
+                               t,
+                               {obs::Arg::Int("obj", object_id),
+                                obs::Arg::Int("off", off),
+                                obs::Arg::Int("len", len),
+                                obs::Arg::Num("disk_q_s", disk_q),
+                                obs::Arg::Int("req", req)});
+      } else {
+        ctx_->tracer->complete(obs::kOssTrackBase + index_, "read", "oss", now,
+                               t,
+                               {obs::Arg::Int("obj", object_id),
+                                obs::Arg::Int("off", off),
+                                obs::Arg::Int("len", len),
+                                obs::Arg::Num("disk_q_s", disk_q)});
+      }
     }
   }
   return t;
 }
 
 double Oss::serve_failover_read(std::uint64_t object_id, std::uint64_t off,
-                                std::uint64_t len, double now) {
+                                std::uint64_t len, double now,
+                                std::uint64_t req) {
   maybe_crash_reset(now);
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, (cfg_.server_cpu_per_op_s + cfg_.security_verify_s) *
@@ -194,22 +223,38 @@ double Oss::serve_failover_read(std::uint64_t object_id, std::uint64_t off,
     if (c_bytes_read_) c_bytes_read_->add(len);
     if (h_read_lat_) h_read_lat_->add(t - now);
     if (ctx_->tracer) {
-      ctx_->tracer->complete(obs::kOssTrackBase + index_, "failover_read", "oss",
-                             now, t,
-                             {obs::Arg::Int("obj", object_id),
-                              obs::Arg::Int("off", off), obs::Arg::Int("len", len)});
+      if (req != 0 && ctx_->tracer->has_subscribers()) {
+        ctx_->tracer->complete(obs::kOssTrackBase + index_, "failover_read",
+                               "oss", now, t,
+                               {obs::Arg::Int("obj", object_id),
+                                obs::Arg::Int("off", off),
+                                obs::Arg::Int("len", len),
+                                obs::Arg::Int("req", req)});
+      } else {
+        ctx_->tracer->complete(obs::kOssTrackBase + index_, "failover_read",
+                               "oss", now, t,
+                               {obs::Arg::Int("obj", object_id),
+                                obs::Arg::Int("off", off),
+                                obs::Arg::Int("len", len)});
+      }
     }
   }
   return t;
 }
 
-double Oss::serve_small_op(double now) {
+double Oss::serve_small_op(double now, std::uint64_t req) {
   maybe_crash_reset(now);
   double t = now + cfg_.rpc_latency_s;
   t = cpu_res_.reserve(t, cfg_.server_cpu_per_op_s * perturb_.cpu_factor);
   record(now, t, 0);
   if (ctx_ && ctx_->tracer) {
-    ctx_->tracer->complete(obs::kOssTrackBase + index_, "small_op", "oss", now, t);
+    if (req != 0 && ctx_->tracer->has_subscribers()) {
+      ctx_->tracer->complete(obs::kOssTrackBase + index_, "small_op", "oss",
+                             now, t, {obs::Arg::Int("req", req)});
+    } else {
+      ctx_->tracer->complete(obs::kOssTrackBase + index_, "small_op", "oss",
+                             now, t);
+    }
   }
   return t;
 }

@@ -55,22 +55,25 @@ class Oss {
   /// any synchronous flush it triggered). `charge_rpc` is false for the
   /// tail requests of a batched wire message (pdsi::rpc): the batch head
   /// already paid the one-way latency, so tails enter the server
-  /// pipeline directly.
+  /// pipeline directly. `req` (0 = unattributed) is the client's causal
+  /// request id; it lands on the service span only when a live monitor
+  /// is subscribed, so unmonitored traces stay byte-identical.
   double serve_write(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
-                     double now, bool charge_rpc = true);
+                     double now, bool charge_rpc = true, std::uint64_t req = 0);
 
   /// Serves a read; sequential readers hit the readahead window.
   double serve_read(std::uint64_t object_id, std::uint64_t off, std::uint64_t len,
-                    double now, bool charge_rpc = true);
+                    double now, bool charge_rpc = true, std::uint64_t req = 0);
 
   /// Serves a failover read for data whose primary server is down:
   /// charged like a cold read (rpc + cpu + disk + nic) without touching
   /// this server's cache state (the replica copy's cache is not modelled).
   double serve_failover_read(std::uint64_t object_id, std::uint64_t off,
-                             std::uint64_t len, double now);
+                             std::uint64_t len, double now,
+                             std::uint64_t req = 0);
 
   /// Metadata-ish small op on this server (e.g. object create).
-  double serve_small_op(double now);
+  double serve_small_op(double now, std::uint64_t req = 0);
 
   /// Forces pending dirty data for the object to disk.
   double flush(std::uint64_t object_id, double now);

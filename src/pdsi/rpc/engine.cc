@@ -32,9 +32,12 @@ void RequestEngine::configure(const EngineConfig& cfg, std::uint32_t num_queues,
 
 double RequestEngine::execute(const Request& req, double t,
                               fault::FaultInjector* inj, bool charge_wire,
-                              bool* ok) {
+                              bool* ok, ExecInfo* info) {
   *ok = true;
-  if (!inj || req.fault_exempt) return req.serve(t, charge_wire);
+  if (!inj || req.fault_exempt) {
+    if (info) info->served_wire = charge_wire;
+    return req.serve(t, charge_wire);
+  }
   const fault::FaultPlan& plan = inj->plan();
   const RetryPolicy policy{plan.rpc_timeout_s, plan.retry_backoff_s,
                            plan.max_retries};
@@ -42,6 +45,7 @@ double RequestEngine::execute(const Request& req, double t,
   for (std::uint32_t attempt = 0;; ++attempt) {
     const bool is_down = inj->down(req.queue, at);
     if (!is_down && !(req.drop_eligible && inj->drop_rpc(req.queue))) {
+      if (info) info->served_wire = charge_wire;
       return req.serve(at, charge_wire);
     }
     if (!is_down) inj->note_drop(req.queue, at);
@@ -50,16 +54,38 @@ double RequestEngine::execute(const Request& req, double t,
     if (is_down && req.failover && plan.read_failover && attempt > 0) {
       bool served = false;
       const double done = req.failover(at, &served);
+      // A survivor's answer is service time, not wire: the failover
+      // callback owns its own latency accounting.
       if (served) return done;
     }
     if (attempt >= plan.max_retries) break;
     const double penalty = policy.penalty(attempt);
     inj->note_retry(req.queue, at, at + penalty);
     at += penalty;
+    if (info) info->retry_s += penalty;
   }
   *ok = false;
   stats_.failures++;
   return at;
+}
+
+void RequestEngine::emit_req_span(const Request& req, double submit_t,
+                                  double pre_slot_t, double exec_start_t,
+                                  double done, const ExecInfo& info, bool ok) {
+  // queue covers submit -> wire flush (batch wait plus any predecessor's
+  // retries within the same message); stall is this request's own window
+  // wait; service is whatever end-to-end time the other classes leave —
+  // the identity total == queue + stall + retry + wire + service is exact
+  // by construction.
+  const double wire_s = info.served_wire ? cfg_.wire_latency_s : 0.0;
+  ctx_->tracer->complete(track_, ok ? "rpc_req" : "rpc_req_fail", "rpc",
+                         submit_t, done,
+                         {obs::Arg::Int("req", req.req_id),
+                          obs::Arg::Int("srv", req.queue),
+                          obs::Arg::Num("queue_s", pre_slot_t - submit_t),
+                          obs::Arg::Num("stall_s", exec_start_t - pre_slot_t),
+                          obs::Arg::Num("retry_s", info.retry_s),
+                          obs::Arg::Num("wire_s", wire_s)});
 }
 
 void RequestEngine::note_inflight(double completion) {
@@ -94,13 +120,21 @@ double RequestEngine::flush_queue(std::uint32_t queue, double t,
   stats_.messages++;
   stats_.batched_tails += pending.size() - 1;
   if (c_messages_) c_messages_->add(1);
+  const bool mon = monitoring();
   for (std::size_t i = 0; i < pending.size(); ++i) {
+    const double pre_slot_t = t;
     t = take_slot(t);
     bool ok = true;
+    ExecInfo info;
     // The message head pays the one-way wire latency; coalesced tails
     // enter the server pipeline with it already charged.
-    const double done = execute(pending[i], t, inj, /*charge_wire=*/i == 0, &ok);
+    const double done = execute(pending[i], t, inj, /*charge_wire=*/i == 0, &ok,
+                                mon ? &info : nullptr);
     if (!ok) async_error_ = true;
+    if (mon) {
+      emit_req_span(pending[i], pending[i].submit_t, pre_slot_t, t, done, info,
+                    ok);
+    }
     // Failed requests still occupy their slot until the backoff schedule
     // ran out — the time spent retrying is real and drain() awaits it.
     note_inflight(done);
@@ -111,13 +145,18 @@ double RequestEngine::flush_queue(std::uint32_t queue, double t,
 double RequestEngine::submit(Request req, double t, fault::FaultInjector* inj) {
   stats_.submitted++;
   if (c_submitted_) c_submitted_->add(1);
+  req.submit_t = t;
   if (!cfg_.pipelined()) {
     // Synchronous mode: the engine is a pass-through retry seam — the
     // call sequence (and therefore the timing) is exactly the pre-engine
     // client's.
     bool ok = true;
-    const double done = execute(req, t, inj, /*charge_wire=*/true, &ok);
+    const bool mon = monitoring();
+    ExecInfo info;
+    const double done =
+        execute(req, t, inj, /*charge_wire=*/true, &ok, mon ? &info : nullptr);
     if (!ok) async_error_ = true;
+    if (mon) emit_req_span(req, t, t, t, done, info, ok);
     return done;
   }
   const std::uint32_t queue = req.queue;

@@ -67,6 +67,10 @@ struct RetryPolicy {
 struct EngineConfig {
   std::uint32_t window = 1; ///< max in-flight requests (1 = synchronous)
   std::uint32_t batch = 1;  ///< requests coalesced per wire message per queue
+  /// One-way wire latency the Serve callbacks charge when `charge_wire`
+  /// is true. The engine never charges this itself — it only uses it to
+  /// attribute the wire component in per-request monitor spans.
+  double wire_latency_s = 0.0;
   bool pipelined() const { return window > 1 || batch > 1; }
 };
 
@@ -104,8 +108,21 @@ class RequestEngine {
     /// injector's state is sized for the OSS population) bypass the
     /// injector entirely.
     bool fault_exempt = false;
+    /// Causal request id minted by the client (0 = unattributed). Carried
+    /// through submit/batch/execute/retry and stamped on the monitor's
+    /// per-request rpc_req span.
+    std::uint64_t req_id = 0;
+    /// Client time at submit(); set by the engine. The rpc_req span
+    /// starts here, so batch wait (submit -> flush) is attributable.
+    double submit_t = 0.0;
     Serve serve;
     Failover failover;  ///< optional; consulted from the second attempt on
+  };
+
+  /// Per-execution attribution, filled by execute() for monitor spans.
+  struct ExecInfo {
+    double retry_s = 0.0;  ///< timeout + backoff penalties charged
+    bool served_wire = false;  ///< serve() ran with charge_wire == true
   };
 
   RequestEngine() = default;
@@ -126,8 +143,9 @@ class RequestEngine {
   /// `inj`'s fault plan (nullptr = no faults, exactly one serve call).
   /// Returns the completion time; clears *ok once the retry budget is
   /// exhausted (the returned time then includes every backoff charged).
+  /// `info` (optional) receives the retry/wire attribution.
   double execute(const Request& req, double t, fault::FaultInjector* inj,
-                 bool charge_wire, bool* ok);
+                 bool charge_wire, bool* ok, ExecInfo* info = nullptr);
 
   /// Pipelined submission at client time `t`: enqueue, flush the queue as
   /// one wire message once `batch` requests coalesced, and stall only
@@ -156,6 +174,19 @@ class RequestEngine {
   /// advances `t` to the earliest completion (a window stall).
   double take_slot(double t);
   void note_inflight(double completion);
+  /// True when a tracer with live subscribers is attached — the gate for
+  /// the per-request monitor spans (and the req args downstream), so
+  /// unmonitored traces stay byte-identical.
+  bool monitoring() const {
+    return ctx_ != nullptr && ctx_->tracer != nullptr &&
+           ctx_->tracer->has_subscribers();
+  }
+  /// Emits the rpc_req / rpc_req_fail span for one completed request:
+  /// span [submit_t, done] on the client track with the queue / stall /
+  /// retry / wire attribution args (service is the remainder).
+  void emit_req_span(const Request& req, double submit_t, double pre_slot_t,
+                     double exec_start_t, double done, const ExecInfo& info,
+                     bool ok);
 
   EngineConfig cfg_;
   std::vector<std::vector<Request>> queues_;

@@ -1,0 +1,507 @@
+// Tests for the online monitoring layer: the incremental consistency
+// monitor's first-violation parity with the batch checker (clean traces,
+// every mutation injector, live subscription vs replay), the bounded
+// retained-state guarantee, the cap-vs-subscriber regression (a capped
+// tracer still feeds sinks the full stream), and the rpc_req causal
+// breakdown identity with its zero-observer-effect gate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdsi/common/bytes.h"
+#include "pdsi/common/units.h"
+#include "pdsi/consist/checker.h"
+#include "pdsi/consist/model.h"
+#include "pdsi/consist/monitor.h"
+#include "pdsi/consist/mutate.h"
+#include "pdsi/fault/fault.h"
+#include "pdsi/obs/monitor.h"
+#include "pdsi/obs/obs.h"
+#include "pdsi/obs/profile.h"
+#include "pdsi/pfs/client.h"
+#include "pdsi/pfs/cluster.h"
+
+namespace pdsi::consist {
+namespace {
+
+constexpr std::uint64_t kSlot = 64 * KiB;  // one extent-lock unit per rank
+constexpr std::uint64_t kLen = 4 * KiB;    // record length within a slot
+
+std::uint64_t Mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return Mix64(Mix64(Mix64(a) ^ b) ^ c);
+}
+
+struct WorkloadSpec {
+  ConsistencyModel model = ConsistencyModel::posix;
+  int ranks = 3;
+  int rounds = 3;
+  bool contended = false;
+  bool split_roles = false;
+  bool randomized = false;
+  std::uint64_t salt = 1;
+};
+
+/// The consist_test phase-disciplined workload (same schedule, same
+/// content tags), so monitor parity is tested on the same traces the
+/// batch checker's own suite pins.
+void RunWorkload(const WorkloadSpec& spec, obs::Tracer* tracer) {
+  obs::Context ctx;
+  ctx.tracer = tracer;
+  pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(2);
+  cfg.consistency = spec.model;
+  cfg.record_consist_ops = true;
+  if (spec.contended) cfg.locking = pfs::LockProtocol::whole_file;
+  sim::VirtualScheduler sched(spec.ranks);
+  pfs::PfsCluster cluster(cfg, sched, nullptr, &ctx);
+  std::vector<std::size_t> ids;
+  for (int r = 0; r < spec.ranks; ++r) ids.push_back(r);
+  sim::VirtualBarrier barrier(sched, ids);
+
+  const bool session = spec.model == ConsistencyModel::session;
+  const bool commit = spec.model == ConsistencyModel::commit;
+  const bool mpiio = spec.model == ConsistencyModel::mpiio;
+  const int writers = spec.split_roles ? (spec.ranks + 1) / 2 : spec.ranks;
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < spec.ranks; ++r) {
+    threads.emplace_back([&, r] {
+      pfs::PfsClient client(cluster, r);
+      const bool is_writer = r < writers;
+      const bool is_reader = !spec.split_roles || r >= writers;
+      pfs::FileHandle fh = -1;
+      if (r == 0) {
+        fh = *client.create("/shared");
+        if (session) client.close(fh);
+        barrier.arrive(r);
+      } else {
+        barrier.arrive(r);
+        if (!session) fh = *client.open("/shared");
+      }
+      for (int k = 0; k < spec.rounds; ++k) {
+        const bool write_this_round =
+            is_writer &&
+            (!spec.randomized || Hash3(spec.salt, r, 2 * k) % 4 != 0);
+        if (write_this_round) {
+          if (session) fh = *client.open("/shared");
+          const std::uint64_t off =
+              spec.contended ? 0 : static_cast<std::uint64_t>(r) * kSlot;
+          const auto tag = static_cast<std::uint32_t>(
+              spec.salt * 1000003 + static_cast<std::uint64_t>(k) * 131 + r);
+          EXPECT_TRUE(client.write(fh, off, MakePattern(tag, off, kLen)).ok());
+          if (session) {
+            EXPECT_TRUE(client.close(fh).ok());
+          } else if (commit || mpiio) {
+            EXPECT_TRUE(client.fsync(fh).ok());
+          }
+        }
+        barrier.arrive(r);
+        const bool read_this_round =
+            is_reader &&
+            (!spec.randomized || Hash3(spec.salt, r, 2 * k + 1) % 8 != 0);
+        if (read_this_round) {
+          const int target =
+              spec.contended
+                  ? 0
+                  : static_cast<int>(
+                        (spec.randomized
+                             ? Hash3(spec.salt, 977 + r, k)
+                             : static_cast<std::uint64_t>(r) + 1 + k) %
+                        writers);
+          if (session) fh = *client.open("/shared");
+          if (mpiio) {
+            EXPECT_TRUE(client.fsync(fh).ok());
+          }
+          Bytes out(kLen);
+          auto n = client.read(
+              fh, static_cast<std::uint64_t>(target) * kSlot, out);
+          EXPECT_TRUE(n.ok());
+          if (session) client.close(fh);
+        }
+        barrier.arrive(r);
+      }
+      if (!session && fh >= 0) client.close(fh);
+      sched.finish(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+std::vector<obs::AnalysisEvent> RecordWorkload(const WorkloadSpec& spec) {
+  obs::Tracer tracer;
+  RunWorkload(spec, &tracer);
+  return obs::CollectEvents(tracer);
+}
+
+/// Replays `events` through a fresh monitor and returns it.
+ConsistencyMonitor Monitor(const std::vector<obs::AnalysisEvent>& events,
+                           ConsistencyModel model) {
+  ConsistencyMonitor mon(model);
+  obs::ReplayEvents(events, {&mon});
+  return mon;
+}
+
+/// Batch and online verdicts must agree: same cleanliness and, on a
+/// violation, the same kind and op pair (the parity contract — stats
+/// past the first violation may legitimately differ).
+void ExpectParity(const std::vector<obs::AnalysisEvent>& events,
+                  ConsistencyModel model, const char* label,
+                  std::uint64_t seed) {
+  const CheckResult batch = CheckConsistency(events, model);
+  const ConsistencyMonitor mon = Monitor(events, model);
+  ASSERT_EQ(mon.clean(), batch.clean)
+      << label << " seed=" << seed
+      << " batch=" << (batch.clean ? "clean" : FormatViolation(batch.first, events))
+      << " online=" << (mon.clean() ? "clean" : FormatViolation(mon.first(), events));
+  if (!batch.clean) {
+    EXPECT_EQ(mon.first().kind, batch.first.kind)
+        << label << " seed=" << seed << ": "
+        << FormatViolation(mon.first(), events) << " vs batch "
+        << FormatViolation(batch.first, events);
+    EXPECT_EQ(mon.first().op_a, batch.first.op_a)
+        << label << " seed=" << seed << ": "
+        << FormatViolation(mon.first(), events);
+    EXPECT_EQ(mon.first().op_b, batch.first.op_b)
+        << label << " seed=" << seed << ": "
+        << FormatViolation(mon.first(), events);
+    EXPECT_EQ(mon.first().detail, batch.first.detail)
+        << label << " seed=" << seed;
+  }
+}
+
+TEST(ConsistMonitor, CleanTracesAgreeWithBatchUnderEveryModel) {
+  for (ConsistencyModel m : kAllConsistencyModels) {
+    WorkloadSpec spec;
+    spec.model = m;
+    spec.ranks = 4;
+    spec.rounds = 3;
+    auto events = RecordWorkload(spec);
+    const CheckResult batch = CheckConsistency(events, m);
+    const ConsistencyMonitor mon = Monitor(events, m);
+    EXPECT_TRUE(batch.clean) << ConsistencyModelName(m);
+    EXPECT_TRUE(mon.clean())
+        << ConsistencyModelName(m) << ": "
+        << FormatViolation(mon.first(), events);
+    // On clean traces the per-read classification counters agree too.
+    EXPECT_EQ(mon.stats().writes, batch.stats.writes) << ConsistencyModelName(m);
+    EXPECT_EQ(mon.stats().reads, batch.stats.reads) << ConsistencyModelName(m);
+    EXPECT_EQ(mon.stats().content_checks, batch.stats.content_checks)
+        << ConsistencyModelName(m);
+    EXPECT_EQ(mon.stats().composite_skips, batch.stats.composite_skips)
+        << ConsistencyModelName(m);
+  }
+}
+
+TEST(ConsistMonitor, RandomizedCleanSchedulesAgree) {
+  for (ConsistencyModel m : kAllConsistencyModels) {
+    for (std::uint64_t seed : {11u, 29u, 63u}) {
+      WorkloadSpec spec;
+      spec.model = m;
+      spec.ranks = 4;
+      spec.rounds = 4;
+      spec.randomized = true;
+      spec.salt = seed;
+      ExpectParity(RecordWorkload(spec), m, ConsistencyModelName(m).data(),
+                   seed);
+    }
+  }
+}
+
+TEST(ConsistMonitor, ReorderWritePastCloseParity) {
+  WorkloadSpec spec;
+  spec.model = ConsistencyModel::session;
+  spec.ranks = 4;
+  spec.rounds = 3;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto events = RecordWorkload(spec);
+    auto p = ReorderWritePastClose(&events, seed);
+    ASSERT_TRUE(p.applied) << seed;
+    ExpectParity(events, ConsistencyModel::session, "reorder", seed);
+  }
+}
+
+TEST(ConsistMonitor, DropSyncEdgeParityUnderCommitAndMpiio) {
+  for (ConsistencyModel m : {ConsistencyModel::commit, ConsistencyModel::mpiio}) {
+    WorkloadSpec spec;
+    spec.model = m;
+    spec.ranks = 4;
+    spec.rounds = 3;
+    spec.split_roles = m == ConsistencyModel::mpiio;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      auto events = RecordWorkload(spec);
+      auto p = DropSyncEdge(&events, seed);
+      ASSERT_TRUE(p.applied) << ConsistencyModelName(m) << " seed=" << seed;
+      ExpectParity(events, m, "drop-sync", seed);
+    }
+  }
+}
+
+TEST(ConsistMonitor, SpliceStaleReadParityUnderEveryModel) {
+  for (ConsistencyModel m : kAllConsistencyModels) {
+    WorkloadSpec spec;
+    spec.model = m;
+    spec.ranks = 4;
+    spec.rounds = 3;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      auto events = RecordWorkload(spec);
+      auto p = SpliceStaleRead(&events, m, seed);
+      ASSERT_TRUE(p.applied) << ConsistencyModelName(m) << " seed=" << seed;
+      ExpectParity(events, m, ConsistencyModelName(m).data(), seed);
+    }
+  }
+}
+
+TEST(ConsistMonitor, OverlapConflictingWritesParity) {
+  WorkloadSpec spec;
+  spec.contended = true;
+  spec.ranks = 3;
+  spec.rounds = 3;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto events = RecordWorkload(spec);
+    auto p = OverlapConflictingWrites(&events, seed);
+    ASSERT_TRUE(p.applied) << seed;
+    ExpectParity(events, ConsistencyModel::posix, "overlap", seed);
+  }
+}
+
+TEST(ConsistMonitor, ViolationSurfacesAsDeterministicAlarm) {
+  WorkloadSpec spec;
+  spec.model = ConsistencyModel::session;
+  auto events = RecordWorkload(spec);
+  auto p = ReorderWritePastClose(&events, 0);
+  ASSERT_TRUE(p.applied);
+  const ConsistencyMonitor mon = Monitor(events, ConsistencyModel::session);
+  ASSERT_FALSE(mon.clean());
+  const obs::Alarm a = mon.alarm();
+  EXPECT_EQ(a.kind, "consistency");
+  EXPECT_EQ(a.key, ViolationKindName(mon.first().kind));
+  const std::string line = obs::FormatAlarm(a);
+  EXPECT_NE(line.find("consistency"), std::string::npos) << line;
+  EXPECT_EQ(line, obs::FormatAlarm(Monitor(events, ConsistencyModel::session)
+                                       .alarm()));
+}
+
+// The O(open intervals) guarantee: retained state does not grow with the
+// trace. Scaling rounds 2 -> 10 quintuples the ops but must not move the
+// peak by more than a round's worth of in-flight state.
+TEST(ConsistMonitor, PeakRetainedIsBoundedByOpenIntervalsNotTraceLength) {
+  auto peak = [](int rounds) {
+    WorkloadSpec spec;
+    spec.ranks = 4;
+    spec.rounds = rounds;
+    auto events = RecordWorkload(spec);
+    ConsistencyMonitor mon = Monitor(events, ConsistencyModel::posix);
+    EXPECT_TRUE(mon.clean());
+    // Reads all settle; each interval keeps its newest write live (there
+    // is no newer one to supersede it), so the tail is O(intervals) too.
+    EXPECT_LE(mon.retained(), 8u) << "only per-interval tails may remain";
+    return mon.peak_retained();
+  };
+  const std::size_t p2 = peak(2);
+  const std::size_t p10 = peak(10);
+  EXPECT_LE(p10, p2 + 4u) << "retained state must not scale with rounds";
+  // And the bound is far below the trace: 4 ranks x 10 rounds = 40 writes
+  // + 40 reads flowed through.
+  EXPECT_LT(p10, 20u);
+}
+
+// -- Satellite: cap-vs-subscriber regression --------------------------------
+//
+// A tracer capped far below the event count drops events from the stored
+// trace but still feeds subscribers the full stream: the online monitor
+// and the alarm sinks must produce byte-identical results to an uncapped
+// run of the same workload.
+TEST(ConsistMonitor, CappedTracerFeedsSubscribersTheFullStream) {
+  struct Run {
+    std::uint64_t dropped = 0;
+    bool clean = false;
+    CheckStats stats;
+    std::size_t peak = 0;
+    std::string watermark_report;
+    std::size_t slo_alarms = 0;
+  };
+  auto run = [](std::size_t cap) {
+    WorkloadSpec spec;
+    spec.model = ConsistencyModel::commit;
+    spec.ranks = 4;
+    spec.rounds = 4;
+    obs::Tracer tracer;
+    if (cap != 0) tracer.set_max_events(cap);
+    ConsistencyMonitor mon(ConsistencyModel::commit);
+    obs::WatermarkSink wm;
+    obs::SloSink slo({{"oss:write", 1e-9, 0.5, 10.0, 4, 0.0}});
+    tracer.subscribe(&mon);
+    tracer.subscribe(&wm);
+    tracer.subscribe(&slo);
+    RunWorkload(spec, &tracer);
+    tracer.flush_subscribers(0.0);
+    Run r;
+    r.dropped = tracer.dropped_events();
+    r.clean = mon.clean();
+    r.stats = mon.stats();
+    r.peak = mon.peak_retained();
+    std::ostringstream os;
+    wm.write_report(os);
+    r.watermark_report = os.str();
+    r.slo_alarms = slo.alarms().size();
+    return r;
+  };
+  const Run uncapped = run(0);
+  const Run capped = run(64);
+  EXPECT_EQ(uncapped.dropped, 0u);
+  EXPECT_GT(capped.dropped, 0u) << "the cap must actually bite";
+  EXPECT_TRUE(uncapped.clean);
+  EXPECT_EQ(capped.clean, uncapped.clean);
+  EXPECT_EQ(capped.stats.writes, uncapped.stats.writes);
+  EXPECT_EQ(capped.stats.reads, uncapped.stats.reads);
+  EXPECT_EQ(capped.stats.content_checks, uncapped.stats.content_checks);
+  EXPECT_EQ(capped.stats.composite_skips, uncapped.stats.composite_skips);
+  EXPECT_EQ(capped.peak, uncapped.peak);
+  EXPECT_EQ(capped.watermark_report, uncapped.watermark_report);
+  EXPECT_GT(uncapped.slo_alarms, 0u) << "the 1ns SLO must fire";
+  EXPECT_EQ(capped.slo_alarms, uncapped.slo_alarms);
+}
+
+// Live subscription and post-hoc replay of the same tracer see the same
+// stream with the same indices — the online/offline equivalence pivot.
+TEST(ConsistMonitor, LiveSubscriptionMatchesReplayExactly) {
+  WorkloadSpec spec;
+  spec.model = ConsistencyModel::mpiio;
+  spec.ranks = 4;
+  spec.rounds = 3;
+  spec.split_roles = true;
+  obs::Tracer tracer;
+  ConsistencyMonitor live(ConsistencyModel::mpiio);
+  tracer.subscribe(&live);
+  RunWorkload(spec, &tracer);
+  tracer.flush_subscribers(0.0);
+
+  ConsistencyMonitor replayed =
+      Monitor(obs::CollectEvents(tracer), ConsistencyModel::mpiio);
+  EXPECT_EQ(live.clean(), replayed.clean());
+  EXPECT_EQ(live.stats().writes, replayed.stats().writes);
+  EXPECT_EQ(live.stats().reads, replayed.stats().reads);
+  EXPECT_EQ(live.stats().content_checks, replayed.stats().content_checks);
+  EXPECT_EQ(live.stats().composite_skips, replayed.stats().composite_skips);
+  EXPECT_EQ(live.peak_retained(), replayed.peak_retained());
+}
+
+// -- rpc_req causal spans ----------------------------------------------------
+
+struct BreakdownRun {
+  double final_now = 0.0;
+  std::vector<obs::AnalysisEvent> events;
+  obs::RequestBreakdownSink sink;
+};
+
+/// The rpc_test pipelined golden workload (same seed, same schedule),
+/// optionally monitored. 24 pipelined writes + a read barrier + fsync
+/// against a seeded 15% drop plan: queue waits, window stalls and retry
+/// penalties all occur.
+void RunPipelinedMonitored(bool subscribe, BreakdownRun* out) {
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  sim::VirtualScheduler sched(1);
+  pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(4);
+  cfg.rpc_window = 8;
+  cfg.rpc_batch = 4;
+  pfs::PfsCluster cluster(cfg, sched, nullptr, &ctx);
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.rpc_drop_prob = 0.15;
+  fault::FaultInjector inj(plan, 4);
+  cluster.set_fault(&inj);
+  pfs::PfsClient client(cluster, 0);
+  if (subscribe) tr.subscribe(&out->sink);
+
+  auto fh = *client.create("/shared");
+  const auto rec = MakePattern(5, 0, 47 * KiB);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_TRUE(
+        client.write(fh, static_cast<std::uint64_t>(i) * rec.size(), rec).ok());
+  }
+  Bytes out_buf(rec.size());
+  EXPECT_TRUE(client.read(fh, 3 * rec.size(), out_buf).ok());
+  EXPECT_TRUE(client.fsync(fh).ok());
+  EXPECT_TRUE(client.close(fh).ok());
+  out->final_now = client.now();
+  sched.finish(0);
+  if (subscribe) tr.flush_subscribers(client.now());
+  out->events = obs::CollectEvents(tr);
+}
+
+TEST(RpcReqSpans, BreakdownsSumExactlyAndGateOnSubscribers) {
+  BreakdownRun monitored, bare;
+  RunPipelinedMonitored(true, &monitored);
+  RunPipelinedMonitored(false, &bare);
+
+  // Zero observer effect: attaching the sink changes no timing.
+  EXPECT_EQ(monitored.final_now, bare.final_now);
+
+  // Without a subscriber, no rpc_req span and no req arg exists anywhere.
+  for (const auto& e : bare.events) {
+    EXPECT_NE(e.name, "rpc_req");
+    EXPECT_NE(e.name, "rpc_req_fail");
+    for (const auto& [k, v] : e.args) EXPECT_NE(k, "req");
+  }
+
+  // With one, every pipelined request appears with the exact identity
+  // total = queue + stall + retry + wire + service.
+  const auto& reqs = monitored.sink.requests();
+  ASSERT_GT(reqs.size(), 24u);  // 24 writes + metadata ops
+  for (const auto& b : reqs) {
+    EXPECT_GE(b.queue_s, 0.0) << "req=" << b.req;
+    EXPECT_GE(b.stall_s, 0.0) << "req=" << b.req;
+    EXPECT_GE(b.retry_s, 0.0) << "req=" << b.req;
+    EXPECT_GE(b.wire_s, 0.0) << "req=" << b.req;
+    EXPECT_GE(b.service_s, 0.0)
+        << "req=" << b.req << " total=" << b.total_s << " queue=" << b.queue_s
+        << " stall=" << b.stall_s << " retry=" << b.retry_s
+        << " wire=" << b.wire_s;
+  }
+  EXPECT_TRUE(monitored.sink.exact());
+  bool any_queue = false, any_retry = false;
+  for (const auto& b : reqs) {
+    if (b.queue_s > 0 || b.stall_s > 0) any_queue = true;
+    if (b.retry_s > 0) any_retry = true;
+  }
+  EXPECT_TRUE(any_queue) << "batching must produce queue/stall time";
+  EXPECT_TRUE(any_retry) << "the seeded 15% drop plan must produce retries";
+
+  // req ids are per-client monotonic from 1. One public client op may
+  // fan out to several wire requests (fsync flushes every touched
+  // server) — those share the op's causal id but target distinct
+  // servers, which is exactly what lets a consumer group a client op's
+  // spans back together.
+  std::map<std::uint64_t, std::set<std::uint64_t>> by_req;
+  for (const auto& b : reqs) {
+    EXPECT_GE(b.req, 1u);
+    EXPECT_TRUE(by_req[b.req].insert(b.server).second)
+        << "req=" << b.req << " srv=" << b.server
+        << ": same (req, server) pair twice";
+  }
+  EXPECT_LT(by_req.size(), reqs.size()) << "the fsync fan-out must share ids";
+
+  // The table renders byte-stably.
+  std::ostringstream t1, t2;
+  monitored.sink.write_table(t1, 8);
+  monitored.sink.write_table(t2, 8);
+  EXPECT_EQ(t1.str(), t2.str());
+  EXPECT_NE(t1.str().find("req"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdsi::consist

@@ -271,6 +271,24 @@ TEST(Registry, WriteJsonParsesBackWithAllInstruments) {
   EXPECT_EQ(os.str(), os2.str());
 }
 
+// The JSON dump is pinned to the byte: instruments render in sorted name
+// order regardless of registration order, so dumps from different code
+// paths of the same run diff cleanly (the CI artifact contract).
+TEST(Registry, WriteJsonIsSortedByNameAndPinned) {
+  obs::Registry reg;
+  reg.counter("z.count").add(7);
+  reg.counter("a.count").add(1);
+  reg.gauge("m.gauge").set(1.5);
+  reg.gauge("b.gauge").set(-2.0);
+  reg.histogram("h.lat", {0.5}).add(0.25);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"counters\": {\"a.count\": 1, \"z.count\": 7}, "
+            "\"gauges\": {\"b.gauge\": -2, \"m.gauge\": 1.5}, "
+            "\"hists\": {\"h.lat\": {\"le\": [0.5], \"counts\": [1, 0]}}}\n");
+}
+
 // ---------------------------------------------------------------------------
 // Tracer export formats.
 

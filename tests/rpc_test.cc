@@ -261,6 +261,55 @@ TEST(RpcEngine, PipelinedRunsAreByteIdentical) {
   EXPECT_NE(a.final_now, c.final_now);
 }
 
+// The golden pipelined run's rpc.* and fault.* counters are pinned to
+// exact values: the seeded drop stream, the window/batch schedule, and
+// the retry accounting are all load-bearing, so any drift in engine
+// bookkeeping (not just timing) fails loudly here.
+TEST(RpcEngine, PipelinedGoldenCountersArePinned) {
+  obs::Registry reg;
+  obs::Tracer tr;
+  obs::Context ctx{&tr, &reg};
+  sim::VirtualScheduler sched(1);
+  pfs::PfsConfig cfg = pfs::PfsConfig::PanFsLike(4);
+  cfg.rpc_window = 8;
+  cfg.rpc_batch = 4;
+  pfs::PfsCluster cluster(cfg, sched, nullptr, &ctx);
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.rpc_drop_prob = 0.15;
+  fault::FaultInjector inj(plan, 4, &ctx);
+  cluster.set_fault(&inj);
+  pfs::PfsClient client(cluster, 0);
+
+  auto fh = *client.create("/shared");
+  const auto rec = MakePattern(5, 0, 47 * KiB);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_TRUE(
+        client.write(fh, static_cast<std::uint64_t>(i) * rec.size(), rec).ok());
+  }
+  Bytes out(rec.size());
+  EXPECT_TRUE(client.read(fh, 3 * rec.size(), out).ok());
+  EXPECT_TRUE(client.fsync(fh).ok());
+  EXPECT_TRUE(client.close(fh).ok());
+  sched.finish(0);
+
+  // 24 pipelined writes + the fsync flush fan-out ride the queues; the
+  // read and its drain are synchronous. 26 queued requests coalesce into
+  // 8 wire messages under batch=4; window=8 stalls 18 times; the read,
+  // fsync and close each drain.
+  EXPECT_EQ(reg.counter("rpc.submitted").value(), 26u);
+  EXPECT_EQ(reg.counter("rpc.messages").value(), 8u);
+  EXPECT_EQ(reg.counter("rpc.window_stalls").value(), 18u);
+  EXPECT_EQ(reg.counter("rpc.drains").value(), 3u);
+  // Seed 11 at 15% drop: exactly two requests drop and retry once each;
+  // no replica failover, no drain-side retries.
+  EXPECT_EQ(reg.counter("fault.retries").value(), 2u);
+  EXPECT_EQ(reg.counter("fault.dropped_rpcs").value(), 2u);
+  EXPECT_EQ(reg.counter("fault.failovers").value(), 0u);
+  EXPECT_EQ(reg.counter("fault.drain_retries").value(), 0u);
+  EXPECT_EQ(inj.dropped_rpcs(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // The point of the engine: pipelining beats one-RPC-at-a-time.
 
