@@ -30,9 +30,11 @@ std::uint32_t Bitmap::highest() const {
 std::uint32_t Bitmap::partition_for(std::uint64_t hash) const {
   // Start from a radix deep enough to cover the highest partition and
   // walk shallower until the candidate exists. Partition 0 always does.
-  std::uint32_t d = 1;
-  while ((1u << d) <= highest()) ++d;
-  for (; d > 0; --d) {
+  // Derived via PartitionDepth rather than a growing `1u << d` probe: a
+  // highest partition at or above 2^31 would push that shift to 32 bits
+  // (undefined for uint32_t). Depth tops out at 32, so the masks below
+  // must be 64-bit shifts.
+  for (std::uint32_t d = PartitionDepth(highest()); d > 0; --d) {
     const std::uint32_t candidate =
         static_cast<std::uint32_t>(hash & ((1ULL << d) - 1));
     if (test(candidate)) return candidate;
@@ -76,7 +78,11 @@ std::uint32_t PartitionDepth(std::uint32_t p) {
 }
 
 std::uint32_t SplitChild(std::uint32_t p, std::uint32_t depth) {
-  return p + (1u << depth);
+  // depth == 31 is the last splittable level: the child p + 2^31 still
+  // fits uint32_t because p < 2^31, but a 32-bit `1u << depth` at the
+  // next level would be undefined.
+  assert(depth < 32 && "partition radix depth exceeds 32-bit id space");
+  return p + static_cast<std::uint32_t>(1ULL << depth);
 }
 
 GigaDirectory::GigaDirectory(const GigaParams& params)

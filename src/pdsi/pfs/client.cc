@@ -37,14 +37,18 @@ PfsClient::PfsClient(PfsCluster& cluster, std::size_t actor)
       if (cfg.record_consist_ops) {
         c_consist_ops_ = &ctx->registry->counter("consist.ops");
       }
+      if (cluster_.smds().num_shards() > 1) {
+        c_mds_stale_ = &ctx->registry->counter("pfs.mds_stale_retries");
+      }
     }
   }
-  // One queue per OSS plus the MDS queue; in the default sync mode the
-  // engine is a pure pass-through (no queues used, no instruments made).
-  // The wire latency lets the engine attribute the network component in
-  // per-request monitor spans (it never charges it itself).
+  // One queue per OSS plus one per MDS shard; in the default sync mode
+  // the engine is a pure pass-through (no queues used, no instruments
+  // made). The wire latency lets the engine attribute the network
+  // component in per-request monitor spans (it never charges it itself).
   engine_.configure({cfg.rpc_window, cfg.rpc_batch, cfg.rpc_latency_s},
-                    cluster_.num_oss() + 1, cluster_.obs_ctx(),
+                    cluster_.num_oss() + cluster_.smds().num_shards(),
+                    cluster_.obs_ctx(),
                     obs::kRankTrackBase + static_cast<std::uint32_t>(actor));
 }
 
@@ -96,37 +100,80 @@ FileHandle PfsClient::put(std::uint64_t file_id, std::string path) {
 }
 
 double PfsClient::submit_mds(double t, std::size_t charges, double fraction,
-                             std::string parent, std::uint64_t rid) {
+                             std::string parent, std::uint64_t rid,
+                             std::uint32_t shard) {
   rpc::RequestEngine::Request req;
-  req.queue = mds_queue();
+  req.queue = mds_queue(shard);
   req.drop_eligible = false;
   req.fault_exempt = true;  // the MDS is outside the fault plan
   req.req_id = rid;
-  req.serve = [this, charges, fraction, rid,
+  req.serve = [this, charges, fraction, rid, shard,
                parent = std::move(parent)](double at, bool wire) {
+    Mds& mds = cluster_.smds().shard(shard);
     double done = wire ? at + cluster_.config().rpc_latency_s : at;
     for (std::size_t i = 0; i < charges; ++i) {
-      done = fraction >= 1.0
-                 ? cluster_.mds().charge(done, rid)
-                 : cluster_.mds().charge_fraction(done, fraction, rid);
+      done = fraction >= 1.0 ? mds.charge(done, rid)
+                             : mds.charge_fraction(done, fraction, rid);
     }
-    if (!parent.empty()) done = cluster_.mds().charge_dir(parent, done, rid);
+    if (!parent.empty()) done = mds.charge_dir(parent, done, rid);
     return done;
   };
   return engine_.submit(std::move(req), t, nullptr);
 }
 
+std::uint32_t PfsClient::route_mds(const std::string& normalized, double* t,
+                                   std::uint64_t rid, double fraction) {
+  ShardedMds& smds = cluster_.smds();
+  const double lat = cluster_.config().rpc_latency_s;
+  const auto charge = [&](std::uint32_t s) {
+    *t = fraction >= 1.0
+             ? smds.shard(s).charge(*t + lat, rid)
+             : smds.shard(s).charge_fraction(*t + lat, fraction, rid);
+  };
+  if (smds.num_shards() == 1) {
+    charge(0);
+    return 0;
+  }
+  const std::uint64_t hash = giga::HashName(normalized);
+  for (;;) {
+    const std::uint32_t p = mds_bitmap_.partition_for(hash);
+    const std::uint32_t s = smds.shard_of(p);
+    charge(s);
+    if (smds.fresh(p, hash)) return s;
+    mds_bitmap_.merge(smds.bitmap());
+    if (c_mds_stale_) c_mds_stale_->add(1);
+  }
+}
+
+std::uint32_t PfsClient::route_mds_queued(const std::string& normalized,
+                                          double* t, std::uint64_t rid) {
+  ShardedMds& smds = cluster_.smds();
+  if (smds.num_shards() == 1) return 0;
+  const std::uint64_t hash = giga::HashName(normalized);
+  for (;;) {
+    const std::uint32_t p = mds_bitmap_.partition_for(hash);
+    const std::uint32_t s = smds.shard_of(p);
+    if (smds.fresh(p, hash)) return s;
+    // The wrong shard still serves (and charges) the bounced request
+    // before replying with its fresh bitmap rows.
+    *t = submit_mds(*t, 1, 1.0, "", rid, s);
+    mds_bitmap_.merge(smds.bitmap());
+    if (c_mds_stale_) c_mds_stale_->add(1);
+  }
+}
+
 Status PfsClient::mkdir(const std::string& path) {
   Status st;
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    st = cluster_.mds().mkdir(path);
+    st = cluster_.smds().mkdir(np);
     if (engine_.pipelined()) {
-      return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)), rid);
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
+      return submit_mds(t, 1, 1.0, ParentPath(np), rid, s);
     }
-    const double done =
-        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-    return cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done, rid);
+    const std::uint32_t s = route_mds(np, &t, rid);
+    return cluster_.smds().shard(s).charge_dir(ParentPath(np), t, rid);
   });
   return st;
 }
@@ -134,33 +181,37 @@ Status PfsClient::mkdir(const std::string& path) {
 Result<FileHandle> PfsClient::create(const std::string& path) {
   Result<FileHandle> out(Errc::io_error);
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
   if (engine_.pipelined()) {
     cluster_.scheduler().atomically(actor_, [&](double t) {
       // State transitions at submit time (the inode's mtime stamps the
       // submission); the metadata charge rides the MDS queue.
-      auto r = cluster_.mds().create(path, t);
+      auto r = cluster_.smds().create(np, t);
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
       if (r.ok()) {
-        out = put(r->file_id, NormalizePath(path));
-        return submit_mds(t, 1, 1.0, ParentPath(NormalizePath(path)), rid);
+        out = put(r->file_id, np);
+        t = submit_mds(t, 1, 1.0, ParentPath(np), rid, s);
+      } else {
+        out = r.error();
+        t = submit_mds(t, 1, 1.0, "", rid, s);
       }
-      out = r.error();
-      return submit_mds(t, 1, 1.0, "", rid);
+      // A triggered split blocks this client: its submission window
+      // stalls while the addressed shard migrates the partition.
+      return cluster_.smds().settle_splits(t, rid);
     });
     return out;
   }
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    double done =
-        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-    auto r = cluster_.mds().create(path, done);
+    const std::uint32_t s = route_mds(np, &t, rid);
+    auto r = cluster_.smds().create(np, t);
     if (r.ok()) {
-      done =
-          cluster_.mds().charge_dir(ParentPath(NormalizePath(path)), done, rid);
-      out = put(r->file_id, NormalizePath(path));
-      if (recording_consist()) record_consist_edge("open", r->file_id, done);
+      t = cluster_.smds().shard(s).charge_dir(ParentPath(np), t, rid);
+      out = put(r->file_id, np);
+      if (recording_consist()) record_consist_edge("open", r->file_id, t);
     } else {
       out = r.error();
     }
-    return done;
+    return cluster_.smds().settle_splits(t, rid);
   });
   return out;
 }
@@ -168,30 +219,31 @@ Result<FileHandle> PfsClient::create(const std::string& path) {
 Result<FileHandle> PfsClient::open(const std::string& path) {
   Result<FileHandle> out(Errc::io_error);
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
-      auto r = cluster_.mds().lookup(path);
+      auto r = cluster_.smds().lookup(np);
       if (!r.ok()) {
         out = r.error();
       } else if (r->is_dir) {
         out = Errc::is_dir;
       } else {
-        out = put(r->file_id, NormalizePath(path));
+        out = put(r->file_id, np);
       }
-      return submit_mds(t, 1, 1.0, "", rid);
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
+      return submit_mds(t, 1, 1.0, "", rid, s);
     }
-    const double done =
-        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-    auto r = cluster_.mds().lookup(path);
+    route_mds(np, &t, rid);
+    auto r = cluster_.smds().lookup(np);
     if (!r.ok()) {
       out = r.error();
     } else if (r->is_dir) {
       out = Errc::is_dir;
     } else {
-      out = put(r->file_id, NormalizePath(path));
-      if (recording_consist()) record_consist_edge("open", r->file_id, done);
+      out = put(r->file_id, np);
+      if (recording_consist()) record_consist_edge("open", r->file_id, t);
     }
-    return done;
+    return t;
   });
   return out;
 }
@@ -199,25 +251,26 @@ Result<FileHandle> PfsClient::open(const std::string& path) {
 Result<StatResult> PfsClient::stat(const std::string& path) {
   Result<StatResult> out(Errc::io_error);
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
-      auto r = cluster_.mds().lookup(path);
+      auto r = cluster_.smds().lookup(np);
       if (r.ok()) {
         out = StatResult{r->size, r->is_dir, r->mtime};
       } else {
         out = r.error();
       }
-      return submit_mds(t, 1, 1.0, "", rid);
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
+      return submit_mds(t, 1, 1.0, "", rid, s);
     }
-    const double done =
-        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-    auto r = cluster_.mds().lookup(path);
+    route_mds(np, &t, rid);
+    auto r = cluster_.smds().lookup(np);
     if (r.ok()) {
       out = StatResult{r->size, r->is_dir, r->mtime};
     } else {
       out = r.error();
     }
-    return done;
+    return t;
   });
   return out;
 }
@@ -225,12 +278,17 @@ Result<StatResult> PfsClient::stat(const std::string& path) {
 Result<LayoutInfo> PfsClient::layout(const std::string& path) {
   Result<LayoutInfo> out(Errc::io_error);
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    const double done =
-        engine_.pipelined()
-            ? submit_mds(t, 1, 1.0, "", rid)
-            : cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-    auto r = cluster_.mds().lookup(path);
+    double done;
+    if (engine_.pipelined()) {
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
+      done = submit_mds(t, 1, 1.0, "", rid, s);
+    } else {
+      route_mds(np, &t, rid);
+      done = t;
+    }
+    auto r = cluster_.smds().lookup(np);
     if (!r.ok()) {
       out = r.error();
     } else if (r->is_dir) {
@@ -256,21 +314,25 @@ Result<FileHandle> PfsClient::open_group(const std::string& path,
   Result<FileHandle> out(Errc::io_error);
   const double fraction = 1.0 / std::max<std::uint32_t>(1, group_size);
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
   cluster_.scheduler().atomically(actor_, [&](double t) {
     // One metadata op amortised over the group: the MDS answers once and
     // the result is broadcast over the (cheap) interconnect.
-    const double done =
-        engine_.pipelined()
-            ? submit_mds(t, 1, fraction, "", rid)
-            : cluster_.mds().charge_fraction(
-                  t + cluster_.config().rpc_latency_s, fraction, rid);
-    auto r = cluster_.mds().lookup(path);
+    double done;
+    if (engine_.pipelined()) {
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
+      done = submit_mds(t, 1, fraction, "", rid, s);
+    } else {
+      route_mds(np, &t, rid, fraction);
+      done = t;
+    }
+    auto r = cluster_.smds().lookup(np);
     if (!r.ok()) {
       out = r.error();
     } else if (r->is_dir) {
       out = Errc::is_dir;
     } else {
-      out = put(r->file_id, NormalizePath(path));
+      out = put(r->file_id, np);
       if (recording_consist()) record_consist_edge("open", r->file_id, done);
     }
     return done;
@@ -281,42 +343,75 @@ Result<FileHandle> PfsClient::open_group(const std::string& path,
 Result<std::vector<std::string>> PfsClient::readdir(const std::string& path) {
   Result<std::vector<std::string>> out(Errc::io_error);
   const std::uint64_t rid = mint_req();
+  const std::string np = NormalizePath(path);
+  const std::uint32_t nshards = cluster_.smds().num_shards();
   cluster_.scheduler().atomically(actor_, [&](double t) {
     if (engine_.pipelined()) {
-      auto r = cluster_.mds().readdir(path);
+      auto r = cluster_.smds().readdir(np);
+      const std::uint32_t s = route_mds_queued(np, &t, rid);
+      // Sharded listings scatter-gather: every other shard serves one
+      // list op too (queued on its own queue).
+      for (std::uint32_t k = 0; k < nshards; ++k) {
+        if (k != s) t = submit_mds(t, 1, 1.0, "", rid, k);
+      }
       if (r.ok()) {
         const std::size_t batches = r->empty() ? 0 : (r->size() - 1) / 1024;
         out = std::move(r);
-        return submit_mds(t, 1 + batches, 1.0, "", rid);
+        return submit_mds(t, 1 + batches, 1.0, "", rid, s);
       }
       out = r.error();
-      return submit_mds(t, 1, 1.0, "", rid);
+      return submit_mds(t, 1, 1.0, "", rid, s);
     }
-    double done =
-        cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-    auto r = cluster_.mds().readdir(path);
+    const std::uint32_t s = route_mds(np, &t, rid);
+    if (nshards > 1) {
+      // The addressed shard coordinates the gather; the other shards
+      // each serve one list op in parallel.
+      double gathered = t;
+      for (std::uint32_t k = 0; k < nshards; ++k) {
+        if (k == s) continue;
+        gathered = std::max(
+            gathered, cluster_.smds().shard(k).charge(
+                          t + cluster_.config().rpc_latency_s, rid));
+      }
+      t = gathered;
+    }
+    auto r = cluster_.smds().readdir(np);
     if (r.ok()) {
       // Large listings stream in bounded batches; the first 1024 entries
       // arrive with the initial RPC reply, so only the entries beyond
       // them cost extra round trips.
       const std::size_t batches = r->empty() ? 0 : (r->size() - 1) / 1024;
       for (std::size_t b = 0; b < batches; ++b) {
-        done = cluster_.mds().charge(done, rid);
+        t = cluster_.smds().shard(s).charge(t, rid);
       }
       out = std::move(r);
     } else {
       out = r.error();
     }
-    return done;
+    return t;
   });
   return out;
 }
 
 double PfsClient::unlink_core(const std::string& path, double t, Status* st,
                               std::uint64_t rid) {
-  double done = cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
-  auto looked = cluster_.mds().lookup(path);
-  *st = cluster_.mds().unlink(path);
+  const std::string np = NormalizePath(path);
+  route_mds(np, &t, rid);
+  auto looked = cluster_.smds().lookup(np);
+  const std::uint32_t nshards = cluster_.smds().num_shards();
+  if (nshards > 1 && looked.ok() && looked->is_dir) {
+    // Directory emptiness is an every-shard probe (children may live on
+    // any shard); the probes fan out in parallel.
+    double probed = t;
+    for (std::uint32_t k = 0; k < nshards; ++k) {
+      probed = std::max(probed,
+                        cluster_.smds().shard(k).charge(
+                            t + cluster_.config().rpc_latency_s, rid));
+    }
+    t = probed;
+  }
+  double done = t;
+  *st = cluster_.smds().unlink(np);
   if (st->ok() && looked.ok() && !looked->is_dir) {
     const std::uint64_t fid = looked->file_id;
     for (std::uint32_t s : cluster_.touched_servers(fid)) {
@@ -349,10 +444,28 @@ Status PfsClient::unlink(const std::string& path) {
 Status PfsClient::rename(const std::string& from, const std::string& to) {
   Status st;
   const std::uint64_t rid = mint_req();
+  const std::string nf = NormalizePath(from);
+  const std::string nt = NormalizePath(to);
+  const std::uint32_t nshards = cluster_.smds().num_shards();
   cluster_.scheduler().atomically(actor_, [&](double t) {
-    st = cluster_.mds().rename(from, to);
-    if (engine_.pipelined()) return submit_mds(t, 1, 1.0, "", rid);
-    return cluster_.mds().charge(t + cluster_.config().rpc_latency_s, rid);
+    st = cluster_.smds().rename(nf, nt, t);
+    if (engine_.pipelined()) {
+      const std::uint32_t s = route_mds_queued(nf, &t, rid);
+      t = submit_mds(t, 1, 1.0, "", rid, s);
+      if (nshards > 1) {
+        // Cross-shard rename is a two-phase op: the destination shard
+        // serves the install leg.
+        const std::uint32_t d = route_mds_queued(nt, &t, rid);
+        if (d != s) t = submit_mds(t, 1, 1.0, "", rid, d);
+      }
+      return cluster_.smds().settle_splits(t, rid);
+    }
+    const std::uint32_t s = route_mds(nf, &t, rid);
+    if (nshards > 1) {
+      const std::uint32_t d = cluster_.smds().home_shard(nt);
+      if (d != s) route_mds(nt, &t, rid);
+    }
+    return cluster_.smds().settle_splits(t, rid);
   });
   return st;
 }
@@ -490,7 +603,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
       // an io_error at the next fsync/close (and the bytes it covered
       // may be torn) — the O_DIRECT/AIO contract.
       if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
-      cluster_.mds().extend(f->path, off + data.size(), t);
+      cluster_.smds().extend(f->path, off + data.size(), t);
       std::uint64_t pos = off;
       std::size_t i = 0;
       while (i < data.size()) {
@@ -557,7 +670,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
     // size is not extended (the time spent trying is still charged).
     if (st.ok()) {
       if (auto* buf = cluster_.data_for(f->file_id, true)) buf->write(off, data);
-      cluster_.mds().extend(f->path, off + data.size(), done);
+      cluster_.smds().extend(f->path, off + data.size(), done);
       if (recording_consist()) {
         // The span starts at the lock grant, not the call: waiting under
         // a conflicting lock is serialisation working, not a violation.
@@ -576,7 +689,7 @@ Status PfsClient::write(FileHandle fh, std::uint64_t off,
 double PfsClient::read_core(OpenFile* f, std::uint64_t off,
                             std::span<std::uint8_t> out, double t,
                             Result<std::size_t>* result, std::uint64_t rid) {
-  auto inode = cluster_.mds().lookup(f->path);
+  auto inode = cluster_.smds().lookup(f->path);
   if (!inode.ok()) {
     *result = inode.error();
     return t;
@@ -702,7 +815,9 @@ Status PfsClient::fsync(FileHandle fh) {
       const double fraction = model == consist::ConsistencyModel::mpiio
                                   ? cluster_.config().mpiio_sync_fraction
                                   : 1.0;
-      done = cluster_.mds().publish(done, fraction, rid);
+      done = cluster_.smds()
+                 .shard(cluster_.smds().home_shard(f->path))
+                 .publish(done, fraction, rid);
       if (recording_consist()) {
         record_consist_edge("sync", f->file_id, done);
         record_consist_edge("pub", f->file_id, done);
@@ -744,8 +859,10 @@ Status PfsClient::close(FileHandle fh) {
       // Close-to-open: one metadata op publishes the session's writes.
       const std::uint64_t rid = mint_req();
       cluster_.scheduler().atomically(actor_, [&](double t) {
-        const double done = cluster_.mds().publish(
-            t + cluster_.config().rpc_latency_s, 1.0, rid);
+        const double done =
+            cluster_.smds()
+                .shard(cluster_.smds().home_shard(f->path))
+                .publish(t + cluster_.config().rpc_latency_s, 1.0, rid);
         if (recording_consist()) {
           record_consist_edge("close", f->file_id, done);
           record_consist_edge("pub", f->file_id, done);

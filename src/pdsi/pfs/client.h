@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "pdsi/common/result.h"
+#include "pdsi/giga/giga.h"
 #include "pdsi/pfs/cluster.h"
 #include "pdsi/rpc/engine.h"
 
@@ -146,9 +147,28 @@ class PfsClient {
   /// Emits a consist visibility-edge instant ("open"/"close"/"sync"/"pub").
   void record_consist_edge(const char* name, std::uint64_t file_id, double ts);
 
-  /// The request-engine queue id for the metadata server (the OSS
-  /// queues are 0..num_oss-1).
-  std::uint32_t mds_queue() const { return cluster_.num_oss(); }
+  /// The request-engine queue id for MDS shard `shard` (the OSS queues
+  /// are 0..num_oss-1, the shard queues follow).
+  std::uint32_t mds_queue(std::uint32_t shard) const {
+    return cluster_.num_oss() + shard;
+  }
+
+  /// Synchronous-mode MDS addressing: charges one op (scaled by
+  /// `fraction`) on the shard the cached bitmap addresses, looping while
+  /// the addressing is stale — each bounced attempt pays a full round
+  /// trip to the wrong shard, whose reply's fresh bitmap rows merge into
+  /// the cache. Advances *t past the final (correctly-addressed) charge
+  /// and returns that shard. One shard degenerates to a single
+  /// charge(t + rpc_latency) on shard 0, byte-identical to the lone MDS.
+  std::uint32_t route_mds(const std::string& normalized, double* t,
+                          std::uint64_t req, double fraction = 1.0);
+
+  /// Pipelined-mode addressing: resolves the shard against the cached
+  /// bitmap without charging, submitting one deferred wire charge to
+  /// each stale shard bounced off along the way. The caller submits the
+  /// real op to the returned shard's queue.
+  std::uint32_t route_mds_queued(const std::string& normalized, double* t,
+                                 std::uint64_t req);
 
   /// Mints the causal request id for one public client op. Ids are
   /// per-client monotonic from 1; together with the rank the pair is
@@ -166,12 +186,14 @@ class PfsClient {
                                             bool is_read, std::uint64_t req);
 
   /// Pipelined-mode helper: enqueues the deferred timing charge of one
-  /// metadata wire request — `charges` sequential MDS ops (scaled by
-  /// `fraction`), then a parent-directory lock charge when `parent` is
-  /// non-empty. State transitions happen at submit time; only the clock
-  /// rides the queue. Returns the client's post-submission time.
+  /// metadata wire request on MDS shard `shard` — `charges` sequential
+  /// MDS ops (scaled by `fraction`), then a parent-directory lock charge
+  /// when `parent` is non-empty. State transitions happen at submit
+  /// time; only the clock rides the queue. Returns the client's
+  /// post-submission time.
   double submit_mds(double t, std::size_t charges, double fraction,
-                    std::string parent, std::uint64_t req);
+                    std::string parent, std::uint64_t req,
+                    std::uint32_t shard = 0);
 
   /// Striped read core shared by both modes: chunks fan out in parallel
   /// from `t`. Returns the completion time and fills *result.
@@ -191,6 +213,10 @@ class PfsClient {
   std::size_t actor_;
   rpc::RequestEngine engine_;
   std::uint64_t next_req_id_ = 0;
+  /// Cached GIGA+ split-history bitmap for MDS shard addressing; merged
+  /// lazily from bounce replies, never invalidated. Unused (partition 0
+  /// only) under the single-shard default.
+  giga::Bitmap mds_bitmap_;
   /// Latched when a read-side drain observed an asynchronous write
   /// failure; surfaced (then cleared) by the next fsync/close.
   bool pending_io_error_ = false;
@@ -201,6 +227,9 @@ class PfsClient {
   // model or into op recording, so default metric dumps are unchanged.
   obs::Counter* c_lock_skips_ = nullptr;
   obs::Counter* c_consist_ops_ = nullptr;
+  /// Stale-bitmap bounces; created only when num_mds_shards > 1 so
+  /// default metric dumps are unchanged.
+  obs::Counter* c_mds_stale_ = nullptr;
 };
 
 }  // namespace pdsi::pfs

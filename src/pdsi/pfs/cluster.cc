@@ -9,7 +9,7 @@ PfsCluster::PfsCluster(PfsConfig cfg, sim::VirtualScheduler& sched,
       sched_(sched),
       placement_(placement ? std::move(placement) : MakeRoundRobinPlacement()),
       obs_(obs),
-      mds_(cfg_, obs_) {
+      smds_(cfg_, obs_) {
   servers_.reserve(cfg_.num_oss);
   for (std::uint32_t i = 0; i < cfg_.num_oss; ++i) {
     servers_.push_back(std::make_unique<Oss>(cfg_, i, obs_));

@@ -16,6 +16,7 @@
 #include "pdsi/pfs/config.h"
 #include "pdsi/pfs/mds.h"
 #include "pdsi/pfs/oss.h"
+#include "pdsi/pfs/sharded_mds.h"
 #include "pdsi/pfs/placement.h"
 #include "pdsi/pfs/sparse_buffer.h"
 #include "pdsi/sim/virtual_time.h"
@@ -40,7 +41,11 @@ class PfsCluster {
 
   const PfsConfig& config() const { return cfg_; }
   sim::VirtualScheduler& scheduler() { return sched_; }
-  Mds& mds() { return mds_; }
+  /// The sharded metadata service (one shard under the default config).
+  ShardedMds& smds() { return smds_; }
+  /// Shard 0 — the whole MDS under the default single-shard config; kept
+  /// for tests and tools that poke the namespace directly.
+  Mds& mds() { return smds_.shard(0); }
   Oss& oss(std::uint32_t i) { return *servers_[i]; }
   std::uint32_t num_oss() const { return static_cast<std::uint32_t>(servers_.size()); }
   const PlacementStrategy& placement() const { return *placement_; }
@@ -80,7 +85,7 @@ class PfsCluster {
   std::unique_ptr<PlacementStrategy> placement_;
   obs::Context* obs_;
   fault::FaultInjector* fault_ = nullptr;
-  Mds mds_;
+  ShardedMds smds_;
   std::vector<std::unique_ptr<Oss>> servers_;
   std::unordered_map<std::uint64_t, SparseBuffer> file_data_;
   std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, LockUnit>> locks_;

@@ -38,6 +38,19 @@ struct PfsConfig {
   double net_bw_bytes = 400.0 * 1e6;    ///< per-OSS NIC bandwidth
   double mds_op_s = 300e-6;             ///< metadata op service time
   double mds_dir_lock_s = 300e-6;       ///< parent-directory lock hold
+
+  // Sharded metadata (pdsi::pfs::ShardedMds, GIGA+-style splitting of
+  // the namespace hash space). The default single shard is byte-identical
+  // to the historical lone MDS: no partition ever splits and clients
+  // never see stale addressing. With more shards, partitions split
+  // incrementally as they fill and clients carry lazily-corrected cached
+  // bitmaps — a stale client addresses the wrong shard, pays the bounced
+  // round trip, merges the fresh bitmap, and retries.
+  std::uint32_t num_mds_shards = 1;
+  /// File entries per namespace partition before it splits (shards > 1).
+  std::uint32_t mds_split_threshold = 2000;
+  /// Cost to migrate one entry between shards during a split.
+  double mds_migrate_entry_s = 4e-6;
   /// Capability verification at the OSS per request (Maat security);
   /// 0 disables security.
   double security_verify_s = 0.0;

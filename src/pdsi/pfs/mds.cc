@@ -31,15 +31,30 @@ std::string ParentPath(const std::string& normalized) {
   return normalized.substr(0, pos);
 }
 
-Mds::Mds(const PfsConfig& cfg, obs::Context* ctx) : cfg_(cfg), ctx_(ctx) {
+Mds::Mds(const PfsConfig& cfg, obs::Context* ctx, std::uint32_t shard,
+         std::uint32_t num_shards)
+    : cfg_(cfg),
+      track_(obs::kMdsTrack + shard),
+      next_file_id_(1 + shard),
+      id_stride_(num_shards == 0 ? 1 : num_shards),
+      ctx_(ctx) {
   Inode root;
   root.is_dir = true;
   namespace_.emplace("/", root);
+  // Single-shard instruments keep the historical names (and so the
+  // historical metric dumps); shards of a sharded namespace get
+  // per-shard names and tracks.
+  if (num_shards > 1) iprefix_ = "mds.s" + std::to_string(shard) + ".";
   if (ctx_ && ctx_->registry) {
-    c_ops_ = &ctx_->registry->counter("mds.ops");
-    h_lat_ = &ctx_->registry->histogram("mds.op_latency_s", obs::LatencyBuckets());
+    c_ops_ = &ctx_->registry->counter(iprefix_ + "ops");
+    h_lat_ = &ctx_->registry->histogram(iprefix_ + "op_latency_s",
+                                        obs::LatencyBuckets());
   }
-  if (ctx_ && ctx_->tracer) ctx_->tracer->track(obs::kMdsTrack, "mds");
+  if (ctx_ && ctx_->tracer) {
+    ctx_->tracer->track(track_, num_shards > 1
+                                    ? "mds" + std::to_string(shard)
+                                    : "mds");
+  }
 }
 
 namespace {
@@ -57,10 +72,10 @@ double Mds::charge(double now, std::uint64_t req) {
     if (h_lat_) h_lat_->add(done - now);
     if (ctx_->tracer) {
       if (TagReq(ctx_, req)) {
-        ctx_->tracer->complete(obs::kMdsTrack, "op", "mds", done - cfg_.mds_op_s,
+        ctx_->tracer->complete(track_, "op", "mds", done - cfg_.mds_op_s,
                                done, {obs::Arg::Int("req", req)});
       } else {
-        ctx_->tracer->complete(obs::kMdsTrack, "op", "mds", done - cfg_.mds_op_s,
+        ctx_->tracer->complete(track_, "op", "mds", done - cfg_.mds_op_s,
                                done);
       }
     }
@@ -75,12 +90,12 @@ double Mds::charge_fraction(double now, double fraction, std::uint64_t req) {
     if (h_lat_) h_lat_->add(done - now);
     if (ctx_->tracer) {
       if (TagReq(ctx_, req)) {
-        ctx_->tracer->complete(obs::kMdsTrack, "group_op", "mds",
+        ctx_->tracer->complete(track_, "group_op", "mds",
                                done - cfg_.mds_op_s * fraction, done,
                                {obs::Arg::Num("fraction", fraction),
                                 obs::Arg::Int("req", req)});
       } else {
-        ctx_->tracer->complete(obs::kMdsTrack, "group_op", "mds",
+        ctx_->tracer->complete(track_, "group_op", "mds",
                                done - cfg_.mds_op_s * fraction, done,
                                {obs::Arg::Num("fraction", fraction)});
       }
@@ -94,17 +109,17 @@ double Mds::publish(double now, double fraction, std::uint64_t req) {
   const double done = service_.reserve(now, cost);
   if (ctx_) {
     if (ctx_->registry && c_publishes_ == nullptr) {
-      c_publishes_ = &ctx_->registry->counter("mds.publishes");
+      c_publishes_ = &ctx_->registry->counter(iprefix_ + "publishes");
     }
     if (c_publishes_) c_publishes_->add(1);
     if (ctx_->tracer) {
       if (TagReq(ctx_, req)) {
-        ctx_->tracer->complete(obs::kMdsTrack, "publish", "mds", done - cost,
+        ctx_->tracer->complete(track_, "publish", "mds", done - cost,
                                done,
                                {obs::Arg::Num("fraction", fraction),
                                 obs::Arg::Int("req", req)});
       } else {
-        ctx_->tracer->complete(obs::kMdsTrack, "publish", "mds", done - cost,
+        ctx_->tracer->complete(track_, "publish", "mds", done - cost,
                                done, {obs::Arg::Num("fraction", fraction)});
       }
     }
@@ -118,11 +133,11 @@ double Mds::charge_dir(const std::string& parent, double now,
   if (ctx_ && ctx_->tracer) {
     // The span covers the lock hold; queueing shows as the gap from `now`.
     if (TagReq(ctx_, req)) {
-      ctx_->tracer->complete(obs::kMdsTrack, "dir_lock", "mds",
+      ctx_->tracer->complete(track_, "dir_lock", "mds",
                              done - cfg_.mds_dir_lock_s, done,
                              {obs::Arg::Int("req", req)});
     } else {
-      ctx_->tracer->complete(obs::kMdsTrack, "dir_lock", "mds",
+      ctx_->tracer->complete(track_, "dir_lock", "mds",
                              done - cfg_.mds_dir_lock_s, done);
     }
   }
@@ -136,7 +151,8 @@ Result<Inode> Mds::create(const std::string& path, double mtime) {
   if (parent == namespace_.end()) return Errc::not_found;
   if (!parent->second.is_dir) return Errc::not_dir;
   Inode node;
-  node.file_id = next_file_id_++;
+  node.file_id = next_file_id_;
+  next_file_id_ += id_stride_;
   node.mtime = mtime;
   namespace_.emplace(p, node);
   return node;
@@ -155,39 +171,49 @@ Status Mds::mkdir(const std::string& path) {
   if (parent == namespace_.end()) return Errc::not_found;
   if (!parent->second.is_dir) return Errc::not_dir;
   Inode node;
-  node.file_id = next_file_id_++;
+  node.file_id = next_file_id_;
+  next_file_id_ += id_stride_;
   node.is_dir = true;
   namespace_.emplace(p, node);
   return Status::Ok();
 }
 
+bool Mds::has_children(const std::string& normalized) const {
+  // Scan from the first key sorting after "<dir>/": the immediate map
+  // successor of "/a" can be a sibling like "/a.x" ('.' < '/'), so the
+  // probe must seek past every such sibling before testing the prefix.
+  const std::string prefix =
+      normalized == "/" ? "/" : normalized + "/";
+  auto child = namespace_.lower_bound(prefix);
+  if (child != namespace_.end() && child->first == normalized) ++child;
+  return child != namespace_.end() &&
+         child->first.compare(0, prefix.size(), prefix) == 0;
+}
+
 Status Mds::unlink(const std::string& path) {
   const std::string p = NormalizePath(path);
+  if (p == "/") return Errc::not_supported;  // the root is not unlinkable
   auto it = namespace_.find(p);
   if (it == namespace_.end()) return Errc::not_found;
-  if (it->second.is_dir) {
-    // Directory must be empty.
-    auto next = std::next(it);
-    if (next != namespace_.end() && next->first.size() > p.size() &&
-        next->first.compare(0, p.size(), p) == 0 && next->first[p.size()] == '/') {
-      return Errc::not_empty;
-    }
-  }
+  if (it->second.is_dir && has_children(p)) return Errc::not_empty;
   namespace_.erase(it);
   return Status::Ok();
 }
 
-Status Mds::rename(const std::string& from, const std::string& to) {
+Status Mds::rename(const std::string& from, const std::string& to,
+                   double mtime) {
   const std::string f = NormalizePath(from);
   const std::string t = NormalizePath(to);
   auto it = namespace_.find(f);
   if (it == namespace_.end()) return Errc::not_found;
   if (it->second.is_dir) return Errc::not_supported;  // file rename only
+  if (f == t) return Status::Ok();  // POSIX: same-path rename is a no-op
   if (namespace_.count(t)) return Errc::exists;
   auto parent = namespace_.find(ParentPath(t));
   if (parent == namespace_.end()) return Errc::not_found;
   if (!parent->second.is_dir) return Errc::not_dir;
   Inode node = it->second;
+  node.mtime = mtime;
   namespace_.erase(it);
   namespace_.emplace(t, node);
   return Status::Ok();
@@ -214,6 +240,38 @@ void Mds::extend(const std::string& path, std::uint64_t new_size, double mtime) 
   if (it == namespace_.end() || it->second.is_dir) return;
   if (new_size > it->second.size) it->second.size = new_size;
   it->second.mtime = mtime;
+}
+
+void Mds::install(const std::string& normalized, const Inode& inode) {
+  namespace_[normalized] = inode;
+}
+
+bool Mds::take(const std::string& normalized, Inode* out) {
+  auto it = namespace_.find(normalized);
+  if (it == namespace_.end()) return false;
+  if (out) *out = it->second;
+  namespace_.erase(it);
+  return true;
+}
+
+double Mds::migrate(double now, double cost, std::uint64_t partition,
+                    std::uint64_t moved, std::uint64_t req) {
+  const double done = service_.reserve(now, cost);
+  if (ctx_ && ctx_->tracer) {
+    if (TagReq(ctx_, req)) {
+      ctx_->tracer->complete(track_, "split_migrate", "mds", done - cost,
+                             done,
+                             {obs::Arg::Int("partition", partition),
+                              obs::Arg::Int("moved", moved),
+                              obs::Arg::Int("req", req)});
+    } else {
+      ctx_->tracer->complete(track_, "split_migrate", "mds", done - cost,
+                             done,
+                             {obs::Arg::Int("partition", partition),
+                              obs::Arg::Int("moved", moved)});
+    }
+  }
+  return done;
 }
 
 }  // namespace pdsi::pfs

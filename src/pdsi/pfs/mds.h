@@ -36,8 +36,14 @@ std::string ParentPath(const std::string& normalized);
 class Mds {
  public:
   /// `ctx` (optional) traces every charged op on track obs::kMdsTrack and
-  /// feeds the mds.* instruments.
-  explicit Mds(const PfsConfig& cfg, obs::Context* ctx = nullptr);
+  /// feeds the mds.* instruments. `shard`/`num_shards` place this MDS in
+  /// a sharded namespace (pdsi::pfs::ShardedMds): file ids are allocated
+  /// from the interleaved stream shard+1, shard+1+N, ... so ids stay
+  /// globally unique, and with num_shards > 1 the instruments and trace
+  /// track are suffixed per shard ("mds.s<k>.*", track kMdsTrack + k).
+  /// The single-shard default is byte-identical to the historical MDS.
+  explicit Mds(const PfsConfig& cfg, obs::Context* ctx = nullptr,
+               std::uint32_t shard = 0, std::uint32_t num_shards = 1);
 
   // -- Timed RPC wrappers: charge one metadata service slot and return
   //    the completion time. Call only inside scheduler atomically blocks.
@@ -70,11 +76,32 @@ class Mds {
   Result<Inode> lookup(const std::string& path) const;
   Status mkdir(const std::string& path);
   Status unlink(const std::string& path);
-  Status rename(const std::string& from, const std::string& to);
+  /// POSIX file rename: `from == to` succeeds as a no-op; otherwise the
+  /// destination inode's mtime is stamped with `mtime`.
+  Status rename(const std::string& from, const std::string& to, double mtime);
   Result<std::vector<std::string>> readdir(const std::string& path) const;
 
   /// Updates the authoritative size if the write extended the file.
   void extend(const std::string& path, std::uint64_t new_size, double mtime);
+
+  /// True when any entry lives strictly below directory `normalized`
+  /// (the unlink emptiness probe — a prefix scan, so siblings that sort
+  /// between the directory and its children, like "/a.x" between "/a"
+  /// and "/a/b", cannot fool it).
+  bool has_children(const std::string& normalized) const;
+
+  // -- Sharded-namespace support (pdsi::pfs::ShardedMds) --
+  /// Installs an inode verbatim (directory replication, split
+  /// migration); overwrites any existing entry, allocates no id.
+  void install(const std::string& normalized, const Inode& inode);
+  /// Removes an entry verbatim and returns it (split migration). False
+  /// when absent.
+  bool take(const std::string& normalized, Inode* out);
+  /// Reserves `cost` seconds of this shard's service queue for split
+  /// migration work, tracing one span covering the transfer of `moved`
+  /// entries of partition `partition`.
+  double migrate(double now, double cost, std::uint64_t partition,
+                 std::uint64_t moved, std::uint64_t req = 0);
 
   std::size_t entry_count() const { return namespace_.size(); }
 
@@ -82,7 +109,10 @@ class Mds {
   const PfsConfig& cfg_;
   sim::SimResource service_;
   std::unordered_map<std::string, sim::SimResource> dir_locks_;
+  std::uint32_t track_ = 0;
+  std::string iprefix_ = "mds.";  ///< instrument prefix ("mds.s<k>." sharded)
   std::uint64_t next_file_id_ = 1;
+  std::uint64_t id_stride_ = 1;
   std::map<std::string, Inode> namespace_;  ///< ordered for readdir scans
 
   obs::Context* ctx_ = nullptr;

@@ -59,6 +59,32 @@ TEST(PartitionMath, DepthAndChild) {
   EXPECT_EQ(SplitChild(3, 2), 7u);
 }
 
+TEST(PartitionMath, RadixBoundaryIsShiftSafe) {
+  // Radix depth 31..32 is where a 32-bit `1u << d` would be undefined;
+  // the helpers must stay exact there.
+  EXPECT_EQ(PartitionDepth(0x40000000u), 31u);
+  EXPECT_EQ(PartitionDepth(0x7fffffffu), 31u);
+  EXPECT_EQ(PartitionDepth(0x80000000u), 32u);
+  EXPECT_EQ(PartitionDepth(0xffffffffu), 32u);
+  // The last splittable level: p < 2^31 splits to p + 2^31.
+  EXPECT_EQ(SplitChild(5u, 31u), 5u + 0x80000000u);
+  EXPECT_EQ(SplitChild(0x7fffffffu, 31u), 0xffffffffu);
+}
+
+TEST(Bitmap, DeepPartitionAddressing) {
+  // A partition high enough that deriving the radix from it exercises
+  // multi-word scans and 64-bit masks in partition_for.
+  Bitmap b;
+  const std::uint32_t deep = 1u << 20;
+  b.set(deep);
+  EXPECT_EQ(b.highest(), deep);
+  // A hash whose low 21 bits address exactly `deep` lands there; one
+  // whose candidate is absent walks down to partition 0.
+  EXPECT_EQ(b.partition_for(deep), deep);
+  EXPECT_EQ(b.partition_for(deep | (1ULL << 40)), deep);
+  EXPECT_EQ(b.partition_for(0x2a), 0u);
+}
+
 TEST(HashName, SpreadsShortNames) {
   std::set<std::uint64_t> low3;
   for (int i = 0; i < 64; ++i) {

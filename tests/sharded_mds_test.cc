@@ -1,0 +1,420 @@
+// Tests for the sharded metadata service (pdsi::pfs::ShardedMds) and the
+// MDS namespace bug fixes that PR landed together: the unlink emptiness
+// prefix scan (a sibling like "/a.x" sorts between "/a" and "/a/b" and
+// must not make a populated directory deletable), the root unlink guard,
+// POSIX same-path rename, placement invariants under GIGA+ splitting,
+// stale-bitmap client convergence, single-shard equivalence with the
+// legacy lone MDS, and cross-shard readdir. Labelled `mds` in ctest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdsi/obs/obs.h"
+#include "pdsi/pfs/client.h"
+#include "pdsi/pfs/cluster.h"
+#include "pdsi/pfs/mds.h"
+#include "pdsi/pfs/sharded_mds.h"
+
+namespace pdsi::pfs {
+namespace {
+
+PfsConfig ShardedConfig(std::uint32_t shards, std::uint32_t threshold) {
+  PfsConfig cfg = PfsConfig::PanFsLike(4);
+  cfg.num_mds_shards = shards;
+  cfg.mds_split_threshold = threshold;
+  return cfg;
+}
+
+// -- Mds namespace bug regressions ------------------------------------
+
+TEST(MdsUnlink, DotSiblingCannotFakeEmptiness) {
+  // '.' (0x2E) sorts before '/' (0x2F), so in the ordered namespace the
+  // immediate successor of "/a" is "/a.x", not "/a/b". The old
+  // std::next(it) probe concluded "/a" was empty and erased it,
+  // orphaning "/a/b". The prefix scan must see through the sibling.
+  PfsConfig cfg;
+  Mds mds(cfg);
+  ASSERT_TRUE(mds.mkdir("/a").ok());
+  ASSERT_TRUE(mds.create("/a.x", 0.0).ok());
+  ASSERT_TRUE(mds.create("/a/b", 0.0).ok());
+  EXPECT_EQ(mds.unlink("/a").error(), Errc::not_empty);
+  EXPECT_TRUE(mds.lookup("/a").ok());
+  EXPECT_TRUE(mds.lookup("/a/b").ok());
+  // Once the child is gone the directory (still shadowed by "/a.x") is
+  // genuinely empty and unlinkable.
+  ASSERT_TRUE(mds.unlink("/a/b").ok());
+  EXPECT_TRUE(mds.unlink("/a").ok());
+  EXPECT_TRUE(mds.lookup("/a.x").ok());
+}
+
+TEST(MdsUnlink, RootIsNotUnlinkable) {
+  PfsConfig cfg;
+  Mds mds(cfg);
+  EXPECT_EQ(mds.unlink("/").error(), Errc::not_supported);
+  EXPECT_TRUE(mds.lookup("/").ok());
+  ASSERT_TRUE(mds.create("/f", 0.0).ok());
+  EXPECT_EQ(mds.unlink("/").error(), Errc::not_supported);
+  EXPECT_TRUE(mds.lookup("/").ok());
+  EXPECT_TRUE(mds.create("/g", 0.0).ok());  // root still a live directory
+}
+
+TEST(MdsRename, SamePathIsPosixNoop) {
+  PfsConfig cfg;
+  Mds mds(cfg);
+  ASSERT_TRUE(mds.create("/f", 1.0).ok());
+  EXPECT_TRUE(mds.rename("/f", "/f", 2.0).ok());
+  EXPECT_TRUE(mds.lookup("/f").ok());
+  // Spelled differently but the same path after normalization.
+  EXPECT_TRUE(mds.rename("/f", "//f/", 3.0).ok());
+  EXPECT_TRUE(mds.lookup("/f").ok());
+}
+
+TEST(MdsRename, StampsDestinationMtime) {
+  PfsConfig cfg;
+  Mds mds(cfg);
+  ASSERT_TRUE(mds.create("/old", 1.0).ok());
+  ASSERT_TRUE(mds.rename("/old", "/new", 7.5).ok());
+  auto r = mds.lookup("/new");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->mtime, 7.5);
+  EXPECT_EQ(mds.lookup("/old").error(), Errc::not_found);
+}
+
+TEST(MdsHasChildren, PrefixScanSemantics) {
+  PfsConfig cfg;
+  Mds mds(cfg);
+  ASSERT_TRUE(mds.mkdir("/d").ok());
+  EXPECT_FALSE(mds.has_children("/d"));
+  ASSERT_TRUE(mds.create("/d.x", 0.0).ok());
+  EXPECT_FALSE(mds.has_children("/d"));  // sibling, not child
+  ASSERT_TRUE(mds.create("/d/f", 0.0).ok());
+  EXPECT_TRUE(mds.has_children("/d"));
+  EXPECT_TRUE(mds.has_children("/"));
+}
+
+// -- ShardedMds state semantics ---------------------------------------
+
+TEST(ShardedMds, PlacementInvariantHoldsThroughSplits) {
+  PfsConfig cfg = ShardedConfig(8, 16);
+  ShardedMds smds(cfg);
+  ASSERT_TRUE(smds.mkdir("/d").ok());
+  constexpr int kFiles = 1500;
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(smds.create("/d/f" + std::to_string(i), 0.0).ok()) << i;
+  }
+  EXPECT_GT(smds.splits(), 10u);
+  EXPECT_GT(smds.bitmap().highest(), 8u);
+  EXPECT_EQ(smds.total_files(), static_cast<std::uint64_t>(kFiles));
+  EXPECT_TRUE(smds.check_placement_invariant());
+  // Every file resolves after arbitrary migration history.
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_TRUE(smds.lookup("/d/f" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(ShardedMds, FileIdsStayGloballyUnique) {
+  PfsConfig cfg = ShardedConfig(4, 32);
+  ShardedMds smds(cfg);
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 600; ++i) {
+    auto r = smds.create("/f" + std::to_string(i), 0.0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ids.insert(r->file_id).second) << "duplicate id " << r->file_id;
+  }
+}
+
+TEST(ShardedMds, DirectoryUnlinkSeesChildrenOnAllShards) {
+  // Low threshold so the children split across partitions on several
+  // shards; emptiness must consult them all.
+  PfsConfig cfg = ShardedConfig(4, 8);
+  ShardedMds smds(cfg);
+  ASSERT_TRUE(smds.mkdir("/d").ok());
+  constexpr int kKids = 64;
+  for (int i = 0; i < kKids; ++i) {
+    ASSERT_TRUE(smds.create("/d/f" + std::to_string(i), 0.0).ok());
+  }
+  ASSERT_GT(smds.splits(), 0u);
+  std::set<std::uint32_t> homes;
+  for (int i = 0; i < kKids; ++i) {
+    homes.insert(smds.home_shard("/d/f" + std::to_string(i)));
+  }
+  ASSERT_GT(homes.size(), 1u);  // the probe genuinely spans shards
+  EXPECT_EQ(smds.unlink("/d").error(), Errc::not_empty);
+  for (int i = 0; i < kKids; ++i) {
+    ASSERT_TRUE(smds.unlink("/d/f" + std::to_string(i)).ok());
+  }
+  EXPECT_TRUE(smds.unlink("/d").ok());
+  EXPECT_EQ(smds.lookup("/d").error(), Errc::not_found);
+  EXPECT_EQ(smds.unlink("/").error(), Errc::not_supported);
+}
+
+TEST(ShardedMds, ReaddirMergesAcrossShards) {
+  PfsConfig cfg = ShardedConfig(4, 24);
+  ShardedMds smds(cfg);
+  ASSERT_TRUE(smds.mkdir("/d").ok());
+  ASSERT_TRUE(smds.mkdir("/d/sub").ok());  // replicated on every shard
+  std::vector<std::string> expected = {"sub"};
+  for (int i = 0; i < 300; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE(smds.create("/d/" + name, 0.0).ok());
+    expected.push_back(name);
+  }
+  std::sort(expected.begin(), expected.end());
+  auto r = smds.readdir("/d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, expected);  // sorted, complete, replicas deduped
+  EXPECT_EQ(smds.readdir("/d/f0").error(), Errc::not_dir);
+  EXPECT_EQ(smds.readdir("/missing").error(), Errc::not_found);
+}
+
+TEST(ShardedMds, CrossShardRenameMovesHome) {
+  // Before any split there is only partition 0, so every path homes to
+  // shard 0; grow the namespace first so distinct home shards exist,
+  // then rename across them.
+  PfsConfig cfg = ShardedConfig(4, 8);
+  ShardedMds smds(cfg);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(smds.create("/seed" + std::to_string(i), 1.0).ok());
+  }
+  ASSERT_GT(smds.splits(), 0u);
+  const std::string from = "/seed0";
+  std::string to;
+  for (int i = 0; i < 256 && to.empty(); ++i) {
+    const std::string cand = "/moved" + std::to_string(i);
+    if (smds.home_shard(cand) != smds.home_shard(from)) to = cand;
+  }
+  ASSERT_FALSE(to.empty());
+  auto created = smds.lookup(from);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(smds.rename(from, to, 9.0).ok());
+  EXPECT_EQ(smds.lookup(from).error(), Errc::not_found);
+  auto moved = smds.lookup(to);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved->file_id, created->file_id);
+  EXPECT_EQ(moved->mtime, 9.0);
+  EXPECT_TRUE(smds.check_placement_invariant());
+}
+
+// -- Single-shard equivalence with the legacy lone MDS ----------------
+
+TEST(ShardedMds, SingleShardMatchesLegacyMdsOnRecordedOps) {
+  // Replay one op sequence through a bare Mds (the legacy service) and a
+  // one-shard ShardedMds; every status, inode id, size, mtime, and
+  // listing must match exactly.
+  PfsConfig cfg;
+  Mds legacy(cfg);
+  ShardedMds sharded(cfg);
+  ASSERT_EQ(sharded.num_shards(), 1u);
+
+  const std::vector<std::string> files = {"/a", "/a.x", "/d/f1", "/d/f2",
+                                          "/d/sub/g"};
+  auto drive = [&files](auto&& mkdir, auto&& create, auto&& unlink,
+                        auto&& rename, auto&& extend) {
+    std::vector<std::string> log;
+    log.push_back(mkdir("/d"));
+    log.push_back(mkdir("/d"));  // exists
+    log.push_back(mkdir("/d/sub"));
+    log.push_back(mkdir("/nope/sub"));  // not_found
+    for (const auto& f : files) log.push_back(create(f));
+    log.push_back(create("/a"));          // exists
+    log.push_back(unlink("/d"));          // not_empty
+    log.push_back(unlink("/"));           // not_supported
+    log.push_back(rename("/a", "/a"));    // POSIX no-op
+    log.push_back(rename("/a", "/b"));    // ok
+    log.push_back(rename("/gone", "/x")); // not_found
+    extend("/b", 4096, 3.25);
+    log.push_back(unlink("/d/f1"));
+    return log;
+  };
+
+  auto name = [](Errc e) { return std::string(ErrcName(e)); };
+  const auto legacy_log = drive(
+      [&](const std::string& p) { return name(legacy.mkdir(p).error()); },
+      [&](const std::string& p) {
+        auto r = legacy.create(p, 1.5);
+        return r.ok() ? "id=" + std::to_string(r->file_id) : name(r.error());
+      },
+      [&](const std::string& p) { return name(legacy.unlink(p).error()); },
+      [&](const std::string& f, const std::string& t) {
+        return name(legacy.rename(f, t, 2.5).error());
+      },
+      [&](const std::string& p, std::uint64_t n, double m) {
+        legacy.extend(p, n, m);
+      });
+  const auto sharded_log = drive(
+      [&](const std::string& p) { return name(sharded.mkdir(p).error()); },
+      [&](const std::string& p) {
+        auto r = sharded.create(p, 1.5);
+        return r.ok() ? "id=" + std::to_string(r->file_id) : name(r.error());
+      },
+      [&](const std::string& p) { return name(sharded.unlink(p).error()); },
+      [&](const std::string& f, const std::string& t) {
+        return name(sharded.rename(f, t, 2.5).error());
+      },
+      [&](const std::string& p, std::uint64_t n, double m) {
+        sharded.extend(p, n, m);
+      });
+  EXPECT_EQ(legacy_log, sharded_log);
+
+  for (const std::string p : {"/", "/d", "/b", "/d/f2", "/d/sub/g"}) {
+    auto a = legacy.lookup(p);
+    auto b = sharded.lookup(p);
+    ASSERT_EQ(a.ok(), b.ok()) << p;
+    if (a.ok()) {
+      EXPECT_EQ(a->file_id, b->file_id) << p;
+      EXPECT_EQ(a->is_dir, b->is_dir) << p;
+      EXPECT_EQ(a->size, b->size) << p;
+      EXPECT_EQ(a->mtime, b->mtime) << p;
+    }
+  }
+  auto la = legacy.readdir("/d");
+  auto lb = sharded.readdir("/d");
+  ASSERT_TRUE(la.ok());
+  ASSERT_TRUE(lb.ok());
+  EXPECT_EQ(*la, *lb);
+}
+
+// -- Client-level behaviour over a sharded cluster --------------------
+
+struct ClusterFixture {
+  // Single-actor runs let the fixture retire actor 0; multi-actor storms
+  // have each rank thread call sched.finish(rank) itself.
+  explicit ClusterFixture(PfsConfig cfg, obs::Context* ctx = nullptr,
+                          std::size_t actors = 1)
+      : sched(actors),
+        cluster(std::move(cfg), sched, nullptr, ctx),
+        auto_finish(actors == 1) {}
+  ~ClusterFixture() {
+    if (auto_finish) sched.finish(0);
+  }
+  sim::VirtualScheduler sched;
+  PfsCluster cluster;
+  bool auto_finish;
+};
+
+TEST(ShardedClient, StaleBitmapClientConvergesFromEmptyCache) {
+  obs::Registry registry;
+  obs::Context ctx{nullptr, &registry};
+  ClusterFixture fx(ShardedConfig(4, 16), &ctx);
+  // Writer grows the namespace through many splits (its own cache keeps
+  // pace one bounce at a time).
+  PfsClient writer(fx.cluster, 0);
+  constexpr int kFiles = 400;
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(writer.create("/f" + std::to_string(i)).ok()) << i;
+  }
+  ASSERT_GT(fx.cluster.smds().splits(), 4u);
+  const std::uint64_t bounces_after_writes =
+      registry.counter("pfs.mds_stale_retries").value();
+  EXPECT_GT(bounces_after_writes, 0u);
+
+  // A fresh client starts from the empty bitmap (partition 0 only) and
+  // must converge via lazy correction alone: every open succeeds, and
+  // the bounces it pays are bounded by the split history, not by the
+  // number of operations (the GIGA+ claim).
+  PfsClient reader(fx.cluster, 0);
+  for (int i = 0; i < kFiles; ++i) {
+    auto fh = reader.open("/f" + std::to_string(i));
+    ASSERT_TRUE(fh.ok()) << i;
+    ASSERT_TRUE(reader.close(*fh).ok());
+  }
+  const std::uint64_t reader_bounces =
+      registry.counter("pfs.mds_stale_retries").value() - bounces_after_writes;
+  EXPECT_GT(reader_bounces, 0u);
+  EXPECT_LT(reader_bounces, fx.cluster.smds().bitmap().highest() + 1);
+  EXPECT_TRUE(fx.cluster.smds().check_placement_invariant());
+}
+
+TEST(ShardedClient, NamespaceLifecycleAcrossShards) {
+  ClusterFixture fx(ShardedConfig(4, 16));
+  PfsClient client(fx.cluster, 0);
+  ASSERT_TRUE(client.mkdir("/dir").ok());
+  EXPECT_EQ(client.mkdir("/dir").error(), Errc::exists);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 120; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE(client.create("/dir/" + name).ok());
+    expected.push_back(name);
+  }
+  std::sort(expected.begin(), expected.end());
+  auto names = client.readdir("/dir");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, expected);
+  EXPECT_EQ(client.unlink("/dir").error(), Errc::not_empty);
+  ASSERT_TRUE(client.rename("/dir/f0", "/dir/renamed").ok());
+  EXPECT_EQ(client.open("/dir/f0").error(), Errc::not_found);
+  EXPECT_TRUE(client.open("/dir/renamed").ok());
+  // Data ops still resolve through the sharded namespace.
+  auto fh = client.open("/dir/f1");
+  ASSERT_TRUE(fh.ok());
+  std::vector<std::uint8_t> payload(1000, 0x5a);
+  ASSERT_TRUE(client.write(*fh, 0, payload).ok());
+  auto st = client.stat("/dir/f1");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1000u);
+  ASSERT_TRUE(client.close(*fh).ok());
+  ASSERT_TRUE(client.unlink("/dir/f1").ok());
+  EXPECT_EQ(client.open("/dir/f1").error(), Errc::not_found);
+}
+
+TEST(ShardedClient, PipelinedModeSurvivesSplitStorm) {
+  PfsConfig cfg = ShardedConfig(4, 16);
+  cfg.rpc_window = 32;
+  cfg.rpc_batch = 8;
+  ClusterFixture fx(cfg);
+  PfsClient client(fx.cluster, 0);
+  ASSERT_TRUE(client.pipelined());
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(client.create("/p" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_GT(fx.cluster.smds().splits(), 4u);
+  EXPECT_TRUE(fx.cluster.smds().check_placement_invariant());
+  for (int i = 0; i < 400; ++i) {
+    auto fh = client.open("/p" + std::to_string(i));
+    ASSERT_TRUE(fh.ok()) << i;
+    ASSERT_TRUE(client.close(*fh).ok());
+  }
+}
+
+TEST(ShardedClient, ShardCountScalesCreateStorm) {
+  // The tentpole claim in miniature: a concurrent create storm finishes
+  // earlier (in virtual time) with more shards, because independent
+  // service queues absorb it in parallel. A single serial client cannot
+  // see this — each of its ops is a full round trip either way — so the
+  // storm runs many ranks at once, metarates-style.
+  constexpr int kClients = 32;
+  constexpr int kPerClient = 40;
+  auto storm = [](std::uint32_t shards) {
+    ClusterFixture fx(ShardedConfig(shards, 200), nullptr, kClients);
+    std::vector<std::thread> threads;
+    std::mutex mu;
+    double finish = 0.0;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        PfsClient client(fx.cluster, c);
+        for (int i = 0; i < kPerClient; ++i) {
+          EXPECT_TRUE(client
+                          .create("/c" + std::to_string(c) + "_" +
+                                  std::to_string(i))
+                          .ok());
+        }
+        std::lock_guard<std::mutex> lk(mu);
+        finish = std::max(finish, client.now());
+        fx.sched.finish(c);
+      });
+    }
+    for (auto& t : threads) t.join();
+    return finish;
+  };
+  const double one = storm(1);
+  const double eight = storm(8);
+  EXPECT_GT(one / eight, 2.0) << "one=" << one << " eight=" << eight;
+}
+
+}  // namespace
+}  // namespace pdsi::pfs
